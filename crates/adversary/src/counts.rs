@@ -1,0 +1,216 @@
+//! Incremental failure accounting shared by all adversaries.
+
+use wcp_core::Placement;
+
+/// Tracks, for a mutable set of failed nodes, how many replicas of each
+/// object are down, how many objects have failed (`≥ s` replicas down),
+/// and a histogram of sub-threshold hit counts enabling the admissible
+/// "still failable within m more failures" bound.
+///
+/// `add_node`/`remove_node` cost `O(ℓ)` where `ℓ` is the node's load.
+#[derive(Debug, Clone)]
+pub struct FailureCounts {
+    s: u16,
+    /// Replicas down per object.
+    hits: Vec<u16>,
+    /// Objects with `hits ≥ s`.
+    failed: u64,
+    /// `hist[j]` = number of objects with `hits = j < s`.
+    hist: Vec<u64>,
+    /// Inverted index: objects per node.
+    by_node: Vec<Vec<u32>>,
+    /// Current failed-node set membership.
+    in_set: Vec<bool>,
+}
+
+impl FailureCounts {
+    /// Builds the accounting structure for a placement at threshold `s`.
+    #[must_use]
+    pub fn new(placement: &Placement, s: u16) -> Self {
+        let b = placement.num_objects();
+        let mut hist = vec![0u64; usize::from(s)];
+        hist[0] = b as u64;
+        Self {
+            s,
+            hits: vec![0; b],
+            failed: 0,
+            hist,
+            by_node: placement.objects_by_node(),
+            in_set: vec![false; usize::from(placement.num_nodes())],
+        }
+    }
+
+    /// Number of currently failed objects.
+    #[must_use]
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// True if the node is currently in the failed set.
+    #[must_use]
+    pub fn contains(&self, node: u16) -> bool {
+        self.in_set[usize::from(node)]
+    }
+
+    /// Admissible upper bound on the number of *additional* objects that
+    /// could fail if `m` more nodes fail: objects needing at most `m` more
+    /// replica hits.
+    #[must_use]
+    pub fn failable_within(&self, m: u16) -> u64 {
+        let lo = usize::from(self.s.saturating_sub(m));
+        self.hist[lo..].iter().sum()
+    }
+
+    /// Marks `node` failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the node is already failed.
+    pub fn add_node(&mut self, node: u16) {
+        debug_assert!(!self.in_set[usize::from(node)], "node already failed");
+        self.in_set[usize::from(node)] = true;
+        let s = self.s;
+        for idx in 0..self.by_node[usize::from(node)].len() {
+            let obj = self.by_node[usize::from(node)][idx] as usize;
+            let h = self.hits[obj];
+            self.hits[obj] = h + 1;
+            if h < s {
+                self.hist[usize::from(h)] -= 1;
+                if h + 1 < s {
+                    self.hist[usize::from(h) + 1] += 1;
+                } else {
+                    self.failed += 1;
+                }
+            }
+        }
+    }
+
+    /// Unmarks `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the node is not currently failed.
+    pub fn remove_node(&mut self, node: u16) {
+        debug_assert!(self.in_set[usize::from(node)], "node not failed");
+        self.in_set[usize::from(node)] = false;
+        let s = self.s;
+        for idx in 0..self.by_node[usize::from(node)].len() {
+            let obj = self.by_node[usize::from(node)][idx] as usize;
+            let h = self.hits[obj] - 1;
+            self.hits[obj] = h;
+            if h < s {
+                if h + 1 < s {
+                    self.hist[usize::from(h) + 1] -= 1;
+                } else {
+                    self.failed -= 1;
+                }
+                self.hist[usize::from(h)] += 1;
+            }
+        }
+    }
+
+    /// Failed objects if `node` were added, without mutating (costs
+    /// `O(ℓ)`).
+    #[must_use]
+    pub fn gain(&self, node: u16) -> u64 {
+        debug_assert!(!self.in_set[usize::from(node)]);
+        let s = self.s;
+        self.by_node[usize::from(node)]
+            .iter()
+            .filter(|&&obj| self.hits[obj as usize] + 1 == s)
+            .count() as u64
+    }
+
+    /// The current failed-node set (sorted).
+    #[must_use]
+    pub fn nodes(&self) -> Vec<u16> {
+        self.in_set
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &inside)| inside.then_some(i as u16))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcp_core::Placement;
+
+    fn sample() -> Placement {
+        Placement::new(
+            6,
+            3,
+            vec![vec![0, 1, 2], vec![0, 1, 3], vec![3, 4, 5], vec![0, 4, 5]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let p = sample();
+        let mut fc = FailureCounts::new(&p, 2);
+        fc.add_node(0);
+        fc.add_node(1);
+        assert_eq!(fc.failed(), 2);
+        assert_eq!(fc.failed(), p.failed_objects(&[0, 1], 2));
+        fc.remove_node(1);
+        fc.add_node(4);
+        assert_eq!(fc.failed(), p.failed_objects(&[0, 4], 2));
+        fc.remove_node(0);
+        fc.remove_node(4);
+        assert_eq!(fc.failed(), 0);
+        assert_eq!(fc.nodes(), Vec::<u16>::new());
+    }
+
+    #[test]
+    fn gain_matches_actual_add() {
+        let p = sample();
+        let mut fc = FailureCounts::new(&p, 2);
+        fc.add_node(0);
+        for nd in 1..6u16 {
+            let predicted = fc.gain(nd);
+            let before = fc.failed();
+            fc.add_node(nd);
+            assert_eq!(fc.failed() - before, predicted, "node {nd}");
+            fc.remove_node(nd);
+        }
+    }
+
+    #[test]
+    fn failable_bound_is_admissible() {
+        let p = sample();
+        let mut fc = FailureCounts::new(&p, 3);
+        fc.add_node(0);
+        // With m more failures, no more than failable_within(m) additional
+        // objects can fail — check against exhaustive continuation.
+        for m in 0..=3u16 {
+            let bound = fc.failable_within(m);
+            let mut best_extra = 0;
+            for subset in wcp_combin::KSubsets::new(6, m) {
+                if subset.contains(&0) {
+                    continue;
+                }
+                let mut all = subset.clone();
+                all.push(0);
+                let total = p.failed_objects(&all, 3);
+                best_extra = best_extra.max(total - fc.failed());
+            }
+            assert!(
+                bound >= best_extra,
+                "m={m}: bound {bound} < actual {best_extra}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_partial_hits() {
+        let p = sample();
+        let mut fc = FailureCounts::new(&p, 3);
+        assert_eq!(fc.failable_within(3), 4);
+        assert_eq!(fc.failable_within(0), 0);
+        fc.add_node(0); // objects 0,1,3 now at 1 hit
+        assert_eq!(fc.failable_within(2), 3);
+        assert_eq!(fc.failable_within(1), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Exact worst-case search: DFS over node combinations with
+//! branch-and-bound pruning.
+
+use crate::counts::FailureCounts;
+use crate::WorstCase;
+use wcp_core::Placement;
+
+/// Finds the exact maximum number of failed objects over all `k`-subsets
+/// of nodes, or `None` if the search exceeds `budget` node expansions.
+///
+/// `incumbent` is a known-achievable value (e.g. from local search) used
+/// as the initial pruning bound — the returned `WorstCase.nodes` is empty
+/// and `failed == incumbent` when no subset beats the incumbent (the
+/// caller already has a witness).
+///
+/// Nodes are pre-sorted by decreasing load so that promising branches are
+/// explored first and the admissible bound (`failable_within`) prunes
+/// aggressively.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_adversary::exact_worst;
+/// use wcp_core::Placement;
+///
+/// let p = Placement::new(5, 2, vec![vec![0, 1], vec![0, 2], vec![3, 4]])?;
+/// let wc = exact_worst(&p, 1, 2, 1_000_000, 0).unwrap();
+/// assert_eq!(wc.failed, 3); // nodes {0, 3} (or {0, 4}) touch all objects
+/// assert!(wc.exact);
+/// # Ok::<(), wcp_core::PlacementError>(())
+/// ```
+#[must_use]
+pub fn exact_worst(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    budget: u64,
+    incumbent: u64,
+) -> Option<WorstCase> {
+    let n = placement.num_nodes();
+    if k >= n {
+        // Degenerate: fail everything possible.
+        let nodes: Vec<u16> = (0..n).collect();
+        let failed = placement.failed_objects(&nodes, s);
+        return Some(WorstCase {
+            failed,
+            nodes: nodes[..usize::from(k.min(n))].to_vec(),
+            exact: true,
+        });
+    }
+
+    // Order nodes by decreasing load.
+    let loads = placement.loads();
+    let mut order: Vec<u16> = (0..n).collect();
+    order.sort_by_key(|&nd| std::cmp::Reverse(loads[usize::from(nd)]));
+
+    let mut fc = FailureCounts::new(placement, s);
+    let b = placement.num_objects() as u64;
+    let mut search = Search {
+        fc: &mut fc,
+        order: &order,
+        k,
+        best: incumbent,
+        best_nodes: Vec::new(),
+        expansions: 0,
+        budget,
+        all_objects: b,
+    };
+    if search.dfs(0, 0) {
+        let (best, best_nodes) = (search.best, search.best_nodes);
+        Some(WorstCase {
+            failed: best,
+            nodes: best_nodes,
+            exact: true,
+        })
+    } else {
+        None
+    }
+}
+
+struct Search<'a> {
+    fc: &'a mut FailureCounts,
+    order: &'a [u16],
+    k: u16,
+    best: u64,
+    best_nodes: Vec<u16>,
+    expansions: u64,
+    budget: u64,
+    all_objects: u64,
+}
+
+impl Search<'_> {
+    /// Returns `false` on budget exhaustion.
+    fn dfs(&mut self, from: usize, depth: u16) -> bool {
+        if depth == self.k {
+            if self.fc.failed() > self.best {
+                self.best = self.fc.failed();
+                self.best_nodes = self.fc.nodes();
+            }
+            return true;
+        }
+        let remaining = self.k - depth;
+        // Admissible bound: everything failed plus everything failable
+        // within the remaining failures.
+        let bound = self.fc.failed() + self.fc.failable_within(remaining);
+        if bound <= self.best || self.best >= self.all_objects {
+            return true; // pruned (or already optimal)
+        }
+        let last = self.order.len() - usize::from(remaining) + 1;
+        for pos in from..last {
+            self.expansions += 1;
+            if self.expansions > self.budget {
+                return false;
+            }
+            let nd = self.order[pos];
+            self.fc.add_node(nd);
+            let ok = self.dfs(pos + 1, depth + 1);
+            self.fc.remove_node(nd);
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcp_combin::KSubsets;
+    use wcp_core::{Placement, RandomStrategy, RandomVariant, SystemParams};
+
+    fn brute_force(p: &Placement, s: u16, k: u16) -> u64 {
+        KSubsets::new(p.num_nodes(), k)
+            .map(|subset| p.failed_objects(&subset, s))
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for seed in 0..4u64 {
+            let params = SystemParams::new(13, 50, 3, 1, 1).unwrap();
+            let p = RandomStrategy::new(seed, RandomVariant::LoadBalanced)
+                .place(&params)
+                .unwrap();
+            for s in 1..=3u16 {
+                for k in s..=6u16 {
+                    let wc = exact_worst(&p, s, k, u64::MAX, 0).unwrap();
+                    assert_eq!(wc.failed, brute_force(&p, s, k), "seed={seed} s={s} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sts_structure_worst_case() {
+        // STS(13) as a Simple(1,1) placement with r = s = 3: five failed
+        // nodes can contain at most two whole triples (they must share
+        // exactly one point), so the exact adversary reports 2.
+        let sts = wcp_designs::sts::steiner_triple_system(13).unwrap();
+        let p = Placement::new(13, 3, sts.into_blocks()).unwrap();
+        let wc = exact_worst(&p, 3, 5, u64::MAX, 0).unwrap();
+        assert_eq!(wc.failed, 2);
+        // With k = 6 one can hit two disjoint triples (6 points) but also
+        // try 3 pairwise-intersecting ones; brute force confirms.
+        let wc6 = exact_worst(&p, 3, 6, u64::MAX, 0).unwrap();
+        assert_eq!(wc6.failed, brute_force(&p, 3, 6));
+    }
+
+    #[test]
+    fn incumbent_prunes_without_witness() {
+        let p = Placement::new(5, 2, vec![vec![0, 1], vec![2, 3]]).unwrap();
+        // Optimal is 1 at k=2, s=2; pass incumbent = 1 (already optimal):
+        // search confirms exactness, returns incumbent value, no witness.
+        let wc = exact_worst(&p, 2, 2, u64::MAX, 1).unwrap();
+        assert_eq!(wc.failed, 1);
+        assert!(wc.nodes.is_empty());
+    }
+
+    #[test]
+    fn budget_abort() {
+        let params = SystemParams::new(40, 200, 3, 1, 1).unwrap();
+        let p = RandomStrategy::new(5, RandomVariant::LoadBalanced)
+            .place(&params)
+            .unwrap();
+        assert!(exact_worst(&p, 2, 6, 5, 0).is_none());
+    }
+
+    #[test]
+    fn early_exit_when_everything_dies() {
+        // k large enough to fail all objects: the all-objects short-circuit
+        // keeps the search cheap.
+        let params = SystemParams::new(20, 100, 3, 1, 1).unwrap();
+        let p = RandomStrategy::new(2, RandomVariant::LoadBalanced)
+            .place(&params)
+            .unwrap();
+        let wc = exact_worst(&p, 1, 19, 100_000, 0).unwrap();
+        assert_eq!(wc.failed, 100);
+    }
+}

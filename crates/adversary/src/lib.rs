@@ -1,0 +1,231 @@
+//! Worst-case node-failure adversaries.
+//!
+//! Definition 1 of the paper measures a placement by the number of objects
+//! surviving the *worst* set of `k` failed nodes. Finding that set is an
+//! NP-hard covering problem in general, so this crate offers a ladder of
+//! adversaries:
+//!
+//! * [`exact_worst`] — branch-and-bound DFS over node subsets with an
+//!   admissible "still-failable objects" bound, exact whenever its node
+//!   budget suffices (it reports whether it completed);
+//! * [`greedy_worst`] — marginal-gain greedy, `O(k·n·ℓ)`;
+//! * [`local_search_worst`] — steepest-ascent swap search with seeded
+//!   restarts, the workhorse for large instances;
+//! * [`worst_case_failures`] — the auto policy used by experiments: exact
+//!   when affordable, otherwise greedy + local search (still labelled
+//!   `exact: false`).
+//!
+//! All adversaries *maximize failed objects*; availability is
+//! `b − failed`. A heuristic adversary can only under-estimate the damage,
+//! i.e. over-estimate availability — experiment reports carry the `exact`
+//! flag for this reason.
+
+mod counts;
+mod exact;
+mod search;
+
+pub use counts::FailureCounts;
+pub use exact::exact_worst;
+pub use search::{greedy_worst, local_search_worst};
+
+use wcp_core::Placement;
+
+/// Tuning for the auto adversary.
+#[derive(Debug, Clone)]
+pub struct AdversaryConfig {
+    /// Node-expansion budget for the exact DFS; `exact_worst` aborts (and
+    /// the auto policy falls back) beyond it.
+    pub exact_budget: u64,
+    /// Local-search restarts (first restart seeds from greedy, the rest
+    /// from random `k`-sets).
+    pub restarts: u32,
+    /// Cap on improvement steps per restart.
+    pub max_steps: u32,
+    /// RNG seed for restarts.
+    pub seed: u64,
+}
+
+impl Default for AdversaryConfig {
+    fn default() -> Self {
+        Self {
+            exact_budget: 20_000_000,
+            restarts: 4,
+            max_steps: 200,
+            seed: 0xadb7_7557,
+        }
+    }
+}
+
+/// The outcome of an adversary run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorstCase {
+    /// Objects failed by the chosen node set.
+    pub failed: u64,
+    /// The failing node set found (sorted, size `k`).
+    pub nodes: Vec<u16>,
+    /// Whether the value is provably the maximum.
+    pub exact: bool,
+}
+
+/// Auto adversary: exact branch-and-bound when it completes within budget,
+/// otherwise the better of greedy and multi-restart local search.
+///
+/// # Panics
+///
+/// Panics if `k > n` or `s > r` (placement shape mismatch).
+///
+/// # Examples
+///
+/// ```
+/// use wcp_adversary::{worst_case_failures, AdversaryConfig};
+/// use wcp_core::Placement;
+///
+/// // Two objects share nodes {0,1}: failing those kills both at s = 2.
+/// let p = Placement::new(6, 3, vec![
+///     vec![0, 1, 2], vec![0, 1, 3], vec![2, 4, 5],
+/// ])?;
+/// let wc = worst_case_failures(&p, 2, 2, &AdversaryConfig::default());
+/// assert_eq!(wc.failed, 2);
+/// assert_eq!(wc.nodes, vec![0, 1]);
+/// assert!(wc.exact);
+/// # Ok::<(), wcp_core::PlacementError>(())
+/// ```
+#[must_use]
+pub fn worst_case_failures(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    config: &AdversaryConfig,
+) -> WorstCase {
+    assert!(k <= placement.num_nodes(), "k must be ≤ n");
+    assert!(s <= placement.replicas_per_object(), "s must be ≤ r");
+    // Seed the exact search with the local-search incumbent: a strong lower
+    // bound tightens pruning dramatically.
+    let heuristic = local_search_worst(placement, s, k, config);
+    if let Some(exact) = exact_worst(placement, s, k, config.exact_budget, heuristic.failed) {
+        // The DFS only returns node sets when it beats the seed; reuse the
+        // heuristic's witness when the incumbent stood.
+        if exact.failed > heuristic.failed {
+            return exact;
+        }
+        return WorstCase {
+            exact: true,
+            ..heuristic
+        };
+    }
+    heuristic
+}
+
+/// Worst-case availability: `(survivors, witness)` under the auto
+/// adversary.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_adversary::{availability, AdversaryConfig};
+/// use wcp_core::Placement;
+///
+/// let p = Placement::new(4, 2, vec![vec![0, 1], vec![2, 3]])?;
+/// let (avail, wc) = availability(&p, 1, 1, &AdversaryConfig::default());
+/// assert_eq!(avail, 1); // one node failure kills exactly one object
+/// assert!(wc.exact);
+/// # Ok::<(), wcp_core::PlacementError>(())
+/// ```
+#[must_use]
+pub fn availability(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    config: &AdversaryConfig,
+) -> (u64, WorstCase) {
+    let wc = worst_case_failures(placement, s, k, config);
+    (placement.num_objects() as u64 - wc.failed, wc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcp_combin::KSubsets;
+    use wcp_core::{Placement, RandomStrategy, RandomVariant, SystemParams};
+
+    /// Brute-force reference by full enumeration.
+    fn brute_force(p: &Placement, s: u16, k: u16) -> u64 {
+        let mut best = 0;
+        for subset in KSubsets::new(p.num_nodes(), k) {
+            best = best.max(p.failed_objects(&subset, s));
+        }
+        best
+    }
+
+    fn random_placement(n: u16, b: u64, r: u16, seed: u64) -> Placement {
+        let params = SystemParams::new(n, b, r, 1, 1).unwrap();
+        RandomStrategy::new(seed, RandomVariant::LoadBalanced)
+            .place(&params)
+            .unwrap()
+    }
+
+    #[test]
+    fn auto_matches_brute_force_small() {
+        for seed in 0..5u64 {
+            let p = random_placement(12, 40, 3, seed);
+            for s in 1..=3u16 {
+                for k in s..=5u16 {
+                    let expect = brute_force(&p, s, k);
+                    let wc = worst_case_failures(&p, s, k, &AdversaryConfig::default());
+                    assert!(wc.exact, "seed={seed} s={s} k={k} should be exact");
+                    assert_eq!(wc.failed, expect, "seed={seed} s={s} k={k}");
+                    assert_eq!(
+                        p.failed_objects(&wc.nodes, s),
+                        wc.failed,
+                        "witness mismatch"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heuristics_bounded_by_exact() {
+        for seed in 0..3u64 {
+            let p = random_placement(14, 60, 4, seed);
+            for (s, k) in [(2u16, 4u16), (3, 5), (1, 3)] {
+                let exact = brute_force(&p, s, k);
+                let g = greedy_worst(&p, s, k);
+                let ls = local_search_worst(&p, s, k, &AdversaryConfig::default());
+                assert!(g.failed <= exact);
+                assert!(ls.failed >= g.failed, "LS must not lose to its greedy seed");
+                assert!(ls.failed <= exact);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_falls_back() {
+        let p = random_placement(40, 400, 3, 7);
+        let tight = AdversaryConfig {
+            exact_budget: 10,
+            ..AdversaryConfig::default()
+        };
+        let wc = worst_case_failures(&p, 2, 5, &tight);
+        assert!(!wc.exact);
+        assert_eq!(p.failed_objects(&wc.nodes, 2), wc.failed);
+    }
+
+    #[test]
+    fn degenerate_k_equals_n() {
+        let p = random_placement(8, 20, 3, 1);
+        let wc = worst_case_failures(&p, 1, 8, &AdversaryConfig::default());
+        assert_eq!(wc.failed, 20); // everything dies
+    }
+
+    #[test]
+    fn s_equals_r_requires_full_overlap() {
+        // Objects on disjoint node pairs: failing k = 2 nodes kills at most
+        // one object at s = 2.
+        let p = Placement::new(8, 2, vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]).unwrap();
+        let wc = worst_case_failures(&p, 2, 2, &AdversaryConfig::default());
+        assert_eq!(wc.failed, 1);
+        let wc = worst_case_failures(&p, 2, 4, &AdversaryConfig::default());
+        assert_eq!(wc.failed, 2);
+    }
+}

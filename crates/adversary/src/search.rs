@@ -1,0 +1,226 @@
+//! Heuristic adversaries: greedy and steepest-ascent swap local search.
+
+use crate::counts::FailureCounts;
+use crate::{AdversaryConfig, WorstCase};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use wcp_core::Placement;
+
+/// Greedy adversary: repeatedly fails the node that kills the most
+/// additional objects (ties broken toward higher-load nodes, which bring
+/// more objects closer to the threshold).
+///
+/// # Examples
+///
+/// ```
+/// use wcp_adversary::greedy_worst;
+/// use wcp_core::Placement;
+///
+/// let p = Placement::new(6, 2, vec![vec![0, 1], vec![0, 2], vec![0, 3]])?;
+/// let wc = greedy_worst(&p, 1, 1);
+/// assert_eq!(wc.nodes, vec![0]); // the hub node
+/// assert_eq!(wc.failed, 3);
+/// # Ok::<(), wcp_core::PlacementError>(())
+/// ```
+#[must_use]
+pub fn greedy_worst(placement: &Placement, s: u16, k: u16) -> WorstCase {
+    let n = placement.num_nodes();
+    let loads = placement.loads();
+    let mut fc = FailureCounts::new(placement, s);
+    for _ in 0..k.min(n) {
+        let mut best_node = None;
+        let mut best_key = (0u64, 0u32);
+        for nd in 0..n {
+            if fc.contains(nd) {
+                continue;
+            }
+            let key = (fc.gain(nd), loads[usize::from(nd)]);
+            if best_node.is_none() || key > best_key {
+                best_key = key;
+                best_node = Some(nd);
+            }
+        }
+        fc.add_node(best_node.expect("k ≤ n leaves a choice"));
+    }
+    WorstCase {
+        failed: fc.failed(),
+        nodes: fc.nodes(),
+        exact: false,
+    }
+}
+
+/// Steepest-ascent swap local search with restarts: from a seed `k`-set
+/// (greedy for the first restart, random thereafter), repeatedly applies
+/// the best single swap (one node out, one in) until no swap improves the
+/// failed-object count.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_adversary::{local_search_worst, AdversaryConfig};
+/// use wcp_core::Placement;
+///
+/// let p = Placement::new(6, 3, vec![vec![0, 1, 2], vec![1, 2, 3]])?;
+/// let wc = local_search_worst(&p, 2, 2, &AdversaryConfig::default());
+/// assert_eq!(wc.failed, 2); // {1,2} kills both objects
+/// # Ok::<(), wcp_core::PlacementError>(())
+/// ```
+#[must_use]
+pub fn local_search_worst(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    config: &AdversaryConfig,
+) -> WorstCase {
+    let n = placement.num_nodes();
+    if k >= n {
+        let nodes: Vec<u16> = (0..n).collect();
+        let failed = placement.failed_objects(&nodes, s);
+        return WorstCase {
+            failed,
+            nodes,
+            exact: false,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut overall = greedy_worst(placement, s, k);
+    let b = placement.num_objects() as u64;
+
+    for restart in 0..config.restarts {
+        let mut fc = FailureCounts::new(placement, s);
+        if restart == 0 {
+            for &nd in &overall.nodes {
+                fc.add_node(nd);
+            }
+        } else {
+            let mut nodes: Vec<u16> = (0..n).collect();
+            nodes.shuffle(&mut rng);
+            for &nd in nodes.iter().take(usize::from(k)) {
+                fc.add_node(nd);
+            }
+        }
+        climb(&mut fc, n, config.max_steps, b);
+        if fc.failed() > overall.failed {
+            overall = WorstCase {
+                failed: fc.failed(),
+                nodes: fc.nodes(),
+                exact: false,
+            };
+        }
+        if overall.failed == b {
+            break; // cannot do better
+        }
+    }
+    overall
+}
+
+/// Applies best-improvement swaps until a local optimum (or step cap).
+fn climb(fc: &mut FailureCounts, n: u16, max_steps: u32, all: u64) {
+    for _ in 0..max_steps {
+        if fc.failed() == all {
+            return;
+        }
+        let current = fc.failed();
+        let members = fc.nodes();
+        let mut best: Option<(u16, u16, u64)> = None; // (out, in, value)
+        for &out in &members {
+            fc.remove_node(out);
+            let base = fc.failed();
+            for inn in 0..n {
+                if fc.contains(inn) || inn == out {
+                    continue;
+                }
+                // Value after swap = base + gain(inn); gain() is O(ℓ) and
+                // avoids the add/remove churn.
+                let value = base + fc.gain(inn);
+                if value > current && best.is_none_or(|(_, _, v)| value > v) {
+                    best = Some((out, inn, value));
+                }
+            }
+            fc.add_node(out);
+        }
+        match best {
+            Some((out, inn, _)) => {
+                fc.remove_node(out);
+                fc.add_node(inn);
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcp_core::{RandomStrategy, RandomVariant, SystemParams};
+
+    fn random_placement(n: u16, b: u64, r: u16, seed: u64) -> Placement {
+        let params = SystemParams::new(n, b, r, 1, 1).unwrap();
+        RandomStrategy::new(seed, RandomVariant::LoadBalanced)
+            .place(&params)
+            .unwrap()
+    }
+
+    use wcp_core::Placement;
+
+    #[test]
+    fn greedy_finds_hub() {
+        let p =
+            Placement::new(10, 2, vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![4, 5]]).unwrap();
+        let wc = greedy_worst(&p, 1, 2);
+        assert!(wc.nodes.contains(&0));
+        assert_eq!(wc.failed, 4); // hub + either of {4,5}
+    }
+
+    #[test]
+    fn local_search_improves_or_equals_greedy() {
+        for seed in 0..6u64 {
+            let p = random_placement(25, 150, 3, seed);
+            for (s, k) in [(1u16, 3u16), (2, 4), (3, 6)] {
+                let g = greedy_worst(&p, s, k);
+                let ls = local_search_worst(&p, s, k, &AdversaryConfig::default());
+                assert!(ls.failed >= g.failed, "seed={seed} s={s} k={k}");
+                assert_eq!(p.failed_objects(&ls.nodes, s), ls.failed);
+                assert_eq!(ls.nodes.len(), usize::from(k));
+            }
+        }
+    }
+
+    #[test]
+    fn gain_based_swap_value_is_consistent() {
+        // Verify the climb's swap valuation by comparing a full recompute.
+        let p = random_placement(15, 80, 3, 3);
+        let mut fc = FailureCounts::new(&p, 2);
+        for nd in [0u16, 3, 7, 11] {
+            fc.add_node(nd);
+        }
+        fc.remove_node(3);
+        let base = fc.failed();
+        for inn in 0..15u16 {
+            if fc.contains(inn) {
+                continue;
+            }
+            let predicted = base + fc.gain(inn);
+            fc.add_node(inn);
+            assert_eq!(fc.failed(), predicted, "node {inn}");
+            fc.remove_node(inn);
+        }
+    }
+
+    #[test]
+    fn k_at_least_n_fails_everything_reachable() {
+        let p = random_placement(9, 30, 3, 0);
+        let wc = local_search_worst(&p, 2, 9, &AdversaryConfig::default());
+        assert_eq!(wc.failed, 30);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = random_placement(30, 200, 3, 11);
+        let cfg = AdversaryConfig::default();
+        let a = local_search_worst(&p, 2, 5, &cfg);
+        let b = local_search_worst(&p, 2, 5, &cfg);
+        assert_eq!(a, b);
+    }
+}

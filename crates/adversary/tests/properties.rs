@@ -1,0 +1,87 @@
+//! Property-based tests for the adversary ladder.
+
+use proptest::prelude::*;
+use wcp_adversary::{
+    exact_worst, greedy_worst, local_search_worst, worst_case_failures, AdversaryConfig,
+};
+use wcp_combin::KSubsets;
+use wcp_core::{Placement, RandomStrategy, RandomVariant, SystemParams};
+
+fn brute_force(p: &Placement, s: u16, k: u16) -> u64 {
+    KSubsets::new(p.num_nodes(), k)
+        .map(|subset| p.failed_objects(&subset, s))
+        .max()
+        .unwrap_or(0)
+}
+
+fn placement(n: u16, b: u64, r: u16, seed: u64) -> Placement {
+    let params = SystemParams::new(n, b, r, 1, 1).expect("valid");
+    RandomStrategy::new(seed, RandomVariant::LoadBalanced)
+        .place(&params)
+        .expect("sample")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The exact search equals brute force on any small instance.
+    #[test]
+    fn exact_equals_brute_force(
+        n in 8u16..14,
+        b in 10u64..60,
+        r in 2u16..=4,
+        s in 1u16..=4,
+        k in 1u16..=5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(s <= r && k < n && r <= n);
+        let p = placement(n, b, r, seed);
+        let wc = exact_worst(&p, s, k, u64::MAX, 0).expect("no budget");
+        prop_assert_eq!(wc.failed, brute_force(&p, s, k));
+        prop_assert_eq!(p.failed_objects(&wc.nodes, s), wc.failed, "witness mismatch");
+    }
+
+    /// Heuristics never exceed the true optimum, and the auto policy with
+    /// unlimited budget is exact.
+    #[test]
+    fn ladder_ordering(
+        n in 8u16..14,
+        b in 10u64..60,
+        r in 2u16..=4,
+        k in 1u16..=5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k < n && r <= n);
+        let s = r.min(2);
+        let p = placement(n, b, r, seed);
+        let truth = brute_force(&p, s, k);
+        let g = greedy_worst(&p, s, k);
+        let ls = local_search_worst(&p, s, k, &AdversaryConfig::default());
+        let auto = worst_case_failures(&p, s, k, &AdversaryConfig::default());
+        prop_assert!(g.failed <= truth);
+        prop_assert!(ls.failed <= truth);
+        prop_assert!(g.failed <= ls.failed);
+        prop_assert!(auto.exact);
+        prop_assert_eq!(auto.failed, truth);
+    }
+
+    /// Monotonicity: more failures never kill fewer objects; higher
+    /// thresholds never kill more.
+    #[test]
+    fn worst_case_monotone(n in 9u16..14, b in 10u64..50, seed in any::<u64>()) {
+        let p = placement(n, b, 3, seed);
+        let cfg = AdversaryConfig::default();
+        let mut prev = 0u64;
+        for k in 1..=5u16 {
+            let wc = worst_case_failures(&p, 2, k, &cfg);
+            prop_assert!(wc.failed >= prev, "k={}", k);
+            prev = wc.failed;
+        }
+        let mut prev = u64::MAX;
+        for s in 1..=3u16 {
+            let wc = worst_case_failures(&p, s, 4, &cfg);
+            prop_assert!(wc.failed <= prev, "s={}", s);
+            prev = wc.failed;
+        }
+    }
+}

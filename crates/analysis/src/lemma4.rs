@@ -1,0 +1,79 @@
+//! Lemma 4 / Appendix A: the `s = 1` case.
+//!
+//! When a single replica failure kills an object, random placement fares
+//! poorly: `prAvail^rnd ≤ b·(1−1/b)^{k·⌊ℓ⌋}` with `ℓ = rb/n` the average
+//! load. As `b → ∞` this approaches `b·e^{−kr/n}` — availability decays
+//! essentially linearly in `k` with slope `r/n` (the paper's Fig. 11).
+
+/// The Lemma-4 upper bound on `prAvail^rnd` for `s = 1`, as an absolute
+/// object count.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_analysis::pr_avail_upper_s1;
+///
+/// let bound = pr_avail_upper_s1(71, 3, 3, 38_400);
+/// // ≈ b·e^{−kr/n} = 38400·e^{−9/71}
+/// let approx = 38_400.0 * (-9.0f64 / 71.0).exp();
+/// assert!((bound - approx).abs() / approx < 1e-3);
+/// ```
+#[must_use]
+pub fn pr_avail_upper_s1(n: u16, k: u16, r: u16, b: u64) -> f64 {
+    let load = (u64::from(r) * b / u64::from(n)) as f64; // ⌊ℓ⌋
+    let b_f = b as f64;
+    b_f * ((1.0 - 1.0 / b_f).ln() * f64::from(k) * load).exp()
+}
+
+/// The same bound as a fraction of `b` (the paper's Fig. 11 y-axis).
+#[must_use]
+pub fn fraction_upper_s1(n: u16, k: u16, r: u16, b: u64) -> f64 {
+    pr_avail_upper_s1(n, k, r, b) / b as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decays_with_k() {
+        let mut prev = f64::INFINITY;
+        for k in 1..=10u16 {
+            let v = pr_avail_upper_s1(71, k, 3, 38_400);
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn slope_shrinks_with_n() {
+        // Larger n ⇒ each node hosts fewer replicas ⇒ flatter decay.
+        let v71 = fraction_upper_s1(71, 5, 3, 38_400);
+        let v257 = fraction_upper_s1(257, 5, 3, 38_400);
+        assert!(v257 > v71);
+    }
+
+    #[test]
+    fn slope_grows_with_r() {
+        let v3 = fraction_upper_s1(71, 5, 3, 38_400);
+        let v5 = fraction_upper_s1(71, 5, 5, 38_400);
+        assert!(v5 < v3);
+    }
+
+    #[test]
+    fn b_insensitive_at_scale() {
+        // The paper notes the curves for b = 2400 and b = 38400 are
+        // virtually indistinguishable.
+        let a = fraction_upper_s1(71, 5, 3, 2400);
+        let b = fraction_upper_s1(71, 5, 3, 38_400);
+        assert!((a - b).abs() < 1e-3);
+    }
+
+    #[test]
+    fn no_failures_edge() {
+        // k ≥ 1 is required by the model, but the formula itself is sane
+        // at k = 1 with tiny load.
+        let v = pr_avail_upper_s1(257, 1, 2, 600);
+        assert!(v > 595.0 && v <= 600.0);
+    }
+}

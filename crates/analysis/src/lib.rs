@@ -1,0 +1,24 @@
+//! Closed-form availability analysis from the paper.
+//!
+//! * [`theorem1`] — the competitive-ratio constants `c` and `α` showing
+//!   `Simple(x, λ)` placements are c-competitive with optimal;
+//! * [`theorem2`] — the limit of the vulnerability `Vuln^rnd(f)` of
+//!   load-balanced random placement under a worst-case adversary, and the
+//!   derived "probably available" object count `prAvail^rnd`
+//!   (Definitions 5–6);
+//! * [`lemma4`] — the `s = 1` upper bound
+//!   `prAvail^rnd ≤ b·(1−1/b)^{k·⌊ℓ⌋}` and its limiting form.
+//!
+//! Everything is evaluated in log space via [`wcp_combin`], so the
+//! formulas remain stable at the paper's largest scales
+//! (`b = 38 400`, `C(257,5)^b`-sized state spaces).
+
+pub mod lemma4;
+pub mod optimal;
+pub mod theorem1;
+pub mod theorem2;
+
+pub use lemma4::pr_avail_upper_s1;
+pub use optimal::avail_upper_bound;
+pub use theorem1::{competitive_constants, CompetitiveBound};
+pub use theorem2::{alpha, ln_vuln, pr_avail, pr_avail_fraction};

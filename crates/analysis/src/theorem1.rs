@@ -1,0 +1,119 @@
+//! Theorem 1: `Simple(x, λ)` placements are c-competitive with optimal.
+//!
+//! For any placement `π′` and any `Simple(x, λ)` placement `π`,
+//! `Avail(π′) < c·Avail(π) + α` where
+//!
+//! ```text
+//! c = [1 − (C(r,x+1)·C(k,x+1)) / (C(n_x,x+1)·C(s,x+1))]⁻¹
+//! α = c·μ_x·C(k,x+1)/C(s,x+1)
+//! ```
+//!
+//! provided `C(r,x+1)·C(k,x+1) < C(n_x,x+1)·C(s,x+1)` (so `c > 1`).
+
+use wcp_combin::binomial;
+
+/// The competitive-ratio constants of Theorem 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompetitiveBound {
+    /// The multiplicative factor `c > 1`.
+    pub c: f64,
+    /// The additive slack `α`.
+    pub alpha: f64,
+}
+
+/// Computes `(c, α)` for a `Simple(x, λ)` placement built from a
+/// `(x+1)-(n_x, r, μ_x)` design, against `k` failures at threshold `s`.
+///
+/// Returns `None` when the theorem's premise fails
+/// (`C(r,x+1)·C(k,x+1) ≥ C(n_x,x+1)·C(s,x+1)`), in which case the bound
+/// is vacuous.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_analysis::competitive_constants;
+///
+/// // s = r: the paper's illustration — c ≈ (1 − (k/n_x)^{x+1})⁻¹.
+/// let bound = competitive_constants(65, 5, 5, 2, 6, 1).unwrap();
+/// assert!(bound.c > 1.0 && bound.c < 1.02);
+///
+/// // Small s relative to r can void the premise.
+/// assert!(competitive_constants(10, 5, 1, 1, 8, 1).is_none());
+/// ```
+#[must_use]
+pub fn competitive_constants(
+    nx: u16,
+    r: u16,
+    s: u16,
+    x: u16,
+    k: u16,
+    mu: u64,
+) -> Option<CompetitiveBound> {
+    let t = u64::from(x) + 1;
+    let crx = binomial(u64::from(r), t).expect("small");
+    let ckx = binomial(u64::from(k), t).expect("small");
+    let cnx = binomial(u64::from(nx), t).expect("fits");
+    let csx = binomial(u64::from(s), t).expect("small");
+    if csx == 0 {
+        return None; // x + 1 > s: penalty term undefined in the bound
+    }
+    if crx * ckx >= cnx * csx {
+        return None;
+    }
+    let ratio = (crx * ckx) as f64 / (cnx * csx) as f64;
+    let c = 1.0 / (1.0 - ratio);
+    let alpha = c * mu as f64 * ckx as f64 / csx as f64;
+    Some(CompetitiveBound { c, alpha })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s_equals_r_simplification() {
+        // With s = r the binomials cancel: c = (1 − C(k,x+1)/C(n_x,x+1))⁻¹.
+        for (nx, r, x, k) in [(69u16, 3u16, 1u16, 5u16), (65, 5, 2, 6), (255, 3, 1, 8)] {
+            let bound = competitive_constants(nx, r, r, x, k, 1).unwrap();
+            let t = u64::from(x) + 1;
+            let expect = 1.0
+                / (1.0
+                    - binomial(u64::from(k), t).unwrap() as f64
+                        / binomial(u64::from(nx), t).unwrap() as f64);
+            assert!((bound.c - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_illustration_80_percent() {
+        // The paper: if (k/n_x)^{x+1} ≈ 0.2 under s = r, availability
+        // converges to ≈ 80% of optimal, i.e. c ≈ 1.25.
+        // Choose x = 0 and k/n_x = 0.2: n_x = 30, k = 6.
+        let bound = competitive_constants(30, 3, 3, 0, 6, 1).unwrap();
+        assert!((bound.c - 1.25).abs() < 1e-9, "c = {}", bound.c);
+    }
+
+    #[test]
+    fn c_grows_with_k() {
+        let mut prev = 1.0;
+        for k in 2..=20u16 {
+            let bound = competitive_constants(71, 3, 2, 1, k, 1).unwrap();
+            assert!(bound.c > prev);
+            prev = bound.c;
+        }
+    }
+
+    #[test]
+    fn premise_violation_detected() {
+        // Huge k: C(k,2) outgrows C(n_x,2)·C(s,2)/C(r,2).
+        assert!(competitive_constants(20, 5, 2, 1, 19, 1).is_none());
+    }
+
+    #[test]
+    fn alpha_scales_with_mu() {
+        let b1 = competitive_constants(69, 3, 2, 1, 4, 1).unwrap();
+        let b2 = competitive_constants(69, 3, 2, 1, 4, 3).unwrap();
+        assert!((b2.alpha - 3.0 * b1.alpha).abs() < 1e-9);
+        assert_eq!(b1.c, b2.c);
+    }
+}

@@ -1,0 +1,49 @@
+//! Worst-case adversary cost: the greedy / local-search / exact ladder on
+//! a Fig. 7-scale instance, plus the quality ablation DESIGN.md calls out
+//! (how close the heuristics get to exact).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wcp_adversary::{exact_worst, greedy_worst, local_search_worst, AdversaryConfig};
+use wcp_bench::fixture_placement;
+
+fn bench_adversary(c: &mut Criterion) {
+    let placement = fixture_placement(31, 2400, 5);
+    let (s, k) = (3u16, 4u16);
+
+    let mut group = c.benchmark_group("adversary_n31_b2400");
+    group.sample_size(10);
+    group.bench_function("greedy", |b| {
+        b.iter(|| greedy_worst(black_box(&placement), s, k).failed);
+    });
+    group.bench_function("local_search", |b| {
+        b.iter(|| {
+            local_search_worst(black_box(&placement), s, k, &AdversaryConfig::default()).failed
+        });
+    });
+    group.bench_function("exact_seeded", |b| {
+        b.iter(|| {
+            let seed = local_search_worst(&placement, s, k, &AdversaryConfig::default());
+            exact_worst(black_box(&placement), s, k, u64::MAX, seed.failed)
+                .expect("completes")
+                .failed
+                .max(seed.failed)
+        });
+    });
+    group.finish();
+
+    // Quality ablation printed once: greedy and LS vs exact.
+    let exact = {
+        let seed = local_search_worst(&placement, s, k, &AdversaryConfig::default());
+        exact_worst(&placement, s, k, u64::MAX, seed.failed)
+            .expect("completes")
+            .failed
+            .max(seed.failed)
+    };
+    let g = greedy_worst(&placement, s, k).failed;
+    let ls = local_search_worst(&placement, s, k, &AdversaryConfig::default()).failed;
+    println!("adversary quality (n=31, b=2400, s=3, k=4): greedy={g} local={ls} exact={exact}");
+}
+
+criterion_group!(benches, bench_adversary);
+criterion_main!(benches);

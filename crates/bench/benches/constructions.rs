@@ -1,0 +1,67 @@
+//! Design construction throughput: every family used by the paper's
+//! Fig. 4 slots, at its largest evaluation size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wcp_designs::greedy::{greedy_packing, GreedyConfig};
+use wcp_designs::{lines, sqs, sts, subline, unital};
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constructions");
+    group.sample_size(10);
+
+    group.bench_function("sts_255", |b| {
+        b.iter(|| sts::steiner_triple_system(black_box(255)).expect("STS"));
+    });
+    group.bench_function("ag_lines_4_4 (2-(256,4,1))", |b| {
+        b.iter(|| lines::ag_line_design(black_box(4), black_box(4)).expect("AG"));
+    });
+    group.bench_function("pg_lines_4_3 (2-(85,5,1))", |b| {
+        b.iter(|| lines::pg_line_design(black_box(4), black_box(3)).expect("PG"));
+    });
+    group.bench_function("hermitian_unital_4 (2-(65,5,1))", |b| {
+        b.iter(|| unital::hermitian_unital(black_box(4)).expect("unital"));
+    });
+    group.bench_function("boolean_sqs_256", |b| {
+        b.iter(|| sqs::boolean_sqs(black_box(8)).expect("SQS"));
+    });
+    group.bench_function("moebius_65 (3-(65,5,1))", |b| {
+        b.iter(|| subline::subline_design(4, 3, usize::MAX).expect("subline"));
+    });
+    group.bench_function("moebius_257_prefix_9600", |b| {
+        b.iter(|| subline::subline_design(4, 4, black_box(9600)).expect("subline"));
+    });
+    group.bench_function("greedy_4_23_5 (4-(23,5,1) slot)", |b| {
+        b.iter(|| greedy_packing(23, 5, 4, 1, &GreedyConfig::default()).expect("greedy"));
+    });
+    group.bench_function("transversal_td_5_49", |b| {
+        b.iter(|| wcp_designs::mols::transversal_design(5, 49).expect("TD"));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("registry_and_chunking");
+    group.sample_size(10);
+    group.bench_function("best_unit_packing_2_5_257", |b| {
+        let cfg = wcp_designs::registry::RegistryConfig {
+            allow_greedy: false,
+            ..wcp_designs::registry::RegistryConfig::default()
+        };
+        b.iter(|| {
+            wcp_designs::registry::best_unit_packing(2, 5, 257, 10_000, &cfg)
+                .expect("constructible")
+                .capacity()
+        });
+    });
+    group.bench_function("chunking_profile_800_r5_t2", |b| {
+        let sizes = wcp_designs::catalog::steiner_sizes(2, 5, 5, 800);
+        b.iter(|| {
+            wcp_designs::chunking::capacity_profile(800, 5, 2, 3, &sizes, 1)
+                .last()
+                .copied()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructions);
+criterion_main!(benches);

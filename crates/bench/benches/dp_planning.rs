@@ -1,0 +1,40 @@
+//! Combo DP (Eqns. 5–7) planning cost as the object count grows — the
+//! paper claims `O(s·b)` treating other parameters as constants; the
+//! scaling here confirms near-linearity in `b`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wcp_core::{combo_plan, PackingProfile, SystemParams};
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combo_dp");
+    for &b in &[600u64, 2400, 9600, 38_400] {
+        // The heaviest paper configuration: n = 257, r = 5, s = 3.
+        let params = SystemParams::new(257, b, 5, 3, 6).expect("valid");
+        let profile = PackingProfile::paper(&params).expect("paper grid");
+        group.bench_with_input(BenchmarkId::new("n257_r5_s3", b), &b, |bench, _| {
+            bench.iter(|| {
+                let plan = combo_plan(black_box(&profile), black_box(&params)).expect("DP");
+                black_box(plan.lb_avail)
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("combo_dp_by_s");
+    for &s in &[2u16, 3, 4, 5] {
+        let params = SystemParams::new(257, 9600, 5, s, 8).expect("valid");
+        let profile = PackingProfile::paper(&params).expect("paper grid");
+        group.bench_with_input(BenchmarkId::new("n257_b9600", s), &s, |bench, _| {
+            bench.iter(|| {
+                combo_plan(black_box(&profile), black_box(&params))
+                    .expect("DP")
+                    .lb_avail
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

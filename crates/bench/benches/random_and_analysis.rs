@@ -1,0 +1,44 @@
+//! Random placement sampling throughput and Theorem-2 analysis cost at
+//! the paper's largest scale (`b = 38 400`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wcp_analysis::theorem2::VulnTable;
+use wcp_core::{RandomStrategy, RandomVariant, SystemParams};
+
+fn bench_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_placement");
+    group.sample_size(10);
+    for &(n, b, r) in &[(71u16, 2400u64, 3u16), (257, 9600, 5)] {
+        let params = SystemParams::new(n, b, r, 1, 1).expect("valid");
+        group.bench_function(format!("balanced_n{n}_b{b}_r{r}"), |bench| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                RandomStrategy::new(seed, RandomVariant::LoadBalanced)
+                    .place(black_box(&params))
+                    .expect("sample")
+                    .num_objects()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem2(c: &mut Criterion) {
+    let table = VulnTable::new(38_400);
+    let mut group = c.benchmark_group("theorem2");
+    group.bench_function("pr_avail_b38400", |b| {
+        b.iter(|| table.pr_avail(black_box(257), 8, 5, 3, 38_400));
+    });
+    group.bench_function("ln_vuln_single", |b| {
+        b.iter(|| table.ln_vuln(black_box(257), 8, 5, 3, 38_400, 100));
+    });
+    group.bench_function("table_build_38400", |b| {
+        b.iter(|| VulnTable::new(black_box(38_400)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_random, bench_theorem2);
+criterion_main!(benches);

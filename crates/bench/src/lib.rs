@@ -1,0 +1,21 @@
+//! Shared fixtures for the criterion benchmarks.
+//!
+//! The benchmarks measure the computational pieces behind the paper's
+//! experiments: the Combo DP (Sec. III-B1), the design constructions of
+//! Sec. III-C, the worst-case adversary behind Definition 1, and the
+//! Theorem-2 analysis. `cargo bench --workspace` runs them all.
+
+use wcp_core::{Placement, RandomStrategy, RandomVariant, SystemParams};
+
+/// A deterministic mid-size random placement for adversary benchmarks.
+///
+/// # Panics
+///
+/// Panics only on invalid hard-coded parameters (i.e. never).
+#[must_use]
+pub fn fixture_placement(n: u16, b: u64, r: u16) -> Placement {
+    let params = SystemParams::new(n, b, r, 1, 1).expect("fixture parameters are valid");
+    RandomStrategy::new(0x000b_e9c4, RandomVariant::LoadBalanced)
+        .place(&params)
+        .expect("fixture placement samples")
+}

@@ -1,0 +1,155 @@
+//! Exact binomial coefficients with overflow checking.
+
+/// Computes the binomial coefficient `C(n, k)` exactly in `u128`.
+///
+/// Returns `None` if the intermediate product overflows `u128`. The
+/// computation multiplies and divides incrementally (`c ← c·(n−i)/(i+1)`),
+/// which keeps every intermediate value integral and no larger than
+/// `C(n, i+1)·(n−i)`, so overflow only occurs when the true value is within
+/// a factor `n` of `u128::MAX`.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_combin::binomial;
+///
+/// assert_eq!(binomial(5, 2), Some(10));
+/// assert_eq!(binomial(5, 0), Some(1));
+/// assert_eq!(binomial(5, 6), Some(0));
+/// assert_eq!(binomial(257, 5), Some(8_984_341_696));
+/// ```
+#[must_use]
+pub fn binomial(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut c: u128 = 1;
+    for i in 0..k {
+        c = c.checked_mul(u128::from(n - i))?;
+        // Division is exact: after multiplying by (n-i), c equals
+        // C(n, i+1) * (i+1)! / (i+1)! * ... — concretely c is the product of
+        // i+1 consecutive integers divided by i!, which (i+1) divides.
+        c /= u128::from(i) + 1;
+    }
+    Some(c)
+}
+
+/// Computes `C(n, k)` exactly as a `u64`.
+///
+/// Returns `None` when the value does not fit in `u64`. Convenience wrapper
+/// over [`binomial`] for the common case where callers index arrays by the
+/// result.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_combin::binomial_u64;
+///
+/// assert_eq!(binomial_u64(71, 5), Some(13_019_909));
+/// assert_eq!(binomial_u64(300, 150), None); // astronomically large
+/// ```
+#[must_use]
+pub fn binomial_u64(n: u64, k: u64) -> Option<u64> {
+    binomial(n, k).and_then(|v| u64::try_from(v).ok())
+}
+
+/// Computes the falling factorial `n · (n−1) ⋯ (n−k+1)` exactly.
+///
+/// Returns `None` on `u128` overflow. `falling_factorial(n, n)` is `n!`.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_combin::falling_factorial;
+///
+/// assert_eq!(falling_factorial(10, 3), Some(720));
+/// assert_eq!(falling_factorial(10, 0), Some(1));
+/// assert_eq!(falling_factorial(3, 5), Some(0));
+/// ```
+#[must_use]
+pub fn falling_factorial(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.checked_mul(u128::from(n - i))?;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_match_pascal_triangle() {
+        let mut row = vec![1u128];
+        for n in 0..=40u64 {
+            for (k, expect) in row.iter().enumerate() {
+                assert_eq!(binomial(n, k as u64), Some(*expect), "C({n},{k})");
+            }
+            let mut next = vec![1u128];
+            for w in row.windows(2) {
+                next.push(w[0] + w[1]);
+            }
+            next.push(1);
+            row = next;
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        for n in 0..60u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_zero() {
+        assert_eq!(binomial(10, 11), Some(0));
+        assert_eq!(binomial(0, 1), Some(0));
+        assert_eq!(binomial(0, 0), Some(1));
+    }
+
+    #[test]
+    fn paper_capacity_values() {
+        // Capacities used throughout the paper's evaluation.
+        // C(69,2)/C(3,2) = STS(69) block count = 782.
+        assert_eq!(binomial(69, 2).unwrap() / binomial(3, 2).unwrap(), 782);
+        // C(65,3)/C(5,3): 3-(65,5,1) block count = 4368.
+        assert_eq!(binomial(65, 3).unwrap() / binomial(5, 3).unwrap(), 4368);
+        // C(257,3)/C(5,3): 3-(257,5,1) block count = 279_616.
+        assert_eq!(binomial(257, 3).unwrap() / binomial(5, 3).unwrap(), 279_616);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        assert_eq!(binomial(1000, 500), None);
+        // C(120,60) ~ 9.7e34 fits comfortably, including the method's
+        // one-factor-larger intermediates.
+        assert!(binomial(120, 60).is_some());
+    }
+
+    #[test]
+    fn u64_wrapper_fits() {
+        // C(70,35) ~ 1.12e20 > u64::MAX (1.8e19), so None.
+        assert_eq!(binomial_u64(70, 35), None);
+        // C(62,31) = 465428353255261088 < u64::MAX, so Some.
+        assert_eq!(binomial_u64(62, 31), Some(465_428_353_255_261_088));
+    }
+
+    #[test]
+    fn falling_factorial_matches_binomial() {
+        for n in 0..30u64 {
+            for k in 0..=n {
+                let ff = falling_factorial(n, k).unwrap();
+                let kfact = falling_factorial(k, k).unwrap();
+                assert_eq!(ff, binomial(n, k).unwrap() * kfact);
+            }
+        }
+    }
+}

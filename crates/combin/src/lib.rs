@@ -1,0 +1,39 @@
+//! Combinatorial arithmetic substrate for the worst-case replica placement
+//! library.
+//!
+//! Everything in the placement theory of Li, Gao & Reiter (ICDCS 2015) is
+//! expressed through binomial coefficients: packing capacities
+//! `λ·C(n,x+1)/C(r,x+1)`, availability penalties `⌊λ·C(k,x+1)/C(s,x+1)⌋`,
+//! and the Theorem-2 vulnerability of random placement, which is a scaled
+//! binomial tail with population sizes as large as `C(257,5)` raised to the
+//! power of tens of thousands of objects. This crate provides:
+//!
+//! * [`binomial`] / [`binomial_u64`] — exact, overflow-checked binomials;
+//! * [`ln_gamma`], [`ln_factorial`], [`ln_binomial`] — log-domain variants
+//!   accurate to ~1e-12, with no dependency beyond `std`;
+//! * [`LnFact`] — a bulk table of `ln i!` for evaluating many log-binomials
+//!   with the same population quickly;
+//! * [`ln_binomial_tail`] — a numerically stable `ln Σ_{j≥f} C(b,j) p^j (1−p)^{b−j}`;
+//! * [`subsets`] — lexicographic k-subset iteration, ranking and unranking
+//!   (used to generate complete designs lazily and to drive exhaustive
+//!   adversaries).
+//!
+//! # Examples
+//!
+//! ```
+//! use wcp_combin::{binomial, ln_binomial};
+//!
+//! assert_eq!(binomial(71, 5), Some(13_019_909));
+//! let approx = ln_binomial(71, 5).exp();
+//! assert!((approx - 13_019_909.0).abs() / 13_019_909.0 < 1e-10);
+//! ```
+
+mod binomial;
+mod lgamma;
+pub mod subsets;
+mod tail;
+
+pub use binomial::{binomial, binomial_u64, falling_factorial};
+pub use lgamma::{ln_binomial, ln_factorial, ln_gamma, LnFact};
+pub use subsets::{KSubsets, SubsetRank};
+pub use tail::{ln_binomial_tail, log_sum_exp};

@@ -1,0 +1,259 @@
+//! Lexicographic k-subset iteration, ranking and unranking.
+//!
+//! Complete designs ("all r-subsets of the node set", the vacuous Steiner
+//! system used when `x + 1 = r`) are far too large to materialize at
+//! `n = 257`, so placements draw their first `b` blocks lazily through
+//! [`KSubsets`]. Exhaustive adversaries also enumerate candidate failure
+//! sets with it. [`SubsetRank`] provides O(k) lexicographic rank/unrank,
+//! used for deterministic sampling of subsets without enumeration.
+
+use crate::binomial;
+
+/// Iterator over all k-subsets of `{0, 1, …, n−1}` in lexicographic order.
+///
+/// Each item is a freshly allocated, sorted `Vec<u16>`. For tight loops the
+/// visitor [`KSubsets::for_each`] avoids the per-item allocation.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_combin::KSubsets;
+///
+/// let subsets: Vec<_> = KSubsets::new(4, 2).collect();
+/// assert_eq!(subsets, vec![
+///     vec![0, 1], vec![0, 2], vec![0, 3],
+///     vec![1, 2], vec![1, 3], vec![2, 3],
+/// ]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KSubsets {
+    n: u16,
+    current: Vec<u16>,
+    done: bool,
+}
+
+impl KSubsets {
+    /// Creates the iterator; yields nothing when `k > n`.
+    #[must_use]
+    pub fn new(n: u16, k: u16) -> Self {
+        let done = k > n;
+        let current = (0..k).collect();
+        Self { n, current, done }
+    }
+
+    /// Advances `state` to the next k-subset in lexicographic order in
+    /// place, returning `false` when the sequence is exhausted.
+    fn advance(n: u16, state: &mut [u16]) -> bool {
+        let k = state.len();
+        if k == 0 {
+            return false;
+        }
+        // Find rightmost position that can be incremented.
+        let mut i = k;
+        while i > 0 {
+            i -= 1;
+            if state[i] < n - (k - i) as u16 {
+                state[i] += 1;
+                for j in i + 1..k {
+                    state[j] = state[j - 1] + 1;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Calls `f` for every k-subset without allocating, stopping early if
+    /// `f` returns `false`.
+    pub fn for_each(mut self, mut f: impl FnMut(&[u16]) -> bool) {
+        if self.done {
+            return;
+        }
+        loop {
+            if !f(&self.current) {
+                return;
+            }
+            if !Self::advance(self.n, &mut self.current) {
+                return;
+            }
+        }
+    }
+}
+
+impl Iterator for KSubsets {
+    type Item = Vec<u16>;
+
+    fn next(&mut self) -> Option<Vec<u16>> {
+        if self.done {
+            return None;
+        }
+        let item = self.current.clone();
+        if !Self::advance(self.n, &mut self.current) {
+            self.done = true;
+        }
+        Some(item)
+    }
+}
+
+/// Lexicographic rank/unrank for k-subsets of `{0, …, n−1}`.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_combin::SubsetRank;
+///
+/// let sr = SubsetRank::new(5, 3);
+/// assert_eq!(sr.count(), 10);
+/// let s = sr.unrank(4);
+/// assert_eq!(sr.rank(&s), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubsetRank {
+    n: u16,
+    k: u16,
+    count: u128,
+}
+
+impl SubsetRank {
+    /// Creates a rank/unrank helper for k-subsets of an n-set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `C(n, k)` overflows `u128`.
+    #[must_use]
+    pub fn new(n: u16, k: u16) -> Self {
+        let count = binomial(u64::from(n), u64::from(k)).expect("C(n,k) overflows u128");
+        Self { n, k, count }
+    }
+
+    /// Number of k-subsets, `C(n, k)`.
+    #[must_use]
+    pub fn count(&self) -> u128 {
+        self.count
+    }
+
+    /// The subset at lexicographic position `rank` (0-based), as a sorted
+    /// vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank ≥ count()`.
+    #[must_use]
+    pub fn unrank(&self, mut rank: u128) -> Vec<u16> {
+        assert!(rank < self.count, "rank {rank} out of range {}", self.count);
+        let mut out = Vec::with_capacity(self.k as usize);
+        let mut next = 0u16; // smallest value still eligible
+        for slot in 0..self.k {
+            let remaining = self.k - slot - 1;
+            // Choose the smallest value v >= next such that the number of
+            // subsets starting with values < v is <= rank.
+            let mut v = next;
+            loop {
+                // Subsets with this slot equal to v: C(n-1-v, remaining).
+                let c = binomial(u64::from(self.n - 1 - v), u64::from(remaining))
+                    .expect("checked in constructor");
+                if rank < c {
+                    break;
+                }
+                rank -= c;
+                v += 1;
+            }
+            out.push(v);
+            next = v + 1;
+        }
+        out
+    }
+
+    /// Lexicographic position of `subset` (must be sorted, strictly
+    /// increasing, within range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subset is malformed.
+    #[must_use]
+    pub fn rank(&self, subset: &[u16]) -> u128 {
+        assert_eq!(subset.len(), self.k as usize, "subset has wrong size");
+        let mut rank = 0u128;
+        let mut next = 0u16;
+        for (slot, &v) in subset.iter().enumerate() {
+            assert!(v >= next && v < self.n, "subset not sorted/in-range");
+            let remaining = (self.k as usize - slot - 1) as u64;
+            for w in next..v {
+                rank +=
+                    binomial(u64::from(self.n - 1 - w), remaining).expect("checked in constructor");
+            }
+            next = v + 1;
+        }
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_correct_count() {
+        for n in 0..=9u16 {
+            for k in 0..=n + 1 {
+                let count = KSubsets::new(n, k).count() as u128;
+                let expect = binomial(u64::from(n), u64::from(k)).unwrap();
+                assert_eq!(count, expect, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn lexicographic_and_distinct() {
+        let all: Vec<_> = KSubsets::new(8, 3).collect();
+        for w in all.windows(2) {
+            assert!(w[0] < w[1], "not strictly increasing: {w:?}");
+        }
+        for s in &all {
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn visitor_early_exit() {
+        let mut seen = 0;
+        KSubsets::new(10, 4).for_each(|_| {
+            seen += 1;
+            seen < 7
+        });
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip() {
+        let sr = SubsetRank::new(9, 4);
+        let all: Vec<_> = KSubsets::new(9, 4).collect();
+        assert_eq!(all.len() as u128, sr.count());
+        for (i, s) in all.iter().enumerate() {
+            assert_eq!(sr.unrank(i as u128), *s, "unrank({i})");
+            assert_eq!(sr.rank(s), i as u128, "rank({s:?})");
+        }
+    }
+
+    #[test]
+    fn unrank_large_population() {
+        // 257 choose 5 — the complete design population for n = 257, r = 5.
+        let sr = SubsetRank::new(257, 5);
+        assert_eq!(sr.count(), 8_984_341_696);
+        let first = sr.unrank(0);
+        assert_eq!(first, vec![0, 1, 2, 3, 4]);
+        let last = sr.unrank(sr.count() - 1);
+        assert_eq!(last, vec![252, 253, 254, 255, 256]);
+        let mid = sr.unrank(sr.count() / 2);
+        assert_eq!(sr.rank(&mid), sr.count() / 2);
+    }
+
+    #[test]
+    fn zero_k() {
+        let v: Vec<_> = KSubsets::new(5, 0).collect();
+        assert_eq!(v, vec![Vec::<u16>::new()]);
+        let sr = SubsetRank::new(5, 0);
+        assert_eq!(sr.count(), 1);
+        assert_eq!(sr.unrank(0), Vec::<u16>::new());
+    }
+}

@@ -1,0 +1,191 @@
+//! Numerically stable binomial tail sums in log space.
+//!
+//! Theorem 2 of the paper reduces the vulnerability of random placement to
+//! `Vuln(f) = C(n,k) · P[X ≥ f]` with `X ~ Binomial(b, p)` and
+//! `p = α(n,k,r,s)/C(n,r)`. With `b` up to 38 400 and `p` potentially below
+//! 1e-9, the tail must be evaluated in log space; [`ln_binomial_tail`] does
+//! so with a single pass and a running log-sum-exp.
+
+use crate::LnFact;
+
+/// Computes `ln(exp(a) + exp(b))` without overflow.
+///
+/// Accepts `-inf` for either argument (treated as adding zero).
+///
+/// # Examples
+///
+/// ```
+/// use wcp_combin::log_sum_exp;
+///
+/// let v = log_sum_exp(0.0, 0.0); // ln(1 + 1)
+/// assert!((v - 2f64.ln()).abs() < 1e-12);
+/// assert_eq!(log_sum_exp(f64::NEG_INFINITY, 3.0), 3.0);
+/// ```
+#[must_use]
+pub fn log_sum_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Computes `ln Σ_{j=f}^{b} C(b, j) p^j (1−p)^{b−j}` — the natural log of the
+/// upper tail of a `Binomial(b, p)` distribution.
+///
+/// `ln_p` and `ln_1mp` are `ln p` and `ln(1−p)` supplied by the caller so
+/// that extreme probabilities retain precision (compute `ln(1−p)` with
+/// `ln_1p(-p)` when `p` is tiny). Returns `-inf` for an empty tail
+/// (`f > b`), and `0.0` when `f == 0` (the tail is the whole distribution).
+///
+/// The summation starts from the largest term in the tail and adds both
+/// directions of decreasing magnitude, so cancellation is not a concern and
+/// terms below `exp(-60)` of the maximum are truncated (relative error
+/// < 1e-20).
+///
+/// # Panics
+///
+/// Panics if `table` is too small for `b`.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_combin::{ln_binomial_tail, LnFact};
+///
+/// let t = LnFact::new(100);
+/// // P[X >= 50] for X ~ Bin(100, 0.5) is ~0.5398.
+/// let p: f64 = 0.5;
+/// let v = ln_binomial_tail(&t, 100, p.ln(), (1.0 - p).ln(), 50).exp();
+/// assert!((v - 0.5398).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn ln_binomial_tail(table: &LnFact, b: u64, ln_p: f64, ln_1mp: f64, f: u64) -> f64 {
+    if f > b {
+        return f64::NEG_INFINITY;
+    }
+    if f == 0 {
+        return 0.0;
+    }
+    let term = |j: u64| -> f64 {
+        // Guard 0·(−inf) = NaN at the degenerate probabilities p ∈ {0, 1}.
+        let success = if j == 0 { 0.0 } else { j as f64 * ln_p };
+        let failure = if j == b { 0.0 } else { (b - j) as f64 * ln_1mp };
+        table.ln_binomial(b, j) + success + failure
+    };
+    // The binomial pmf is unimodal with mode near b·p; within the tail
+    // [f, b] the maximum term is at max(f, mode).
+    let mode = if ln_p == f64::NEG_INFINITY {
+        0
+    } else {
+        // mode = floor((b+1) p); compute via exp carefully (p can be tiny
+        // but (b+1)p fits f64 easily).
+        let p = ln_p.exp();
+        (((b + 1) as f64) * p).floor().min(b as f64) as u64
+    };
+    let peak = mode.clamp(f, b);
+    let ln_peak = term(peak);
+    if ln_peak == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    const CUTOFF: f64 = 60.0;
+    // Sum upward from the peak.
+    let mut acc = 0.0f64; // Σ exp(term - ln_peak)
+    let mut j = peak;
+    loop {
+        let t = term(j) - ln_peak;
+        if t < -CUTOFF {
+            break;
+        }
+        acc += t.exp();
+        if j == b {
+            break;
+        }
+        j += 1;
+    }
+    // Sum downward from just below the peak (still within the tail).
+    let mut j = peak;
+    while j > f {
+        j -= 1;
+        let t = term(j) - ln_peak;
+        if t < -CUTOFF {
+            break;
+        }
+        acc += t.exp();
+    }
+    // The tail is a probability; clamp summation error above ln(1) = 0.
+    (ln_peak + acc.ln()).min(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force tail in plain f64 for moderate parameters.
+    fn naive_tail(b: u64, p: f64, f: u64) -> f64 {
+        let t = LnFact::new(b);
+        (f..=b)
+            .map(|j| {
+                (t.ln_binomial(b, j) + (j as f64) * p.ln() + ((b - j) as f64) * (1.0 - p).ln())
+                    .exp()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn matches_naive_summation() {
+        let t = LnFact::new(2_000);
+        for &(b, p) in &[(50u64, 0.3f64), (200, 0.01), (2_000, 0.5), (1_000, 0.9)] {
+            for f in [0u64, 1, b / 4, b / 2, b - 1, b] {
+                let got = ln_binomial_tail(&t, b, p.ln(), (-p).ln_1p(), f).exp();
+                let want = naive_tail(b, p, f);
+                assert!(
+                    (got - want).abs() <= 1e-9 * want.max(1e-300),
+                    "b={b} p={p} f={f}: got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn whole_distribution_is_one() {
+        let t = LnFact::new(38_400);
+        let p: f64 = 1e-7;
+        let v = ln_binomial_tail(&t, 38_400, p.ln(), (-p).ln_1p(), 0);
+        assert_eq!(v, 0.0);
+        let v1 = ln_binomial_tail(&t, 38_400, p.ln(), (-p).ln_1p(), 1).exp();
+        // P[X >= 1] = 1 - (1-p)^b ≈ b·p for tiny p.
+        let expect = 1.0 - (1.0 - p).powi(38_400);
+        assert!((v1 - expect).abs() < 1e-9, "{v1} vs {expect}");
+    }
+
+    #[test]
+    fn empty_tail() {
+        let t = LnFact::new(10);
+        assert_eq!(
+            ln_binomial_tail(&t, 10, 0.5f64.ln(), 0.5f64.ln(), 11),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn deep_tail_is_monotone() {
+        let t = LnFact::new(38_400);
+        let p: f64 = 3e-4;
+        let mut prev = f64::INFINITY;
+        for f in 0..200 {
+            let v = ln_binomial_tail(&t, 38_400, p.ln(), (-p).ln_1p(), f);
+            assert!(v <= prev + 1e-12, "tail must be non-increasing at f={f}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_commutes() {
+        assert_eq!(log_sum_exp(1.0, 2.0), log_sum_exp(2.0, 1.0));
+        let v = log_sum_exp(-700.0, -700.0);
+        assert!((v - (-700.0 + 2f64.ln())).abs() < 1e-12);
+    }
+}

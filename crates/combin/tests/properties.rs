@@ -1,0 +1,59 @@
+//! Property-based tests for the combinatorics substrate.
+
+use proptest::prelude::*;
+use wcp_combin::{binomial, ln_binomial, ln_binomial_tail, LnFact, SubsetRank};
+
+proptest! {
+    /// Pascal's rule: C(n,k) = C(n−1,k−1) + C(n−1,k).
+    #[test]
+    fn pascal_rule(n in 1u64..100, k in 1u64..100) {
+        let lhs = binomial(n, k).unwrap();
+        let rhs = binomial(n - 1, k - 1).unwrap() + binomial(n - 1, k).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Log-domain binomials agree with exact ones within 1e-9 relative.
+    #[test]
+    fn log_matches_exact(n in 1u64..120, k in 0u64..120) {
+        prop_assume!(k <= n);
+        let exact = binomial(n, k).unwrap() as f64;
+        let approx = ln_binomial(n, k).exp();
+        prop_assert!((approx - exact).abs() <= 1e-9 * exact);
+    }
+
+    /// Unrank then rank is the identity, and unrank is monotone in rank.
+    #[test]
+    fn rank_roundtrip(n in 1u16..40, k in 0u16..10, seed in any::<u64>()) {
+        prop_assume!(k <= n);
+        let sr = SubsetRank::new(n, k);
+        let rank = u128::from(seed) % sr.count();
+        let subset = sr.unrank(rank);
+        prop_assert_eq!(sr.rank(&subset), rank);
+        if rank + 1 < sr.count() {
+            let nxt = sr.unrank(rank + 1);
+            prop_assert!(nxt > subset, "lexicographic order violated");
+        }
+    }
+
+    /// The binomial tail is bounded by [0, 1] and decreasing in f.
+    #[test]
+    fn tail_is_probability(b in 1u64..500, p in 1e-9f64..0.999, f in 0u64..500) {
+        prop_assume!(f <= b);
+        let t = LnFact::new(b);
+        let v = ln_binomial_tail(&t, b, p.ln(), (-p).ln_1p(), f);
+        prop_assert!(v <= 1e-12, "ln tail must be <= 0, got {}", v);
+        if f < b {
+            let v2 = ln_binomial_tail(&t, b, p.ln(), (-p).ln_1p(), f + 1);
+            prop_assert!(v2 <= v + 1e-12, "tail increased at f={}", f);
+        }
+    }
+
+    /// Union bound sanity: tail at f=1 equals 1 − (1−p)^b within tolerance.
+    #[test]
+    fn tail_at_one(b in 1u64..2000, p in 1e-6f64..0.9) {
+        let t = LnFact::new(b);
+        let got = ln_binomial_tail(&t, b, p.ln(), (-p).ln_1p(), 1).exp();
+        let expect = -((-p).ln_1p() * b as f64).exp_m1();
+        prop_assert!((got - expect).abs() < 1e-9, "got {} expect {}", got, expect);
+    }
+}

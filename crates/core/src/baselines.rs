@@ -1,0 +1,207 @@
+//! Baseline placement strategies from the systems literature, for
+//! comparison against the paper's packing-based ones.
+//!
+//! * [`ring_placement`] — chained declustering / consecutive placement:
+//!   object `i` lives on nodes `{i, i+1, …, i+r−1} (mod n)`. Ubiquitous
+//!   in practice (consistent hashing with `r` successors); its worst case
+//!   is easy for an adversary — `k` *consecutive* failures wipe out every
+//!   object whose window covers `s` of them ([`ring_worst_failures`]
+//!   gives the closed form, proven tight in the tests).
+//! * [`group_placement`] — disjoint replica groups (the "copyset"-style
+//!   extreme): nodes are split into `⌊n/r⌋` groups of `r`; each object
+//!   picks one group. Minimizes the *number* of affected objects per
+//!   failure pattern but concentrates damage: `k` failures inside one
+//!   group kill *all* of its objects at `s ≤ k`.
+//!
+//! Both are `O(b)` to build and make instructive comparison points in the
+//! examples and tests: the paper's `Simple`/`Combo` placements dominate
+//! ring placement at every parameter we exercise, while group placement
+//! wins or loses depending on how `b/⌊n/r⌋` compares to the packing
+//! bound — exactly the overlap trade-off the paper's introduction
+//! discusses.
+
+use crate::{Placement, PlacementError, SystemParams};
+
+/// Chained-declustering placement: object `i` on `r` consecutive nodes
+/// starting at `i mod n`.
+///
+/// # Errors
+///
+/// Propagates [`Placement::new`] validation (never fails for valid
+/// [`SystemParams`]).
+///
+/// # Examples
+///
+/// ```
+/// use wcp_core::{baselines::ring_placement, SystemParams};
+///
+/// let params = SystemParams::new(10, 20, 3, 2, 3)?;
+/// let p = ring_placement(&params)?;
+/// assert_eq!(p.replicas(0), &[0, 1, 2]);
+/// assert_eq!(p.replicas(9), &[0, 1, 9]); // wraps around
+/// # Ok::<(), wcp_core::PlacementError>(())
+/// ```
+pub fn ring_placement(params: &SystemParams) -> Result<Placement, PlacementError> {
+    let n = usize::from(params.n());
+    let r = usize::from(params.r());
+    let b = usize::try_from(params.b()).expect("b fits usize");
+    let mut sets = Vec::with_capacity(b);
+    for i in 0..b {
+        let mut set: Vec<u16> = (0..r).map(|j| ((i + j) % n) as u16).collect();
+        set.sort_unstable();
+        sets.push(set);
+    }
+    Placement::new(params.n(), params.r(), sets)
+}
+
+/// Disjoint-group placement: node groups `{0..r}, {r..2r}, …`; object `i`
+/// uses group `i mod ⌊n/r⌋`.
+///
+/// # Errors
+///
+/// Propagates [`Placement::new`] validation.
+pub fn group_placement(params: &SystemParams) -> Result<Placement, PlacementError> {
+    let n = usize::from(params.n());
+    let r = usize::from(params.r());
+    let groups = n / r;
+    let b = usize::try_from(params.b()).expect("b fits usize");
+    let mut sets = Vec::with_capacity(b);
+    for i in 0..b {
+        let g = i % groups;
+        let set: Vec<u16> = (g * r..(g + 1) * r).map(|p| p as u16).collect();
+        sets.push(set);
+    }
+    Placement::new(params.n(), params.r(), sets)
+}
+
+/// Closed-form worst-case failures for [`ring_placement`] in the
+/// *single-arc regime* `2s − 1 ≥ r` (majority-or-stronger thresholds),
+/// with `b` a multiple of `n` (every start offset equally loaded):
+/// failing `k` **consecutive** nodes is then optimal and kills exactly
+/// `(b/n)·(k − s + 1 + min(r − s, n − k))` objects when `k ≥ s` — the
+/// `k−s+1` windows fully determined inside the failed arc plus the
+/// windows entering it from the left with overlap ≥ s.
+///
+/// Outside that regime (`2s − 1 < r`, e.g. `s = 1`) the adversary gains
+/// by *splitting* failures into multiple short arcs — each arc of length
+/// `s` buys `r − 2s + 1` extra kills — so no single-arc formula applies;
+/// see the `splitting_beats_single_arc` test.
+///
+/// # Panics
+///
+/// Debug-asserts the regime and divisibility assumptions.
+#[must_use]
+pub fn ring_worst_failures(params: &SystemParams) -> u64 {
+    let (n, r, s, k, b) = (
+        u64::from(params.n()),
+        u64::from(params.r()),
+        u64::from(params.s()),
+        u64::from(params.k()),
+        params.b(),
+    );
+    debug_assert!(b.is_multiple_of(n), "closed form assumes b ≡ 0 (mod n)");
+    debug_assert!(
+        2 * s > r,
+        "closed form assumes the single-arc regime 2s−1 ≥ r"
+    );
+    if k < s {
+        return 0;
+    }
+    let per_offset = b / n;
+    // Start offsets killed by the arc [0, k): starts 0..=k−s hit ≥ s
+    // failed nodes from inside; starts n−1, n−2, … (windows entering the
+    // arc from the left) contribute while the overlap r − (n − start) ≥ s,
+    // bounded by r − s and by not double-counting offsets already inside.
+    let inside = k - s + 1;
+    let entering = (r - s).min(n - k);
+    per_offset * (inside + entering)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcp_combin::KSubsets;
+
+    fn brute_force(p: &Placement, s: u16, k: u16) -> u64 {
+        KSubsets::new(p.num_nodes(), k)
+            .map(|subset| p.failed_objects(&subset, s))
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn ring_closed_form_matches_brute_force() {
+        // Single-arc regime only: 2s − 1 ≥ r.
+        for (n, r, s, k) in [
+            (10u16, 3u16, 2u16, 3u16),
+            (10, 3, 3, 4),
+            (10, 2, 2, 2),
+            (12, 4, 3, 5),
+            (12, 5, 3, 4),
+            (11, 5, 4, 6),
+            (11, 5, 5, 7),
+        ] {
+            let b = u64::from(n) * 3;
+            let params = SystemParams::new(n, b, r, s, k).unwrap();
+            let p = ring_placement(&params).unwrap();
+            assert_eq!(
+                ring_worst_failures(&params),
+                brute_force(&p, s, k),
+                "n={n} r={r} s={s} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn splitting_beats_single_arc() {
+        // Outside the regime (s = 1): two isolated failures kill 2r
+        // windows, strictly more than one arc of 2 (r + 1).
+        let params = SystemParams::new(9, 27, 3, 1, 2).unwrap();
+        let p = ring_placement(&params).unwrap();
+        let single_arc_kills = 3 * (2 - 1 + 1 + 2u64); // (b/n)·(inside + entering)
+        let actual = brute_force(&p, 1, 2);
+        assert!(actual > single_arc_kills, "{actual} vs {single_arc_kills}");
+        assert_eq!(actual, 18); // 2 nodes × r=3 windows × 3 objects each
+    }
+
+    #[test]
+    fn group_placement_damage_is_concentrated() {
+        // k = r failures aimed at one group kill exactly the objects of
+        // that group (b/groups of them) at any s ≤ r.
+        let params = SystemParams::new(12, 120, 3, 2, 3).unwrap();
+        let p = group_placement(&params).unwrap();
+        let per_group = 120 / (12 / 3);
+        assert_eq!(brute_force(&p, 2, 3), per_group);
+        // …but k < s failures spread across groups kill nothing.
+        assert_eq!(brute_force(&p, 2, 1), 0);
+    }
+
+    #[test]
+    fn ring_loads_are_balanced() {
+        let params = SystemParams::new(10, 50, 3, 2, 3).unwrap();
+        let p = ring_placement(&params).unwrap();
+        let loads = p.loads();
+        assert_eq!(loads.iter().sum::<u32>(), 150);
+        assert!(loads.iter().all(|&l| l == 15));
+    }
+
+    #[test]
+    fn packing_beats_ring_under_attack() {
+        // The motivating comparison: same parameters, exact adversary,
+        // STS-backed Simple placement loses fewer objects than the ring.
+        use wcp_designs::registry::RegistryConfig;
+        let params = SystemParams::new(13, 26, 3, 2, 4).unwrap();
+        let ring = ring_placement(&params).unwrap();
+        let ring_failed = brute_force(&ring, 2, 4);
+        let simple =
+            crate::SimpleStrategy::plan_constructive(1, &params, &RegistryConfig::default())
+                .unwrap()
+                .build(26)
+                .unwrap();
+        let simple_failed = brute_force(&simple, 2, 4);
+        assert!(
+            simple_failed < ring_failed,
+            "packing {simple_failed} vs ring {ring_failed}"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Availability lower bounds (Lemmas 1–3 of the paper).
+
+use wcp_combin::binomial;
+
+/// `C(a, b)` as `u128`, panicking on overflow (parameters here are tiny).
+fn c(a: u64, b: u64) -> u128 {
+    binomial(a, b).expect("binomial overflow in bound computation")
+}
+
+/// Lemma 1: the capacity of a `Simple(x, λ)` placement on `n_x` nodes —
+/// the largest `b` for which a `(x+1)-(n_x, r, λ)` packing can exist:
+/// `⌊λ·C(n_x, x+1)/C(r, x+1)⌋`.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_core::simple_capacity;
+///
+/// // STS(69) copied twice: λ = 2 ⇒ 1564 objects.
+/// assert_eq!(simple_capacity(69, 3, 1, 2), 1564);
+/// ```
+#[must_use]
+pub fn simple_capacity(nx: u16, r: u16, x: u16, lambda: u64) -> u64 {
+    let num = c(u64::from(nx), u64::from(x) + 1);
+    let den = c(u64::from(r), u64::from(x) + 1);
+    u64::try_from(u128::from(lambda) * num / den).expect("capacity fits u64")
+}
+
+/// Lemma 2: the availability lower bound of a `Simple(x, λ)` placement,
+/// `lbAvail_si = b − ⌊λ·C(k, x+1)/C(s, x+1)⌋`.
+///
+/// The formula can be negative (the bound is then vacuous); the paper
+/// plots such values in Fig. 10, so the raw signed value is returned.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_core::lb_avail_si;
+///
+/// // b = 600 objects in an STS(69)-based Simple(1, 1) placement,
+/// // s = 2, k = 5: at most ⌊C(5,2)/C(2,2)⌋ = 10 objects can be killed.
+/// assert_eq!(lb_avail_si(600, 1, 5, 2, 1), 590);
+/// ```
+#[must_use]
+pub fn lb_avail_si(b: u64, lambda: u64, k: u16, s: u16, x: u16) -> i64 {
+    let pen =
+        u128::from(lambda) * c(u64::from(k), u64::from(x) + 1) / c(u64::from(s), u64::from(x) + 1);
+    b as i64 - i64::try_from(pen).expect("penalty fits i64")
+}
+
+/// Lemma 3: the availability lower bound of a `Combo(⟨λ_x⟩)` placement,
+/// `lbAvail_co = b − Σ_x ⌊λ_x·C(k, x+1)/C(s, x+1)⌋` with `x` ranging over
+/// `0..s` (`lambdas[x]` is `λ_x`).
+///
+/// # Examples
+///
+/// ```
+/// use wcp_core::lb_avail_co;
+///
+/// // λ0 = 0, λ1 = 2 at s = 2, k = 4: penalty ⌊2·C(4,2)/C(2,2)⌋ = 12.
+/// assert_eq!(lb_avail_co(&[0, 2], 1000, 4, 2), 988);
+/// ```
+#[must_use]
+pub fn lb_avail_co(lambdas: &[u64], b: u64, k: u16, s: u16) -> i64 {
+    let mut pen: i64 = 0;
+    for (x, &lambda) in lambdas.iter().enumerate() {
+        let p = u128::from(lambda) * c(u64::from(k), x as u64 + 1) / c(u64::from(s), x as u64 + 1);
+        pen += i64::try_from(p).expect("penalty fits i64");
+    }
+    b as i64 - pen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_matches_design_counts() {
+        assert_eq!(simple_capacity(69, 3, 1, 1), 782); // STS(69)
+        assert_eq!(simple_capacity(65, 5, 2, 1), 4368); // Möbius 3-(65,5,1)
+        assert_eq!(simple_capacity(25, 5, 1, 1), 30); // AG(2,5)
+        assert_eq!(simple_capacity(31, 5, 4, 1), 169_911); // C(31,5)
+                                                           // Non-integral ratio floors: the paper's 2-(70,4,1) slot.
+        assert_eq!(simple_capacity(70, 4, 1, 2), 805); // ⌊2·2415/6⌋
+        assert_eq!(simple_capacity(70, 4, 1, 1), 402); // ⌊2415/6⌋
+    }
+
+    #[test]
+    fn lemma2_examples() {
+        // s = 3, x = 2, k = 5: penalty per λ is ⌊C(5,3)/C(3,3)⌋ = 10.
+        assert_eq!(lb_avail_si(1200, 1, 5, 3, 2), 1190);
+        assert_eq!(lb_avail_si(1200, 3, 5, 3, 2), 1170);
+        // Vacuous bound goes negative.
+        assert_eq!(lb_avail_si(5, 10, 5, 2, 1), 5 - 100);
+    }
+
+    #[test]
+    fn lemma3_sums_penalties() {
+        // s = 3: x = 0 penalty ⌊λ0·k/3⌋? No: C(k,1)/C(3,1) = k/3.
+        let lb = lb_avail_co(&[3, 1, 2], 1000, 6, 3);
+        // x=0: ⌊3·6/3⌋ = 6; x=1: ⌊1·15/3⌋ = 5; x=2: ⌊2·20/1⌋ = 40.
+        assert_eq!(lb, 1000 - 6 - 5 - 40);
+    }
+
+    #[test]
+    fn zero_lambdas_mean_no_penalty() {
+        assert_eq!(lb_avail_co(&[0, 0, 0], 777, 6, 3), 777);
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type shared by the placement strategies.
+
+use std::fmt;
+use wcp_designs::DesignError;
+
+/// Errors raised when validating parameters or building placements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// System parameters violate the model constraints of Fig. 1
+    /// (`1 ≤ s ≤ r ≤ n`, `s ≤ k < n`, …).
+    InvalidParams(String),
+    /// The requested strategy cannot place all `b` objects within its
+    /// capacity constraint (Lemma 1 / Eqn. 3).
+    InsufficientCapacity {
+        /// Objects requested.
+        requested: u64,
+        /// Objects placeable.
+        capacity: u64,
+    },
+    /// An underlying design construction failed.
+    Design(String),
+    /// A placement failed structural validation.
+    InvalidPlacement(String),
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            PlacementError::InsufficientCapacity {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "cannot place {requested} objects, capacity is {capacity}"
+            ),
+            PlacementError::Design(msg) => write!(f, "design construction failed: {msg}"),
+            PlacementError::InvalidPlacement(msg) => write!(f, "invalid placement: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+impl From<DesignError> for PlacementError {
+    fn from(e: DesignError) -> Self {
+        PlacementError::Design(e.to_string())
+    }
+}

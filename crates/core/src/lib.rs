@@ -1,0 +1,63 @@
+//! Worst-case replica placement strategies (Li, Gao & Reiter, ICDCS 2015).
+//!
+//! A system of `n` nodes hosts `b` objects, each replicated onto `r`
+//! distinct nodes. An adversary who knows the placement fails `k` nodes;
+//! an object fails once `s` of its replicas are on failed nodes. The
+//! availability of a placement is the number of objects that survive the
+//! *worst* choice of `k` nodes (Definition 1). This crate implements the
+//! paper's placement strategies and their availability lower bounds:
+//!
+//! * [`Placement`] — the `π : O → 2^N` mapping, with validation and load
+//!   accounting;
+//! * [`SimpleStrategy`] — `Simple(x, λ)` placements (Definition 2), i.e.
+//!   `(x+1)-(n, r, λ)` packings, built from the constructive design
+//!   registry of [`wcp_designs`]; availability bound `lbAvail_si` (Lemma 2);
+//! * [`ComboStrategy`] — `Combo(⟨λ_x⟩)` placements (Definition 3) dividing
+//!   objects across `Simple(x, λ_x)` sub-placements; includes the dynamic
+//!   program of Sec. III-B1 (Eqns. 5–7) maximizing the bound `lbAvail_co`
+//!   (Lemma 3) for a target number of failures `k`;
+//! * [`RandomStrategy`] — the load-balanced random placement the paper
+//!   compares against (Definition 4), plus the unconstrained variant
+//!   `Random′` used in the Theorem-2 analysis;
+//! * [`PackingProfile`] — the per-`x` packing parameters `(n_x, μ_x)` and
+//!   capacities feeding the DP: either the paper's Fig. 4 table
+//!   ([`PackingProfile::paper`]) or whatever the construction registry can
+//!   actually build ([`PackingProfile::constructive`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wcp_core::{ComboStrategy, SystemParams};
+//! use wcp_designs::registry::RegistryConfig;
+//!
+//! // 71 nodes, 1200 objects, 3 replicas each; an object dies when 2
+//! // replicas die; plan for 3 node failures.
+//! let params = SystemParams::new(71, 1200, 3, 2, 3)?;
+//! let strategy = ComboStrategy::plan_constructive(&params, &RegistryConfig::default())?;
+//! assert!(strategy.lower_bound() > 1100); // most objects survive
+//! let placement = strategy.build(&params)?;
+//! assert_eq!(placement.num_objects(), 1200);
+//! # Ok::<(), wcp_core::PlacementError>(())
+//! ```
+
+pub mod adaptive;
+pub mod baselines;
+mod bounds;
+mod combo;
+pub mod domains;
+mod error;
+pub mod io;
+mod params;
+mod placement;
+pub mod profiles;
+mod random;
+mod simple;
+
+pub use bounds::{lb_avail_co, lb_avail_si, simple_capacity};
+pub use combo::{combo_plan, ComboPlan, ComboStrategy};
+pub use error::PlacementError;
+pub use params::SystemParams;
+pub use placement::Placement;
+pub use profiles::{PackingProfile, UnitSpec};
+pub use random::{RandomStrategy, RandomVariant};
+pub use simple::SimpleStrategy;

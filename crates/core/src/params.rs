@@ -1,0 +1,164 @@
+//! System parameters (the paper's Fig. 1 notation).
+
+use crate::PlacementError;
+
+/// The parameters of a placement problem instance.
+///
+/// | field | paper | meaning |
+/// |---|---|---|
+/// | `n` | `n` | number of nodes |
+/// | `b` | `b` | number of objects |
+/// | `r` | `r` | replicas per object |
+/// | `s` | `s` | replica failures that fail an object, `1 ≤ s ≤ r` |
+/// | `k` | `k` | node failures to plan for, `s ≤ k < n` |
+///
+/// # Examples
+///
+/// ```
+/// use wcp_core::SystemParams;
+///
+/// let p = SystemParams::new(71, 2400, 3, 2, 4)?;
+/// assert_eq!(p.n(), 71);
+/// assert!(SystemParams::new(71, 2400, 3, 5, 4).is_err()); // s > r
+/// # Ok::<(), wcp_core::PlacementError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SystemParams {
+    n: u16,
+    b: u64,
+    r: u16,
+    s: u16,
+    k: u16,
+}
+
+impl SystemParams {
+    /// Validates and creates an instance.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::InvalidParams`] when any model constraint fails:
+    /// `r ≥ 1`, `1 ≤ s ≤ r`, `s ≤ k < n`, `r ≤ n`, `b ≥ 1`.
+    pub fn new(n: u16, b: u64, r: u16, s: u16, k: u16) -> Result<Self, PlacementError> {
+        if r == 0 {
+            return Err(PlacementError::InvalidParams("r must be ≥ 1".into()));
+        }
+        if s == 0 || s > r {
+            return Err(PlacementError::InvalidParams(format!(
+                "s must satisfy 1 ≤ s ≤ r, got s={s}, r={r}"
+            )));
+        }
+        if k < s || k >= n {
+            return Err(PlacementError::InvalidParams(format!(
+                "k must satisfy s ≤ k < n, got s={s}, k={k}, n={n}"
+            )));
+        }
+        if r > n {
+            return Err(PlacementError::InvalidParams(format!(
+                "r replicas need r ≤ n distinct nodes, got r={r}, n={n}"
+            )));
+        }
+        if b == 0 {
+            return Err(PlacementError::InvalidParams("b must be ≥ 1".into()));
+        }
+        Ok(Self { n, b, r, s, k })
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> u16 {
+        self.n
+    }
+
+    /// Number of objects.
+    #[must_use]
+    pub fn b(&self) -> u64 {
+        self.b
+    }
+
+    /// Replicas per object.
+    #[must_use]
+    pub fn r(&self) -> u16 {
+        self.r
+    }
+
+    /// Fatality threshold: replica failures that fail an object.
+    #[must_use]
+    pub fn s(&self) -> u16 {
+        self.s
+    }
+
+    /// Node failures planned for.
+    #[must_use]
+    pub fn k(&self) -> u16 {
+        self.k
+    }
+
+    /// Same parameters with a different failure count (used by the Fig. 3
+    /// sensitivity study).
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::InvalidParams`] if `k` is out of range.
+    pub fn with_k(&self, k: u16) -> Result<Self, PlacementError> {
+        Self::new(self.n, self.b, self.r, self.s, k)
+    }
+
+    /// Same parameters with a different object count.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::InvalidParams`] if `b = 0`.
+    pub fn with_b(&self, b: u64) -> Result<Self, PlacementError> {
+        Self::new(self.n, b, self.r, self.s, self.k)
+    }
+
+    /// The load-balance target `ℓ = rb/n` (average replicas per node).
+    #[must_use]
+    pub fn load_factor(&self) -> f64 {
+        u64::from(self.r) as f64 * self.b as f64 / f64::from(self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_paper_instances() {
+        for (n, b, r, s, k) in [
+            (71u16, 600u64, 2u16, 2u16, 2u16),
+            (71, 38_400, 5, 5, 7),
+            (257, 9600, 5, 3, 8),
+            (31, 4800, 3, 2, 5),
+        ] {
+            assert!(
+                SystemParams::new(n, b, r, s, k).is_ok(),
+                "({n},{b},{r},{s},{k})"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_instances() {
+        assert!(SystemParams::new(71, 600, 0, 1, 2).is_err()); // r = 0
+        assert!(SystemParams::new(71, 600, 3, 0, 2).is_err()); // s = 0
+        assert!(SystemParams::new(71, 600, 3, 4, 4).is_err()); // s > r
+        assert!(SystemParams::new(71, 600, 3, 2, 1).is_err()); // k < s
+        assert!(SystemParams::new(71, 600, 3, 2, 71).is_err()); // k = n
+        assert!(SystemParams::new(4, 600, 5, 2, 3).is_err()); // r > n
+        assert!(SystemParams::new(71, 0, 3, 2, 3).is_err()); // b = 0
+    }
+
+    #[test]
+    fn load_factor() {
+        let p = SystemParams::new(71, 1200, 3, 2, 3).unwrap();
+        assert!((p.load_factor() - 3600.0 / 71.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_k_revalidates() {
+        let p = SystemParams::new(71, 1200, 3, 2, 3).unwrap();
+        assert!(p.with_k(5).is_ok());
+        assert!(p.with_k(1).is_err());
+    }
+}

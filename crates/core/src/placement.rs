@@ -1,0 +1,210 @@
+//! The placement mapping `π : O → 2^N`.
+
+use crate::PlacementError;
+
+/// A replica placement: for each object, the sorted set of `r` distinct
+/// nodes hosting its replicas.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_core::Placement;
+///
+/// let p = Placement::new(5, 2, vec![vec![0, 1], vec![2, 4], vec![1, 3]])?;
+/// assert_eq!(p.num_objects(), 3);
+/// assert_eq!(p.max_load(), 2); // node 1 hosts two replicas
+/// assert_eq!(p.replicas(1), &[2, 4]);
+/// # Ok::<(), wcp_core::PlacementError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    n: u16,
+    r: u16,
+    replica_sets: Vec<Vec<u16>>,
+}
+
+impl Placement {
+    /// Validates and wraps replica sets: each must be sorted, duplicate
+    /// free, of size `r`, with nodes `< n`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::InvalidPlacement`] on the first malformed set.
+    pub fn new(n: u16, r: u16, replica_sets: Vec<Vec<u16>>) -> Result<Self, PlacementError> {
+        for (i, set) in replica_sets.iter().enumerate() {
+            if set.len() != r as usize {
+                return Err(PlacementError::InvalidPlacement(format!(
+                    "object {i} has {} replicas, expected {r}",
+                    set.len()
+                )));
+            }
+            if !set.windows(2).all(|w| w[0] < w[1]) || set.last().is_some_and(|&x| x >= n) {
+                return Err(PlacementError::InvalidPlacement(format!(
+                    "object {i} replica set is unsorted, duplicated or out of range"
+                )));
+            }
+        }
+        Ok(Self { n, r, replica_sets })
+    }
+
+    /// Number of nodes `n`.
+    #[must_use]
+    pub fn num_nodes(&self) -> u16 {
+        self.n
+    }
+
+    /// Replicas per object `r`.
+    #[must_use]
+    pub fn replicas_per_object(&self) -> u16 {
+        self.r
+    }
+
+    /// Number of objects `b`.
+    #[must_use]
+    pub fn num_objects(&self) -> usize {
+        self.replica_sets.len()
+    }
+
+    /// The replica set of one object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` is out of range.
+    #[must_use]
+    pub fn replicas(&self, obj: usize) -> &[u16] {
+        &self.replica_sets[obj]
+    }
+
+    /// All replica sets.
+    #[must_use]
+    pub fn replica_sets(&self) -> &[Vec<u16>] {
+        &self.replica_sets
+    }
+
+    /// Per-node load (number of replicas hosted).
+    #[must_use]
+    pub fn loads(&self) -> Vec<u32> {
+        let mut loads = vec![0u32; self.n as usize];
+        for set in &self.replica_sets {
+            for &nd in set {
+                loads[nd as usize] += 1;
+            }
+        }
+        loads
+    }
+
+    /// Maximum per-node load.
+    #[must_use]
+    pub fn max_load(&self) -> u32 {
+        self.loads().into_iter().max().unwrap_or(0)
+    }
+
+    /// For each node, the list of objects with a replica there (the
+    /// inverted index used by adversaries).
+    #[must_use]
+    pub fn objects_by_node(&self) -> Vec<Vec<u32>> {
+        let mut idx = vec![Vec::new(); self.n as usize];
+        for (obj, set) in self.replica_sets.iter().enumerate() {
+            for &nd in set {
+                idx[nd as usize].push(obj as u32);
+            }
+        }
+        idx
+    }
+
+    /// Counts objects failed by the failure of node set `failed` (sorted or
+    /// not): those with at least `s` replicas among the failed nodes.
+    ///
+    /// This is the inner expression of Definition 1; minimizing survivors
+    /// over all `k`-sets is the adversary's job (`wcp-adversary`).
+    #[must_use]
+    pub fn failed_objects(&self, failed: &[u16], s: u16) -> u64 {
+        let mut is_failed = vec![false; self.n as usize];
+        for &nd in failed {
+            is_failed[nd as usize] = true;
+        }
+        let mut count = 0u64;
+        for set in &self.replica_sets {
+            let hits = set.iter().filter(|&&nd| is_failed[nd as usize]).count();
+            if hits >= s as usize {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Appends the objects of `other` (same `n` and `r`) to this placement.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::InvalidPlacement`] if `n` or `r` differ.
+    pub fn extend(&mut self, other: Placement) -> Result<(), PlacementError> {
+        if other.n != self.n || other.r != self.r {
+            return Err(PlacementError::InvalidPlacement(format!(
+                "cannot merge placements with different shapes: ({}, {}) vs ({}, {})",
+                self.n, self.r, other.n, other.r
+            )));
+        }
+        self.replica_sets.extend(other.replica_sets);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Placement {
+        Placement::new(
+            6,
+            3,
+            vec![vec![0, 1, 2], vec![0, 1, 3], vec![3, 4, 5], vec![0, 4, 5]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Placement::new(5, 2, vec![vec![0, 0]]).is_err());
+        assert!(Placement::new(5, 2, vec![vec![1, 0]]).is_err());
+        assert!(Placement::new(5, 2, vec![vec![0, 5]]).is_err());
+        assert!(Placement::new(5, 2, vec![vec![0, 1, 2]]).is_err());
+    }
+
+    #[test]
+    fn loads() {
+        let p = sample();
+        assert_eq!(p.loads(), vec![3, 2, 1, 2, 2, 2]);
+        assert_eq!(p.max_load(), 3);
+    }
+
+    #[test]
+    fn inverted_index() {
+        let p = sample();
+        let idx = p.objects_by_node();
+        assert_eq!(idx[0], vec![0, 1, 3]);
+        assert_eq!(idx[2], vec![0]);
+    }
+
+    #[test]
+    fn failure_counting() {
+        let p = sample();
+        // Failing {0,1}: objects 0 and 1 lose 2 replicas each.
+        assert_eq!(p.failed_objects(&[0, 1], 2), 2);
+        assert_eq!(p.failed_objects(&[0, 1], 1), 3);
+        assert_eq!(p.failed_objects(&[0, 1], 3), 0);
+        assert_eq!(p.failed_objects(&[4, 5], 2), 2);
+        assert_eq!(p.failed_objects(&[], 1), 0);
+    }
+
+    #[test]
+    fn merging() {
+        let mut p = sample();
+        let q = Placement::new(6, 3, vec![vec![1, 2, 3]]).unwrap();
+        p.extend(q).unwrap();
+        assert_eq!(p.num_objects(), 5);
+        let bad = Placement::new(7, 3, vec![vec![1, 2, 3]]).unwrap();
+        let mut p2 = sample();
+        assert!(p2.extend(bad).is_err());
+    }
+}

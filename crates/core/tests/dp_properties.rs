@@ -1,0 +1,106 @@
+//! Property-based tests for the Combo DP: optimality against brute force
+//! and structural invariants of the plans it emits.
+
+use proptest::prelude::*;
+use wcp_core::{combo_plan, lb_avail_co, PackingProfile, SystemParams};
+
+/// Exhaustive search over every λ assignment reachable through the DP's
+/// decision space for s ≤ 3 paper profiles.
+fn brute_force_lb(profile: &PackingProfile, params: &SystemParams) -> i64 {
+    let b = params.b();
+    let s = profile.s();
+    assert!(s <= 3);
+    let mut best = i64::MIN;
+    let mut eval = |lambdas: &[u64], placed: u64| {
+        if placed >= b {
+            // capacity may exceed b; penalties use λ as chosen
+            let lb = lb_avail_co(lambdas, b, params.k(), params.s());
+            best = best.max(lb.max(0));
+        }
+    };
+    match s {
+        1 => {
+            let sp0 = profile.spec(0);
+            let d0 = sp0.units_for(b).unwrap();
+            eval(&[d0 * sp0.mu], sp0.capacity(d0));
+        }
+        2 => {
+            let sp0 = profile.spec(0);
+            let sp1 = profile.spec(1);
+            for d1 in 0..=sp1.units_for(b).unwrap() {
+                let placed1 = sp1.capacity(d1).min(b);
+                let d0 = sp0.units_for(b - placed1).unwrap();
+                eval(&[d0 * sp0.mu, d1 * sp1.mu], placed1 + sp0.capacity(d0));
+            }
+        }
+        _ => {
+            let sp0 = profile.spec(0);
+            let sp1 = profile.spec(1);
+            let sp2 = profile.spec(2);
+            for d2 in 0..=sp2.units_for(b).unwrap() {
+                let placed2 = sp2.capacity(d2).min(b);
+                for d1 in 0..=sp1.units_for(b - placed2).unwrap() {
+                    let placed1 = sp1.capacity(d1).min(b - placed2);
+                    let d0 = sp0.units_for(b - placed2 - placed1).unwrap();
+                    eval(
+                        &[d0 * sp0.mu, d1 * sp1.mu, d2 * sp2.mu],
+                        placed2 + placed1 + sp0.capacity(d0),
+                    );
+                }
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The DP's maximized bound equals exhaustive search over its whole
+    /// decision space, on arbitrary paper-grid instances.
+    #[test]
+    fn dp_is_optimal(
+        ni in 0usize..3,
+        b in 50u64..3000,
+        r in 2u16..=5,
+        s in 1u16..=3,
+        k_off in 0u16..4,
+    ) {
+        let n = [31u16, 71, 257][ni];
+        prop_assume!(s <= r);
+        let k = s + k_off;
+        let params = SystemParams::new(n, b, r, s, k).expect("valid");
+        let profile = PackingProfile::paper(&params).expect("paper grid");
+        let plan = combo_plan(&profile, &params).expect("DP");
+        let brute = brute_force_lb(&profile, &params);
+        prop_assert_eq!(plan.lb_avail as i64, brute,
+            "DP {:?} vs brute {} at n={} b={} r={} s={} k={}", plan, brute, n, b, r, s, k);
+    }
+
+    /// Plans always place exactly b objects within slot capacities, and
+    /// the reported bound is consistent with Lemma 3 on the chosen λs.
+    #[test]
+    fn plans_internally_consistent(
+        ni in 0usize..3,
+        b in 50u64..20_000,
+        r in 2u16..=5,
+        s in 1u16..=5,
+        k_off in 0u16..3,
+    ) {
+        let n = [31u16, 71, 257][ni];
+        prop_assume!(s <= r);
+        let k = s + k_off;
+        let params = SystemParams::new(n, b, r, s, k).expect("valid");
+        let profile = PackingProfile::paper(&params).expect("paper grid");
+        let plan = combo_plan(&profile, &params).expect("DP");
+        prop_assert_eq!(plan.objects.iter().sum::<u64>(), b);
+        for x in 0..s {
+            let spec = profile.spec(x);
+            let lam = plan.lambdas[usize::from(x)];
+            prop_assert!(lam.is_multiple_of(spec.mu.max(1)));
+            prop_assert!(plan.objects[usize::from(x)] <= spec.capacity(lam / spec.mu.max(1)));
+        }
+        let direct = lb_avail_co(&plan.lambdas, b, k, s).max(0) as u64;
+        prop_assert_eq!(plan.lb_avail, direct);
+    }
+}

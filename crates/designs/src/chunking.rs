@@ -1,0 +1,258 @@
+//! Chunk decomposition (the paper's Observation 2).
+//!
+//! When no single design fits `n_x ≈ n`, the node set can be split into
+//! chunks `n_{x1}, …, n_{xm}` with `Σ n_{xi} ≤ n`, each carrying its own
+//! `Simple(x, μ)` placement; capacities add. The paper's Figs. 5 and 6
+//! study how close such decompositions come to the *ideal* capacity
+//! `⌊μ·C(n, x+1)/C(r, x+1)⌋` as a "capacity gap"; this module computes the
+//! optimal decomposition by dynamic programming.
+
+use wcp_combin::binomial;
+
+/// An optimal chunk decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Chosen chunk sizes (descending); empty when no admissible size fits.
+    pub sizes: Vec<u16>,
+    /// Total capacity `Σ λ·C(v_i, t)/C(r, t)` in blocks.
+    pub capacity: u64,
+}
+
+/// Capacity (block count) of a maximum `t-(v, r, λ)` packing realized as a
+/// design: `⌊λ·C(v, t)/C(r, t)⌋`.
+#[must_use]
+pub fn design_capacity(t: u16, r: u16, v: u16, lambda: u64) -> u64 {
+    let num = binomial(u64::from(v), u64::from(t)).expect("v small");
+    let den = binomial(u64::from(r), u64::from(t)).expect("r small");
+    u64::try_from(u128::from(lambda) * num / den).expect("capacity fits u64")
+}
+
+/// The ideal capacity against which decompositions are measured:
+/// `⌊λ·C(n, t)/C(r, t)⌋` (Lemma 1 with all `n` nodes).
+#[must_use]
+pub fn ideal_capacity(t: u16, r: u16, n: u16, lambda: u64) -> u64 {
+    design_capacity(t, r, n, lambda)
+}
+
+/// Finds the decomposition of at most `m` chunks, drawn (with repetition)
+/// from `admissible_sizes`, with total size `≤ n`, maximizing total design
+/// capacity at index `lambda`.
+///
+/// Runs the classic bounded-knapsack DP in `O(m · n · |sizes|)`.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_designs::chunking::best_chunking;
+///
+/// // r = 5, t = 2, Steiner sizes near 257: two AG(3,5) chunks beat any
+/// // single constructible design (775 + 775 blocks vs 775).
+/// let plan = best_chunking(257, 5, 2, 3, &[21, 25, 65, 85, 125], 1);
+/// assert_eq!(plan.sizes, vec![125, 125]);
+/// ```
+#[must_use]
+pub fn best_chunking(
+    n: u16,
+    r: u16,
+    t: u16,
+    m: usize,
+    admissible_sizes: &[u16],
+    lambda: u64,
+) -> ChunkPlan {
+    let n = n as usize;
+    let sizes: Vec<u16> = admissible_sizes
+        .iter()
+        .copied()
+        .filter(|&v| v >= r && (v as usize) <= n)
+        .collect();
+    // dp[j][budget] = best capacity using exactly ≤ j chunks within budget.
+    // Store choice for reconstruction.
+    let mut dp = vec![vec![0u64; n + 1]; m + 1];
+    let mut choice = vec![vec![0u16; n + 1]; m + 1];
+    for j in 1..=m {
+        for budget in 0..=n {
+            // default: don't add a j-th chunk
+            dp[j][budget] = dp[j - 1][budget];
+            choice[j][budget] = 0;
+            for &v in &sizes {
+                if (v as usize) <= budget {
+                    let cand = dp[j - 1][budget - v as usize] + design_capacity(t, r, v, lambda);
+                    if cand > dp[j][budget] {
+                        dp[j][budget] = cand;
+                        choice[j][budget] = v;
+                    }
+                }
+            }
+        }
+    }
+    // Reconstruct.
+    let mut plan_sizes = Vec::new();
+    let mut j = m;
+    let mut budget = n;
+    while j > 0 {
+        let v = choice[j][budget];
+        if v > 0 {
+            plan_sizes.push(v);
+            budget -= v as usize;
+        }
+        j -= 1;
+    }
+    plan_sizes.sort_unstable_by(|a, b| b.cmp(a));
+    ChunkPlan {
+        capacity: dp[m][n],
+        sizes: plan_sizes,
+    }
+}
+
+/// The best achievable capacity for *every* budget `0 ..= n_max` at once
+/// (one knapsack DP): `result[n]` equals
+/// `best_chunking(n, …).capacity`. Used by the Fig. 5/6 sweeps, which
+/// evaluate hundreds of system sizes against the same size list.
+#[must_use]
+pub fn capacity_profile(
+    n_max: u16,
+    r: u16,
+    t: u16,
+    m: usize,
+    admissible_sizes: &[u16],
+    lambda: u64,
+) -> Vec<u64> {
+    let n = n_max as usize;
+    let sizes: Vec<u16> = admissible_sizes
+        .iter()
+        .copied()
+        .filter(|&v| v >= r && (v as usize) <= n)
+        .collect();
+    let caps: Vec<u64> = sizes
+        .iter()
+        .map(|&v| design_capacity(t, r, v, lambda))
+        .collect();
+    let mut prev = vec![0u64; n + 1];
+    for _ in 0..m {
+        let mut cur = prev.clone();
+        for budget in 0..=n {
+            for (i, &v) in sizes.iter().enumerate() {
+                if (v as usize) <= budget {
+                    let cand = prev[budget - v as usize] + caps[i];
+                    if cand > cur[budget] {
+                        cur[budget] = cand;
+                    }
+                }
+            }
+        }
+        prev = cur;
+    }
+    prev
+}
+
+/// The capacity gap of the best `≤ m`-chunk decomposition: the difference
+/// between ideal and achievable capacity as a fraction of ideal, i.e.
+/// `0.0` = perfect, `1.0` = nothing constructible.
+///
+/// This is exactly the horizontal axis of the paper's Figs. 5 and 6.
+#[must_use]
+pub fn capacity_gap(
+    n: u16,
+    r: u16,
+    t: u16,
+    m: usize,
+    admissible_sizes: &[u16],
+    lambda: u64,
+) -> f64 {
+    let ideal = ideal_capacity(t, r, n, lambda);
+    if ideal == 0 {
+        return 0.0;
+    }
+    let achieved = best_chunking(n, r, t, m, admissible_sizes, lambda).capacity;
+    1.0 - achieved as f64 / ideal as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn capacity_formula() {
+        assert_eq!(design_capacity(2, 3, 9, 1), 12); // STS(9)
+        assert_eq!(design_capacity(2, 3, 69, 1), 782);
+        assert_eq!(design_capacity(3, 5, 65, 1), 4368);
+        assert_eq!(design_capacity(2, 5, 25, 2), 60);
+    }
+
+    #[test]
+    fn single_chunk_when_exact_size_exists() {
+        // n = 69, r = 3, t = 2: STS(69) exists, so one chunk of 69 is
+        // optimal and the gap is 0.
+        let sizes = catalog::steiner_sizes(2, 3, 3, 69);
+        let plan = best_chunking(69, 3, 2, 3, &sizes, 1);
+        assert_eq!(plan.sizes, vec![69]);
+        assert_eq!(plan.capacity, 782);
+        assert_eq!(capacity_gap(69, 3, 2, 3, &sizes, 1), 0.0);
+    }
+
+    #[test]
+    fn multi_chunk_beats_single() {
+        // n = 71, r = 3: STS(69) alone (782) vs 69 is best single; but the
+        // DP may split. Whatever it picks must be at least the single-chunk
+        // capacity and within the ideal.
+        let sizes = catalog::steiner_sizes(2, 3, 3, 71);
+        let plan = best_chunking(71, 3, 2, 3, &sizes, 1);
+        assert!(plan.capacity >= 782);
+        assert!(plan.capacity <= ideal_capacity(2, 3, 71, 1));
+        let total: u64 = plan.sizes.iter().map(|&v| u64::from(v)).sum();
+        assert!(total <= 71);
+    }
+
+    #[test]
+    fn paper_example_257_r5() {
+        // t = 2, r = 5, n = 257: constructible Steiner sizes include 25
+        // (AG(2,5)), 65 (unital), 85 (PG(3,4)), 125 (AG(3,5)), 245
+        // (Hanani spectrum).
+        let sizes = catalog::steiner_sizes(2, 5, 5, 257);
+        assert!(sizes.contains(&245));
+        let plan = best_chunking(257, 5, 2, 3, &sizes, 1);
+        // 245 (2989 blocks) plus two single-block chunks of 5 points.
+        assert_eq!(plan.capacity, 2991);
+        assert_eq!(plan.sizes[0], 245);
+    }
+
+    #[test]
+    fn empty_sizes_give_full_gap() {
+        assert_eq!(capacity_gap(100, 5, 3, 3, &[], 1), 1.0);
+        let plan = best_chunking(100, 5, 3, 3, &[], 1);
+        assert!(plan.sizes.is_empty());
+        assert_eq!(plan.capacity, 0);
+    }
+
+    #[test]
+    fn more_chunks_never_hurt() {
+        let sizes = catalog::steiner_sizes(2, 4, 4, 300);
+        for n in [50u16, 137, 222, 300] {
+            let c1 = best_chunking(n, 4, 2, 1, &sizes, 1).capacity;
+            let c2 = best_chunking(n, 4, 2, 2, &sizes, 1).capacity;
+            let c3 = best_chunking(n, 4, 2, 3, &sizes, 1).capacity;
+            assert!(c2 >= c1 && c3 >= c2, "n={n}: {c1} {c2} {c3}");
+        }
+    }
+
+    #[test]
+    fn profile_matches_pointwise_dp() {
+        let sizes = catalog::steiner_sizes(2, 3, 3, 120);
+        let profile = capacity_profile(120, 3, 2, 3, &sizes, 1);
+        for n in [3u16, 17, 50, 99, 120] {
+            assert_eq!(
+                profile[n as usize],
+                best_chunking(n, 3, 2, 3, &sizes, 1).capacity,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn doc_example_sizes() {
+        let plan = best_chunking(257, 5, 2, 3, &[21, 25, 65, 85, 125], 1);
+        assert_eq!(plan.sizes, vec![125, 125]);
+        assert_eq!(plan.capacity, 775 + 775);
+    }
+}

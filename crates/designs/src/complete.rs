@@ -1,0 +1,145 @@
+//! Trivial design families: partitions, all pairs, and complete `r`-subset
+//! designs.
+//!
+//! Three degenerate corners of the parameter space have trivial optimal
+//! constructions, all used by the paper:
+//!
+//! * `x = 0` (`t = 1`): a `1-(v, r, 1)` packing is a partial partition —
+//!   `⌊v/r⌋` disjoint blocks ([`partition`]);
+//! * `r = 2`, `t = 2`: all pairs of points form a `2-(v, 2, 1)` design
+//!   ([`all_pairs`]);
+//! * `t = r`: *any* set of distinct `r`-subsets is an `r-(v, r, 1)` packing,
+//!   and all `C(v, r)` of them form the complete design. The paper: "when
+//!   `x + 1 = r`, the constraints for a Steiner system are vacuously
+//!   satisfied by sets of size `r`". [`complete_prefix`] materializes the
+//!   first `limit` of them lazily (the full complete design on 257 points
+//!   with `r = 5` has ~9 billion blocks).
+
+use crate::{BlockDesign, DesignError};
+use wcp_combin::KSubsets;
+
+/// `⌊v/r⌋` pairwise-disjoint blocks: a maximum `1-(v, r, 1)` packing.
+///
+/// # Errors
+///
+/// [`DesignError::Unsupported`] if `r = 0`.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_designs::{complete, verify};
+///
+/// let d = complete::partition(10, 3)?;
+/// assert_eq!(d.num_blocks(), 3);
+/// assert_eq!(verify::packing_index(&d, 1), 1);
+/// # Ok::<(), wcp_designs::DesignError>(())
+/// ```
+pub fn partition(v: u16, r: u16) -> Result<BlockDesign, DesignError> {
+    if r == 0 {
+        return Err(DesignError::Unsupported("r = 0".into()));
+    }
+    let blocks = (0..v / r).map(|i| (i * r..(i + 1) * r).collect()).collect();
+    BlockDesign::new(v, r, blocks)
+}
+
+/// All `C(v, 2)` pairs: the (unique) `2-(v, 2, 1)` design.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_designs::{complete, verify};
+///
+/// let d = complete::all_pairs(6)?;
+/// assert_eq!(d.num_blocks(), 15);
+/// assert!(verify::is_t_design(&d, 2, 1));
+/// # Ok::<(), wcp_designs::DesignError>(())
+/// ```
+pub fn all_pairs(v: u16) -> Result<BlockDesign, DesignError> {
+    complete_prefix(v, 2, usize::MAX)
+}
+
+/// The first `limit` blocks (in lexicographic order) of the complete design
+/// of all `r`-subsets of `v` points.
+///
+/// Any prefix is an `r-(v, r, 1)` packing (all blocks distinct), which is
+/// exactly what a `Simple(r−1, 1)` placement requires. `limit = usize::MAX`
+/// materializes the whole design — only sensible for small `v`.
+///
+/// # Errors
+///
+/// [`DesignError::Unsupported`] if `r = 0` or `r > v`.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_designs::complete;
+///
+/// let d = complete::complete_prefix(257, 5, 100)?;
+/// assert_eq!(d.num_blocks(), 100);
+/// assert_eq!(d.blocks()[0], vec![0, 1, 2, 3, 4]);
+/// # Ok::<(), wcp_designs::DesignError>(())
+/// ```
+pub fn complete_prefix(v: u16, r: u16, limit: usize) -> Result<BlockDesign, DesignError> {
+    if r == 0 || r > v {
+        return Err(DesignError::Unsupported(format!(
+            "complete design needs 0 < r ≤ v, got r={r}, v={v}"
+        )));
+    }
+    let blocks: Vec<Vec<u16>> = KSubsets::new(v, r).take(limit).collect();
+    BlockDesign::new(v, r, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+
+    #[test]
+    fn partition_is_disjoint() {
+        let d = partition(31, 5).unwrap();
+        assert_eq!(d.num_blocks(), 6);
+        assert_eq!(verify::packing_index(&d, 1), 1);
+        // Leftover points 30 not covered.
+        let covered: usize = d.blocks().iter().map(Vec::len).sum();
+        assert_eq!(covered, 30);
+    }
+
+    #[test]
+    fn partition_exact_fit() {
+        let d = partition(12, 4).unwrap();
+        assert_eq!(d.num_blocks(), 3);
+        assert!(verify::is_t_design(&d, 1, 1));
+    }
+
+    #[test]
+    fn all_pairs_is_design() {
+        for v in [3u16, 5, 8, 12] {
+            let d = all_pairs(v).unwrap();
+            assert_eq!(d.num_blocks() as u64, u64::from(v) * u64::from(v - 1) / 2);
+            assert!(verify::is_t_design(&d, 2, 1));
+        }
+    }
+
+    #[test]
+    fn complete_design_full() {
+        let d = complete_prefix(7, 3, usize::MAX).unwrap();
+        assert_eq!(d.num_blocks(), 35);
+        assert!(verify::is_t_design(&d, 3, 1));
+        // As a 2-design its index is v - 2 = 5.
+        assert!(verify::is_t_design(&d, 2, 5));
+    }
+
+    #[test]
+    fn prefix_is_packing() {
+        let d = complete_prefix(31, 5, 1000).unwrap();
+        assert_eq!(d.num_blocks(), 1000);
+        assert_eq!(verify::packing_index(&d, 5), 1);
+    }
+
+    #[test]
+    fn bad_parameters() {
+        assert!(complete_prefix(5, 0, 10).is_err());
+        assert!(complete_prefix(5, 6, 10).is_err());
+        assert!(partition(5, 0).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Line designs of affine and projective geometries, as [`BlockDesign`]s.
+//!
+//! * [`ag_line_design`] — `2-(q^d, q, 1)` from `AG(d, q)`; the paper uses
+//!   `AG(2,5)` (`2-(25,5,1)`, its `n_1` for `n = 31, r = 5`) and we use
+//!   `AG(3,4)` / `AG(4,4)` for `r = 4`.
+//! * [`pg_line_design`] — `2-((q^{d+1}−1)/(q−1), q+1, 1)` from `PG(d, q)`,
+//!   e.g. `2-(85,5,1)` from `PG(3,4)` (a chunking candidate for `r = 5`).
+
+use crate::{BlockDesign, DesignError};
+use wcp_gf::{geometry, Gf};
+
+/// The lines of `AG(d, q)` as a `2-(q^d, q, 1)` design.
+///
+/// # Errors
+///
+/// [`DesignError::Unsupported`] if `q` is not a prime power, `d = 0`, or
+/// the point count exceeds `u16`.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_designs::{lines, verify};
+///
+/// let d = lines::ag_line_design(5, 2)?; // affine plane of order 5
+/// assert_eq!(d.num_points(), 25);
+/// assert_eq!(d.num_blocks(), 30);
+/// assert!(verify::is_t_design(&d, 2, 1));
+/// # Ok::<(), wcp_designs::DesignError>(())
+/// ```
+pub fn ag_line_design(q: u32, d: u32) -> Result<BlockDesign, DesignError> {
+    if d == 0 {
+        return Err(DesignError::Unsupported("AG dimension must be ≥ 1".into()));
+    }
+    let points = geometry::ag_point_count(q, d);
+    if points > u64::from(u16::MAX) {
+        return Err(DesignError::Unsupported(format!(
+            "AG({d},{q}) has {points} points, exceeding u16"
+        )));
+    }
+    let gf = Gf::new(q).map_err(|e| DesignError::Unsupported(format!("AG({d},{q}): {e}")))?;
+    let blocks = geometry::ag_lines(&gf, d);
+    BlockDesign::new(points as u16, q as u16, blocks)
+}
+
+/// The lines of `PG(d, q)` as a `2-((q^{d+1}−1)/(q−1), q+1, 1)` design.
+///
+/// # Errors
+///
+/// [`DesignError::Unsupported`] if `q` is not a prime power, `d = 0`, or
+/// the point count exceeds `u16`.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_designs::{lines, verify};
+///
+/// let d = lines::pg_line_design(4, 3)?; // 2-(85,5,1)
+/// assert_eq!(d.num_points(), 85);
+/// assert!(verify::is_t_design(&d, 2, 1));
+/// # Ok::<(), wcp_designs::DesignError>(())
+/// ```
+pub fn pg_line_design(q: u32, d: u32) -> Result<BlockDesign, DesignError> {
+    if d == 0 {
+        return Err(DesignError::Unsupported("PG dimension must be ≥ 1".into()));
+    }
+    let points = geometry::pg_point_count(q, d);
+    if points > u64::from(u16::MAX) {
+        return Err(DesignError::Unsupported(format!(
+            "PG({d},{q}) has {points} points, exceeding u16"
+        )));
+    }
+    let gf = Gf::new(q).map_err(|e| DesignError::Unsupported(format!("PG({d},{q}): {e}")))?;
+    let blocks = geometry::pg_lines(&gf, d);
+    BlockDesign::new(points as u16, (q + 1) as u16, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+
+    #[test]
+    fn ag_designs() {
+        // (q, d, expected blocks)
+        for (q, d, blocks) in [(2u32, 3u32, 28usize), (3, 2, 12), (5, 2, 30), (4, 3, 336)] {
+            let des = ag_line_design(q, d).unwrap();
+            assert_eq!(des.num_blocks(), blocks, "AG({d},{q})");
+            assert!(verify::is_t_design(&des, 2, 1), "AG({d},{q})");
+            assert_eq!(des.block_size(), q as u16);
+        }
+    }
+
+    #[test]
+    fn ag35_design() {
+        // 2-(125,5,1): chunking candidate for n = 257, r = 5.
+        let des = ag_line_design(5, 3).unwrap();
+        assert_eq!(des.num_points(), 125);
+        assert_eq!(des.num_blocks(), 125 * 124 / 20);
+        assert!(verify::is_t_design(&des, 2, 1));
+    }
+
+    #[test]
+    fn pg_designs() {
+        for (q, d, v, blocks) in [
+            (2u32, 2u32, 7u16, 7usize),
+            (3, 2, 13, 13),
+            (4, 2, 21, 21),
+            (3, 3, 40, 130),
+            (4, 3, 85, 357),
+        ] {
+            let des = pg_line_design(q, d).unwrap();
+            assert_eq!(des.num_points(), v, "PG({d},{q})");
+            assert_eq!(des.num_blocks(), blocks, "PG({d},{q})");
+            assert!(verify::is_t_design(&des, 2, 1), "PG({d},{q})");
+        }
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(ag_line_design(6, 2).is_err()); // not a prime power
+        assert!(ag_line_design(5, 0).is_err());
+        assert!(pg_line_design(10, 2).is_err());
+    }
+}

@@ -1,0 +1,375 @@
+//! Mutually orthogonal Latin squares (MOLS) and transversal designs.
+//!
+//! A set of `k − 2` MOLS of order `m` is equivalent to a transversal
+//! design `TD(k, m)`: `k` disjoint groups of `m` points and `m²` blocks,
+//! each meeting every group once, with every cross-group pair in exactly
+//! one block. Viewed over all `k·m` points a `TD(k, m)` is therefore a
+//! `2-(k·m, k, 1)` *packing* (within-group pairs are simply never
+//! covered) with `m²` blocks — a constructive option for block sizes and
+//! point counts where no Steiner design is available, sitting between
+//! chunked unions and the greedy fallback.
+//!
+//! Constructions:
+//! * prime powers: the classical complete set of `q − 1` MOLS over
+//!   `GF(q)` (`L_a(x, y) = a·x + y`);
+//! * composite `m = m₁·m₂`: the MacNeish/Kronecker product, giving
+//!   `min(N(m₁), N(m₂))` squares.
+
+use crate::{BlockDesign, DesignError};
+use wcp_gf::Gf;
+
+/// A Latin square of order `m`: an `m × m` array over symbols `0..m` with
+/// every symbol exactly once per row and per column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatinSquare {
+    m: u16,
+    cells: Vec<u16>, // row-major
+}
+
+impl LatinSquare {
+    /// Wraps and validates a row-major cell array.
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::Unsupported`] if the array is not a Latin square.
+    pub fn new(m: u16, cells: Vec<u16>) -> Result<Self, DesignError> {
+        if cells.len() != usize::from(m) * usize::from(m) {
+            return Err(DesignError::Unsupported(format!(
+                "cell array has {} entries, need {}",
+                cells.len(),
+                usize::from(m) * usize::from(m)
+            )));
+        }
+        let sq = Self { m, cells };
+        if !sq.is_latin() {
+            return Err(DesignError::Unsupported("not a Latin square".into()));
+        }
+        Ok(sq)
+    }
+
+    /// Order `m`.
+    #[must_use]
+    pub fn order(&self) -> u16 {
+        self.m
+    }
+
+    /// The symbol at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn get(&self, row: u16, col: u16) -> u16 {
+        self.cells[usize::from(row) * usize::from(self.m) + usize::from(col)]
+    }
+
+    fn is_latin(&self) -> bool {
+        let m = usize::from(self.m);
+        for i in 0..m {
+            let mut row_seen = vec![false; m];
+            let mut col_seen = vec![false; m];
+            for j in 0..m {
+                let r = usize::from(self.cells[i * m + j]);
+                let c = usize::from(self.cells[j * m + i]);
+                if r >= m || c >= m || row_seen[r] || col_seen[c] {
+                    return false;
+                }
+                row_seen[r] = true;
+                col_seen[c] = true;
+            }
+        }
+        true
+    }
+
+    /// True iff `self` and `other` are orthogonal: superimposing them
+    /// yields every ordered symbol pair exactly once.
+    #[must_use]
+    pub fn orthogonal_to(&self, other: &LatinSquare) -> bool {
+        if self.m != other.m {
+            return false;
+        }
+        let m = usize::from(self.m);
+        let mut seen = vec![false; m * m];
+        for i in 0..m as u16 {
+            for j in 0..m as u16 {
+                let key = usize::from(self.get(i, j)) * m + usize::from(other.get(i, j));
+                if seen[key] {
+                    return false;
+                }
+                seen[key] = true;
+            }
+        }
+        true
+    }
+}
+
+/// A complete set of `q − 1` MOLS of prime-power order `q`:
+/// `L_a(x, y) = a·x + y` over `GF(q)` for each `a ≠ 0`.
+///
+/// # Errors
+///
+/// [`DesignError::Unsupported`] if `q` is not a prime power (or too
+/// large for the field tables).
+///
+/// # Examples
+///
+/// ```
+/// use wcp_designs::mols::field_mols;
+///
+/// let set = field_mols(5)?;
+/// assert_eq!(set.len(), 4);
+/// for (i, a) in set.iter().enumerate() {
+///     for b in &set[i + 1..] {
+///         assert!(a.orthogonal_to(b));
+///     }
+/// }
+/// # Ok::<(), wcp_designs::DesignError>(())
+/// ```
+pub fn field_mols(q: u16) -> Result<Vec<LatinSquare>, DesignError> {
+    let gf =
+        Gf::new(u32::from(q)).map_err(|e| DesignError::Unsupported(format!("GF({q}): {e}")))?;
+    let mut out = Vec::with_capacity(usize::from(q) - 1);
+    for a in 1..u32::from(q) {
+        let mut cells = Vec::with_capacity(usize::from(q) * usize::from(q));
+        for x in 0..u32::from(q) {
+            for y in 0..u32::from(q) {
+                cells.push(gf.add(gf.mul(a, x), y) as u16);
+            }
+        }
+        out.push(LatinSquare::new(q, cells)?);
+    }
+    Ok(out)
+}
+
+/// Kronecker (MacNeish) product of two Latin squares: a square of order
+/// `m₁·m₂`; products of pairwise-orthogonal sets stay pairwise
+/// orthogonal.
+#[must_use]
+pub fn kronecker(a: &LatinSquare, b: &LatinSquare) -> LatinSquare {
+    let (ma, mb) = (usize::from(a.order()), usize::from(b.order()));
+    let m = ma * mb;
+    let mut cells = vec![0u16; m * m];
+    for i in 0..m {
+        for j in 0..m {
+            let sym = usize::from(a.get((i / mb) as u16, (j / mb) as u16)) * mb
+                + usize::from(b.get((i % mb) as u16, (j % mb) as u16));
+            cells[i * m + j] = sym as u16;
+        }
+    }
+    LatinSquare { m: m as u16, cells }
+}
+
+/// As many MOLS of order `m` as this module can build: `q − 1` for prime
+/// powers, `min` over the prime-power factorization via MacNeish
+/// otherwise (`N(6) = 0` here — the Euler case — though one square always
+/// exists).
+///
+/// # Errors
+///
+/// [`DesignError::Unsupported`] for `m < 2`.
+pub fn best_mols(m: u16) -> Result<Vec<LatinSquare>, DesignError> {
+    if m < 2 {
+        return Err(DesignError::Unsupported("order must be ≥ 2".into()));
+    }
+    if let Ok(set) = field_mols(m) {
+        return Ok(set);
+    }
+    // Factor into prime powers and combine.
+    let mut rest = u32::from(m);
+    let mut parts: Vec<u16> = Vec::new();
+    let mut p = 2u32;
+    while p * p <= rest {
+        if rest % p == 0 {
+            let mut pk = 1u32;
+            while rest % p == 0 {
+                pk *= p;
+                rest /= p;
+            }
+            parts.push(pk as u16);
+        }
+        p += 1;
+    }
+    if rest > 1 {
+        parts.push(rest as u16);
+    }
+    let mut sets: Vec<Vec<LatinSquare>> = parts
+        .iter()
+        .map(|&pk| field_mols(pk))
+        .collect::<Result<_, _>>()?;
+    let count = sets.iter().map(Vec::len).min().unwrap_or(0);
+    let mut combined: Vec<LatinSquare> = sets.pop().expect("m ≥ 2 has a factor");
+    combined.truncate(count);
+    for set in sets {
+        combined = combined
+            .iter()
+            .zip(set.iter().take(count))
+            .map(|(a, b)| kronecker(b, a))
+            .collect();
+    }
+    Ok(combined)
+}
+
+/// How many MOLS of order `m` this module can build, without building
+/// them: `m − 1` for prime powers, the MacNeish minimum otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_designs::mols::mols_count;
+///
+/// assert_eq!(mols_count(9), 8);
+/// assert_eq!(mols_count(12), 2); // min(N(4), N(3)) = min(3, 2)
+/// assert_eq!(mols_count(6), 1);  // Euler: no orthogonal pair here
+/// ```
+#[must_use]
+pub fn mols_count(m: u16) -> usize {
+    if m < 2 {
+        return 0;
+    }
+    let mut rest = u32::from(m);
+    let mut min_count = usize::MAX;
+    let mut p = 2u32;
+    while p * p <= rest {
+        if rest % p == 0 {
+            let mut pk = 1u32;
+            while rest % p == 0 {
+                pk *= p;
+                rest /= p;
+            }
+            min_count = min_count.min(pk as usize - 1);
+        }
+        p += 1;
+    }
+    if rest > 1 {
+        min_count = min_count.min(rest as usize - 1);
+    }
+    min_count
+}
+
+/// The transversal design `TD(k, m)` as a `2-(k·m, k, 1)` packing:
+/// groups are `{g·m .. (g+1)·m}`; block `(x, y)` takes row `x`/column `y`
+/// of each square plus the two coordinate groups.
+///
+/// Requires `k − 2` MOLS of order `m` (so `k ≤ N(m) + 2`).
+///
+/// # Errors
+///
+/// [`DesignError::Unsupported`] when not enough MOLS exist or `k < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_designs::{mols::transversal_design, verify};
+///
+/// let td = transversal_design(4, 9)?; // 2-(36,4,1) packing, 81 blocks
+/// assert_eq!(td.num_points(), 36);
+/// assert_eq!(td.num_blocks(), 81);
+/// assert!(verify::is_t_packing(&td, 2, 1));
+/// # Ok::<(), wcp_designs::DesignError>(())
+/// ```
+pub fn transversal_design(k: u16, m: u16) -> Result<BlockDesign, DesignError> {
+    if k < 2 {
+        return Err(DesignError::Unsupported("TD needs k ≥ 2".into()));
+    }
+    let squares = best_mols(m)?;
+    if usize::from(k) - 2 > squares.len() {
+        return Err(DesignError::Unsupported(format!(
+            "TD({k},{m}) needs {} MOLS, have {}",
+            k - 2,
+            squares.len()
+        )));
+    }
+    let mut blocks = Vec::with_capacity(usize::from(m) * usize::from(m));
+    for x in 0..m {
+        for y in 0..m {
+            let mut block = Vec::with_capacity(usize::from(k));
+            block.push(x); // group 0: rows
+            block.push(m + y); // group 1: columns
+            for (g, sq) in squares.iter().take(usize::from(k) - 2).enumerate() {
+                block.push((g as u16 + 2) * m + sq.get(x, y));
+            }
+            block.sort_unstable();
+            blocks.push(block);
+        }
+    }
+    BlockDesign::new(k * m, k, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+
+    #[test]
+    fn field_mols_complete_sets() {
+        for q in [3u16, 4, 5, 7, 8, 9] {
+            let set = field_mols(q).unwrap();
+            assert_eq!(set.len(), usize::from(q) - 1, "q={q}");
+            for (i, a) in set.iter().enumerate() {
+                for b in &set[i + 1..] {
+                    assert!(a.orthogonal_to(b), "q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn macneish_composite() {
+        // m = 12 = 4·3: min(3, 2) = 2 MOLS.
+        let set = best_mols(12).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set[0].orthogonal_to(&set[1]));
+        assert_eq!(set[0].order(), 12);
+        // m = 15 = 5·3: min(4, 2) = 2 MOLS.
+        let set = best_mols(15).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set[0].orthogonal_to(&set[1]));
+    }
+
+    #[test]
+    fn euler_case() {
+        // N(6): MacNeish gives min over {2, 3} − 1 = 1, i.e. no orthogonal
+        // pair (correct — Euler's 36-officer problem has no solution).
+        let set = best_mols(6).unwrap();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn transversal_designs_verify() {
+        for (k, m) in [(3u16, 4u16), (4, 5), (5, 7), (4, 9), (5, 8)] {
+            let td = transversal_design(k, m).unwrap();
+            assert_eq!(td.num_blocks(), usize::from(m) * usize::from(m));
+            assert!(verify::is_t_packing(&td, 2, 1), "TD({k},{m})");
+            // Every block meets every group exactly once.
+            for b in td.blocks() {
+                for g in 0..k {
+                    let in_group = b.iter().filter(|&&p| p / m == g).count();
+                    assert_eq!(in_group, 1, "TD({k},{m}) group {g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn td_composite_order() {
+        // TD(4, 12) via MacNeish (needs 2 MOLS of order 12).
+        let td = transversal_design(4, 12).unwrap();
+        assert_eq!(td.num_points(), 48);
+        assert_eq!(td.num_blocks(), 144);
+        assert!(verify::is_t_packing(&td, 2, 1));
+    }
+
+    #[test]
+    fn insufficient_mols_rejected() {
+        assert!(transversal_design(4, 6).is_err()); // needs 2 MOLS of order 6
+        assert!(transversal_design(12, 9).is_err()); // needs 10 MOLS of order 9
+        assert!(transversal_design(1, 5).is_err());
+    }
+
+    #[test]
+    fn latin_square_validation() {
+        assert!(LatinSquare::new(2, vec![0, 1, 1, 0]).is_ok());
+        assert!(LatinSquare::new(2, vec![0, 1, 0, 1]).is_err());
+        assert!(LatinSquare::new(2, vec![0, 1, 1]).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Steiner triple systems `2-(v, 3, 1)` for every admissible `v`.
+//!
+//! STS(v) exists iff `v ≡ 1 or 3 (mod 6)` (Kirkman). Both residue classes
+//! have classical constructions from quasigroups:
+//!
+//! * **Bose** (`v = 6t + 3`): an idempotent commutative quasigroup of odd
+//!   order `m = 2t + 1` (`x ∘ y = (x + y)·(m+1)/2 mod m`) on
+//!   `Z_m × {0,1,2}`.
+//! * **Skolem** (`v = 6t + 1`): a half-idempotent commutative quasigroup of
+//!   order `2t` on `Z_{2t} × {0,1,2}` plus one extra point `∞`.
+//!
+//! The paper's evaluations use STS(69) (Bose, the `n_1` entry for `n = 71`,
+//! `r = 3`), STS(31) and STS(255).
+
+use crate::{BlockDesign, DesignError};
+
+/// Point encoding for the quasigroup constructions: `(x, group)` with
+/// `group ∈ {0,1,2}` maps to `3x + group`; `∞` (Skolem only) is `v − 1`.
+fn enc(x: u32, group: u32) -> u16 {
+    (3 * x + group) as u16
+}
+
+/// Builds a Steiner triple system on `v` points.
+///
+/// # Errors
+///
+/// [`DesignError::Unsupported`] unless `v ≡ 1 or 3 (mod 6)` and `v ≥ 7`
+/// (`v = 3` is the degenerate single block and is allowed; `v = 1` has no
+/// triples).
+///
+/// # Examples
+///
+/// ```
+/// use wcp_designs::{sts, verify};
+///
+/// let d = sts::steiner_triple_system(69)?;
+/// assert_eq!(d.num_blocks(), 782); // C(69,2)/C(3,2)
+/// assert!(verify::is_t_design(&d, 2, 1));
+/// # Ok::<(), wcp_designs::DesignError>(())
+/// ```
+pub fn steiner_triple_system(v: u16) -> Result<BlockDesign, DesignError> {
+    match v % 6 {
+        3 => bose(v),
+        1 if v >= 7 => skolem(v),
+        _ => Err(DesignError::Unsupported(format!(
+            "STS({v}) does not exist: v must be ≡ 1 or 3 (mod 6)"
+        ))),
+    }
+}
+
+/// Bose construction for `v ≡ 3 (mod 6)`.
+fn bose(v: u16) -> Result<BlockDesign, DesignError> {
+    let m = u32::from(v) / 3; // odd
+    debug_assert_eq!(m % 2, 1);
+    let half = m.div_ceil(2); // multiplicative inverse of 2 mod m
+    let qg = |x: u32, y: u32| -> u32 { ((x + y) * half) % m };
+    let mut blocks = Vec::new();
+    for x in 0..m {
+        let mut b = vec![enc(x, 0), enc(x, 1), enc(x, 2)];
+        b.sort_unstable();
+        blocks.push(b);
+    }
+    for x in 0..m {
+        for y in x + 1..m {
+            let z = qg(x, y);
+            for g in 0..3u32 {
+                let mut b = vec![enc(x, g), enc(y, g), enc(z, (g + 1) % 3)];
+                b.sort_unstable();
+                blocks.push(b);
+            }
+        }
+    }
+    BlockDesign::new(v, 3, blocks)
+}
+
+/// Skolem construction for `v ≡ 1 (mod 6)`, `v ≥ 7`.
+fn skolem(v: u16) -> Result<BlockDesign, DesignError> {
+    let m = (u32::from(v) - 1) / 3; // m = 2t, even
+    let t = m / 2;
+    let infinity = v - 1;
+    // Half-idempotent commutative quasigroup on Z_m: x ∘ y = σ(x + y) where
+    // σ(2i) = i and σ(2i+1) = t + i.
+    let sigma = |e: u32| -> u32 {
+        let e = e % m;
+        if e.is_multiple_of(2) {
+            e / 2
+        } else {
+            t + (e - 1) / 2
+        }
+    };
+    let qg = |x: u32, y: u32| -> u32 { sigma(x + y) };
+    let mut blocks = Vec::new();
+    // Type 1: {(i,0),(i,1),(i,2)} for i < t.
+    for i in 0..t {
+        let mut b = vec![enc(i, 0), enc(i, 1), enc(i, 2)];
+        b.sort_unstable();
+        blocks.push(b);
+    }
+    // Type 2: {∞, (t+i, g), (i, g+1)} for 0 ≤ i < t, g ∈ {0,1,2}.
+    for i in 0..t {
+        for g in 0..3u32 {
+            let mut b = vec![infinity, enc(t + i, g), enc(i, (g + 1) % 3)];
+            b.sort_unstable();
+            blocks.push(b);
+        }
+    }
+    // Type 3: {(x,g),(y,g),(x∘y, g+1)} for x < y.
+    for x in 0..m {
+        for y in x + 1..m {
+            let z = qg(x, y);
+            for g in 0..3u32 {
+                let mut b = vec![enc(x, g), enc(y, g), enc(z, (g + 1) % 3)];
+                b.sort_unstable();
+                blocks.push(b);
+            }
+        }
+    }
+    BlockDesign::new(v, 3, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+
+    #[test]
+    fn bose_small() {
+        for v in [9u16, 15, 21, 27, 33] {
+            let d = steiner_triple_system(v).unwrap();
+            let expect = u64::from(v) * (u64::from(v) - 1) / 6;
+            assert_eq!(d.num_blocks() as u64, expect, "block count v={v}");
+            assert!(verify::is_t_design(&d, 2, 1), "STS({v}) pair balance");
+        }
+    }
+
+    #[test]
+    fn skolem_small() {
+        for v in [7u16, 13, 19, 25, 31, 37] {
+            let d = steiner_triple_system(v).unwrap();
+            let expect = u64::from(v) * (u64::from(v) - 1) / 6;
+            assert_eq!(d.num_blocks() as u64, expect, "block count v={v}");
+            assert!(verify::is_t_design(&d, 2, 1), "STS({v}) pair balance");
+        }
+    }
+
+    #[test]
+    fn paper_sizes() {
+        // STS(69): the paper's design for n = 71, r = 3, x = 1.
+        let d = steiner_triple_system(69).unwrap();
+        assert_eq!(d.num_blocks(), 782);
+        assert!(verify::is_t_design(&d, 2, 1));
+        // STS(255): n = 257, r = 3, x = 1.
+        let d = steiner_triple_system(255).unwrap();
+        assert_eq!(d.num_blocks(), 10_795);
+        assert!(verify::is_t_design(&d, 2, 1));
+    }
+
+    #[test]
+    fn inadmissible_rejected() {
+        for v in [5u16, 6, 8, 11, 14, 17, 20, 23] {
+            assert!(steiner_triple_system(v).is_err(), "STS({v}) must not exist");
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        // v = 3: a single block.
+        let d = steiner_triple_system(3).unwrap();
+        assert_eq!(d.num_blocks(), 1);
+        // v = 1 (≡ 1 mod 6 but too small for the construction): rejected.
+        assert!(steiner_triple_system(1).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Subline (Möbius) designs: `3-(q^d + 1, q + 1, 1)` for any prime power
+//! `q` and `d ≥ 2`.
+//!
+//! This is the "spherical geometry" family the paper cites among the known
+//! infinite Steiner systems ("x+1 = 3, r = q+1, and n_x = q^d + 1"). The
+//! point set is the projective line `PG(1, Q)` with `Q = q^d`; the blocks
+//! are the images of the standard subline `PG(1, q) ⊂ PG(1, Q)` under
+//! `PGL(2, Q)`. Because `PGL(2, Q)` is sharply 3-transitive and the subline
+//! family is 3-homogeneous, every 3 points lie on exactly one block.
+//!
+//! Instances used by the paper's evaluation:
+//!
+//! * `d = 2`: the inversive planes, e.g. `3-(10,4,1)` (q=3), `3-(17,5,1)` (q=4);
+//! * `3-(28,4,1)` (q=3, d=3) — the paper's `n_2` for `n = 31, r = 4`;
+//! * `3-(65,5,1)` (q=4, d=3) — its `n_2` for `n = 71, r = 5`;
+//! * `3-(257,5,1)` (q=4, d=4) — its `n_2` for `n = 257, r = 5`.
+//!
+//! Enumeration is triple-driven: for every point triple `{a, b, c}` the
+//! Möbius map sending `(0, 1, ∞) ↦ (a, b, c)` carries the subline onto the
+//! unique block through the triple. Each block arises from `C(q+1, 3)`
+//! triples, so generation with a deduplication set costs
+//! `O(C(v,3) · (q+1))` — a few seconds even at `v = 257`. A `limit`
+//! parameter stops early once enough blocks have been produced (placements
+//! rarely need the full design).
+
+use crate::{BlockDesign, DesignError};
+use std::collections::HashSet;
+use wcp_gf::{projline::Moebius, Gf};
+
+/// Number of blocks of the full `3-(q^d+1, q+1, 1)` design:
+/// `(q^d + 1)·q^d·(q^d − 1) / ((q+1)·q·(q−1)) · … ` simplified to
+/// `C(v,3)/C(q+1,3)` with `v = q^d + 1`.
+#[must_use]
+pub fn block_count(q: u64, d: u32) -> u64 {
+    let v = q.pow(d) + 1;
+    let num = v * (v - 1) * (v - 2) / 6;
+    let den = (q + 1) * q * (q - 1) / 6;
+    num / den
+}
+
+/// Builds the subline design `3-(q^d + 1, q + 1, 1)`, stopping after
+/// `limit` blocks (`usize::MAX` for the complete design).
+///
+/// Point `i < Q` is the field element with index `i`; point `Q` is `∞`.
+///
+/// # Errors
+///
+/// [`DesignError::Unsupported`] if `q` is not a prime power, `d < 2`, or
+/// `q^d` exceeds the supported field size (1024).
+///
+/// # Examples
+///
+/// ```
+/// use wcp_designs::{subline, verify};
+///
+/// // The inversive plane of order 3 = SQS(10).
+/// let d = subline::subline_design(3, 2, usize::MAX)?;
+/// assert_eq!(d.num_points(), 10);
+/// assert_eq!(d.num_blocks(), 30);
+/// assert!(verify::is_t_design(&d, 3, 1));
+/// # Ok::<(), wcp_designs::DesignError>(())
+/// ```
+pub fn subline_design(q: u32, d: u32, limit: usize) -> Result<BlockDesign, DesignError> {
+    if d < 2 {
+        return Err(DesignError::Unsupported(
+            "subline designs need d ≥ 2 (d = 1 degenerates to a single block)".into(),
+        ));
+    }
+    let big_q = q
+        .checked_pow(d)
+        .filter(|&bq| bq <= 1024)
+        .ok_or_else(|| DesignError::Unsupported(format!("q^d = {q}^{d} too large")))?;
+    let gf = Gf::new(big_q).map_err(|e| DesignError::Unsupported(format!("GF({big_q}): {e}")))?;
+    if gf.characteristic()
+        != Gf::new(q)
+            .map_err(|e| DesignError::Unsupported(e.to_string()))?
+            .characteristic()
+    {
+        return Err(DesignError::Unsupported(format!(
+            "{q}^{d} is not a power of a prime"
+        )));
+    }
+    let v = big_q + 1; // points of PG(1, Q)
+    let infinity = big_q;
+
+    // The standard subline: the subfield GF(q) plus ∞.
+    let mut subline: Vec<u32> = gf
+        .subfield_elements(q)
+        .map_err(|e| DesignError::Unsupported(format!("GF({q}) ⊄ GF({big_q}): {e}")))?;
+    subline.push(infinity);
+
+    let target = usize::try_from(block_count(u64::from(q), d)).unwrap_or(usize::MAX);
+    let want = target.min(limit);
+    let mut seen: HashSet<Vec<u16>> = HashSet::with_capacity(want.saturating_mul(2));
+    let mut blocks: Vec<Vec<u16>> = Vec::with_capacity(want);
+
+    'outer: for a in 0..v {
+        for b in a + 1..v {
+            for c in b + 1..v {
+                let map = Moebius::through_images(&gf, [a, b, c])
+                    .expect("distinct points admit a Möbius map");
+                let mut block: Vec<u16> =
+                    subline.iter().map(|&p| map.apply(&gf, p) as u16).collect();
+                block.sort_unstable();
+                debug_assert!(block.windows(2).all(|w| w[0] < w[1]));
+                if seen.insert(block.clone()) {
+                    blocks.push(block);
+                    if blocks.len() >= want {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    BlockDesign::new(v as u16, (q + 1) as u16, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+
+    #[test]
+    fn inversive_plane_order3_is_sqs10() {
+        let d = subline_design(3, 2, usize::MAX).unwrap();
+        assert_eq!(d.num_points(), 10);
+        assert_eq!(d.block_size(), 4);
+        assert_eq!(d.num_blocks() as u64, block_count(3, 2));
+        assert!(verify::is_t_design(&d, 3, 1));
+    }
+
+    #[test]
+    fn inversive_plane_order4() {
+        // 3-(17,5,1): substitute for the paper's 3-(26,5,1) at n = 31, r = 5.
+        let d = subline_design(4, 2, usize::MAX).unwrap();
+        assert_eq!(d.num_points(), 17);
+        assert_eq!(d.num_blocks(), 68);
+        assert!(verify::is_t_design(&d, 3, 1));
+    }
+
+    #[test]
+    fn moebius_28() {
+        // 3-(28,4,1): the paper's n_2 for n = 31, r = 4 (SQS(28)).
+        let d = subline_design(3, 3, usize::MAX).unwrap();
+        assert_eq!(d.num_points(), 28);
+        assert_eq!(d.num_blocks() as u64, block_count(3, 3)); // 819
+        assert_eq!(d.num_blocks(), 819);
+        assert!(verify::is_t_design(&d, 3, 1));
+    }
+
+    #[test]
+    fn moebius_65() {
+        // 3-(65,5,1): the paper's n_2 for n = 71, r = 5.
+        let d = subline_design(4, 3, usize::MAX).unwrap();
+        assert_eq!(d.num_points(), 65);
+        assert_eq!(d.num_blocks(), 4368);
+        assert!(verify::is_t_design(&d, 3, 1));
+    }
+
+    #[test]
+    fn prefix_is_packing() {
+        let d = subline_design(4, 3, 500).unwrap();
+        assert_eq!(d.num_blocks(), 500);
+        assert!(verify::is_t_packing(&d, 3, 1));
+    }
+
+    #[test]
+    fn block_counts() {
+        assert_eq!(block_count(3, 2), 30);
+        assert_eq!(block_count(4, 2), 68);
+        assert_eq!(block_count(3, 3), 819);
+        assert_eq!(block_count(4, 3), 4368);
+        assert_eq!(block_count(4, 4), 279_616);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(subline_design(6, 2, 10).is_err()); // not a prime power
+        assert!(subline_design(3, 1, 10).is_err()); // d too small
+        assert!(subline_design(11, 3, 10).is_err()); // 1331 > 1024
+    }
+}

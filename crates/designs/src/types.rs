@@ -1,0 +1,194 @@
+//! Core block-design types.
+
+use std::fmt;
+
+/// Errors constructing or validating a block design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// A block contains a point `≥ v`, a duplicate point, or is unsorted.
+    MalformedBlock {
+        /// Index of the offending block.
+        index: usize,
+    },
+    /// A block has the wrong size.
+    WrongBlockSize {
+        /// Index of the offending block.
+        index: usize,
+        /// Size found.
+        found: usize,
+        /// Size required.
+        expected: usize,
+    },
+    /// The requested parameters admit no construction in this family.
+    Unsupported(String),
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::MalformedBlock { index } => {
+                write!(f, "block {index} is unsorted, duplicated or out of range")
+            }
+            DesignError::WrongBlockSize {
+                index,
+                found,
+                expected,
+            } => write!(f, "block {index} has size {found}, expected {expected}"),
+            DesignError::Unsupported(msg) => write!(f, "unsupported parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+/// A collection of equally-sized blocks (sorted `u16` point sets) over the
+/// point set `{0, …, v−1}`.
+///
+/// `BlockDesign` is a plain container: whether it is a `t`-design or
+/// `t`-packing is established by the checkers in [`crate::verify`] (and by
+/// the constructions, which are tested to produce what they claim).
+///
+/// # Examples
+///
+/// ```
+/// use wcp_designs::BlockDesign;
+///
+/// let fano = BlockDesign::new(7, 3, vec![
+///     vec![0, 1, 2], vec![0, 3, 4], vec![0, 5, 6], vec![1, 3, 5],
+///     vec![1, 4, 6], vec![2, 3, 6], vec![2, 4, 5],
+/// ])?;
+/// assert_eq!(fano.num_blocks(), 7);
+/// # Ok::<(), wcp_designs::DesignError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockDesign {
+    v: u16,
+    block_size: u16,
+    blocks: Vec<Vec<u16>>,
+}
+
+impl BlockDesign {
+    /// Wraps validated blocks: each must be sorted, duplicate-free, within
+    /// `0..v`, and of size `block_size`.
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::WrongBlockSize`] / [`DesignError::MalformedBlock`] on
+    /// the first offending block.
+    pub fn new(v: u16, block_size: u16, blocks: Vec<Vec<u16>>) -> Result<Self, DesignError> {
+        for (index, b) in blocks.iter().enumerate() {
+            if b.len() != block_size as usize {
+                return Err(DesignError::WrongBlockSize {
+                    index,
+                    found: b.len(),
+                    expected: block_size as usize,
+                });
+            }
+            let sorted_distinct = b.windows(2).all(|w| w[0] < w[1]);
+            let in_range = b.last().is_none_or(|&last| last < v);
+            if !sorted_distinct || !in_range {
+                return Err(DesignError::MalformedBlock { index });
+            }
+        }
+        Ok(Self {
+            v,
+            block_size,
+            blocks,
+        })
+    }
+
+    /// Number of points `v`.
+    #[must_use]
+    pub fn num_points(&self) -> u16 {
+        self.v
+    }
+
+    /// Block size (the paper's `r`).
+    #[must_use]
+    pub fn block_size(&self) -> u16 {
+        self.block_size
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The blocks, each sorted.
+    #[must_use]
+    pub fn blocks(&self) -> &[Vec<u16>] {
+        &self.blocks
+    }
+
+    /// Consumes the design and returns its blocks.
+    #[must_use]
+    pub fn into_blocks(self) -> Vec<Vec<u16>> {
+        self.blocks
+    }
+
+    /// Returns a new design whose points are shifted by `offset` and whose
+    /// point count is `new_v` (used to lay chunks side by side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + v > new_v`.
+    #[must_use]
+    pub fn translated(&self, offset: u16, new_v: u16) -> Self {
+        assert!(offset + self.v <= new_v, "translation out of range");
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| b.iter().map(|&p| p + offset).collect())
+            .collect();
+        Self {
+            v: new_v,
+            block_size: self.block_size,
+            blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_wrong_size() {
+        let err = BlockDesign::new(5, 3, vec![vec![0, 1]]).unwrap_err();
+        assert!(matches!(err, DesignError::WrongBlockSize { index: 0, .. }));
+    }
+
+    #[test]
+    fn rejects_unsorted() {
+        let err = BlockDesign::new(5, 3, vec![vec![2, 1, 0]]).unwrap_err();
+        assert!(matches!(err, DesignError::MalformedBlock { index: 0 }));
+    }
+
+    #[test]
+    fn rejects_duplicate_points() {
+        let err = BlockDesign::new(5, 3, vec![vec![1, 1, 2]]).unwrap_err();
+        assert!(matches!(err, DesignError::MalformedBlock { index: 0 }));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = BlockDesign::new(5, 3, vec![vec![1, 2, 5]]).unwrap_err();
+        assert!(matches!(err, DesignError::MalformedBlock { index: 0 }));
+    }
+
+    #[test]
+    fn translation() {
+        let d = BlockDesign::new(3, 2, vec![vec![0, 1], vec![1, 2]]).unwrap();
+        let t = d.translated(10, 13);
+        assert_eq!(t.num_points(), 13);
+        assert_eq!(t.blocks(), &[vec![10, 11], vec![11, 12]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "translation out of range")]
+    fn translation_overflow_panics() {
+        let d = BlockDesign::new(3, 2, vec![vec![0, 1]]).unwrap();
+        let _ = d.translated(11, 13);
+    }
+}

@@ -1,0 +1,144 @@
+//! Hermitian unitals: `2-(q³ + 1, q + 1, 1)` designs.
+//!
+//! The absolute points of a unitary polarity of `PG(2, q²)` — the Hermitian
+//! curve `x₀^{q+1} + x₁^{q+1} + x₂^{q+1} = 0` — number `q³ + 1`; every line
+//! of the plane meets the curve in either 1 point (tangent) or `q + 1`
+//! points (secant), and the secant sections form a `2-(q³+1, q+1, 1)`
+//! design. The paper's Fig. 4 uses two of these: `2-(28,4,1)` (q = 3, its
+//! `n_1` for `n = 31, r = 4`) and `2-(65,5,1)` (q = 4, its `n_1` for
+//! `n = 71, r = 5`).
+
+use crate::{BlockDesign, DesignError};
+use std::collections::HashMap;
+use wcp_gf::Gf;
+
+/// Builds the Hermitian unital `2-(q³ + 1, q + 1, 1)`.
+///
+/// # Errors
+///
+/// [`DesignError::Unsupported`] if `q` is not a prime power or `q²`
+/// exceeds the supported field size.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_designs::{unital, verify};
+///
+/// let d = unital::hermitian_unital(3)?; // 2-(28,4,1)
+/// assert_eq!(d.num_points(), 28);
+/// assert!(verify::is_t_design(&d, 2, 1));
+/// # Ok::<(), wcp_designs::DesignError>(())
+/// ```
+pub fn hermitian_unital(q: u32) -> Result<BlockDesign, DesignError> {
+    let q2 = q
+        .checked_mul(q)
+        .filter(|&x| x <= 1024)
+        .ok_or_else(|| DesignError::Unsupported(format!("q² = {q}² too large")))?;
+    let gf = Gf::new(q2).map_err(|e| DesignError::Unsupported(format!("GF({q2}): {e}")))?;
+
+    // Conjugation in GF(q²) over GF(q) is the Frobenius x ↦ x^q; the
+    // Hermitian norm form is H(x) = Σ xᵢ^{q+1}.
+    let herm = |x: &[u32; 3]| -> u32 {
+        let mut acc = 0u32;
+        for &c in x {
+            acc = gf.add(acc, gf.pow(c, u64::from(q) + 1));
+        }
+        acc
+    };
+
+    // Enumerate the points of PG(2, q²) as normalized triples (first
+    // nonzero coordinate = 1) and keep the absolute ones.
+    let mut absolute: Vec<[u32; 3]> = Vec::new();
+    let mut index: HashMap<[u32; 3], u16> = HashMap::new();
+    let mut all_points: Vec<[u32; 3]> = Vec::new();
+    for lead in 0..3usize {
+        let free = 2 - lead;
+        let total = u64::from(q2).pow(free as u32);
+        for idx in 0..total {
+            let mut v = [0u32; 3];
+            v[lead] = 1;
+            let mut x = idx;
+            for c in v.iter_mut().skip(lead + 1) {
+                *c = (x % u64::from(q2)) as u32;
+                x /= u64::from(q2);
+            }
+            all_points.push(v);
+            if herm(&v) == 0 {
+                index.insert(v, absolute.len() as u16);
+                absolute.push(v);
+            }
+        }
+    }
+    let expected_points = u64::from(q).pow(3) + 1;
+    debug_assert_eq!(absolute.len() as u64, expected_points);
+
+    // Lines of PG(2, q²) are the points of the dual plane: for each
+    // normalized coefficient triple [a,b,c], the line is
+    // {P : a·p₀ + b·p₁ + c·p₂ = 0}. Intersect each with the curve; keep the
+    // (q+1)-point sections.
+    let mut blocks = Vec::new();
+    for coef in &all_points {
+        let mut section: Vec<u16> = Vec::new();
+        for (i, p) in absolute.iter().enumerate() {
+            let dot = gf.add(
+                gf.add(gf.mul(coef[0], p[0]), gf.mul(coef[1], p[1])),
+                gf.mul(coef[2], p[2]),
+            );
+            if dot == 0 {
+                section.push(i as u16);
+            }
+        }
+        match section.len() as u32 {
+            1 => {} // tangent line
+            len if len == q + 1 => {
+                section.sort_unstable();
+                blocks.push(section);
+            }
+            other => {
+                return Err(DesignError::Unsupported(format!(
+                    "unexpected section size {other} on the Hermitian curve (q = {q})"
+                )))
+            }
+        }
+    }
+    BlockDesign::new(absolute.len() as u16, (q + 1) as u16, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+
+    #[test]
+    fn unital_q2() {
+        // 2-(9,3,1) = AG(2,3) (the affine plane of order 3).
+        let d = hermitian_unital(2).unwrap();
+        assert_eq!(d.num_points(), 9);
+        assert_eq!(d.num_blocks(), 12);
+        assert!(verify::is_t_design(&d, 2, 1));
+    }
+
+    #[test]
+    fn unital_q3() {
+        // 2-(28,4,1): the paper's n_1 for n = 31, r = 4.
+        let d = hermitian_unital(3).unwrap();
+        assert_eq!(d.num_points(), 28);
+        assert_eq!(d.num_blocks(), 63); // 28·27/(4·3)
+        assert!(verify::is_t_design(&d, 2, 1));
+    }
+
+    #[test]
+    fn unital_q4() {
+        // 2-(65,5,1): the paper's n_1 for n = 71, r = 5.
+        let d = hermitian_unital(4).unwrap();
+        assert_eq!(d.num_points(), 65);
+        assert_eq!(d.num_blocks(), 208); // 65·64/(5·4)
+        assert!(verify::is_t_design(&d, 2, 1));
+    }
+
+    #[test]
+    fn rejects_bad_q() {
+        assert!(hermitian_unital(6).is_err());
+        assert!(hermitian_unital(100).is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! Exhaustive verification of packing and design properties.
+//!
+//! A `t-(v, r, λ)` **packing** covers every `t`-subset of points *at most*
+//! `λ` times; a `t-(v, r, λ)` **design** covers every `t`-subset *exactly*
+//! `λ` times (designs are maximum packings). These checkers are used
+//! throughout the test suite — every construction in this crate must pass
+//! them — and by downstream code that wants to validate third-party block
+//! sets before using them as placements.
+
+use crate::BlockDesign;
+use std::collections::HashMap;
+
+/// Packs a sorted `t`-subset (`t ≤ 5`, points `< 2^12`) into a `u64` key.
+/// All keys in one coverage map share the same subset length, so plain
+/// digit-packing is collision-free.
+pub(crate) fn key(subset: &[u16]) -> u64 {
+    debug_assert!(subset.len() <= 5);
+    let mut k = 0u64;
+    for &p in subset {
+        debug_assert!(p < (1 << 12));
+        k = (k << 12) | u64::from(p);
+    }
+    k
+}
+
+/// Calls `f` with every `t`-subset of the (sorted) block.
+pub(crate) fn for_each_t_subset(block: &[u16], t: usize, f: &mut impl FnMut(&[u16])) {
+    fn rec(
+        block: &[u16],
+        start: usize,
+        depth: usize,
+        t: usize,
+        buf: &mut [u16],
+        f: &mut impl FnMut(&[u16]),
+    ) {
+        if depth == t {
+            f(&buf[..t]);
+            return;
+        }
+        for i in start..=block.len() - (t - depth) {
+            buf[depth] = block[i];
+            rec(block, i + 1, depth + 1, t, buf, f);
+        }
+    }
+    if t > block.len() {
+        return;
+    }
+    let mut buf = [0u16; 8];
+    rec(block, 0, 0, t, &mut buf, f);
+}
+
+/// Counts, for every `t`-subset of points that occurs in at least one
+/// block, how many blocks contain it. Returns the map keyed by packed
+/// subsets.
+fn coverage_counts(design: &BlockDesign, t: u16) -> HashMap<u64, u64> {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for block in design.blocks() {
+        for_each_t_subset(block, t as usize, &mut |subset| {
+            *counts.entry(key(subset)).or_insert(0) += 1;
+        });
+    }
+    counts
+}
+
+/// The packing index of the design at strength `t`: the maximum number of
+/// blocks containing any single `t`-subset (0 for an empty design).
+///
+/// A design is a `t-(v, r, λ)` packing iff `packing_index(d, t) ≤ λ`.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_designs::{verify, BlockDesign};
+///
+/// let d = BlockDesign::new(4, 2, vec![vec![0, 1], vec![0, 1], vec![2, 3]])?;
+/// assert_eq!(verify::packing_index(&d, 2), 2); // pair {0,1} twice
+/// assert_eq!(verify::packing_index(&d, 1), 2);
+/// # Ok::<(), wcp_designs::DesignError>(())
+/// ```
+#[must_use]
+pub fn packing_index(design: &BlockDesign, t: u16) -> u64 {
+    coverage_counts(design, t)
+        .values()
+        .copied()
+        .max()
+        .unwrap_or(0)
+}
+
+/// True iff the design is a `t-(v, r, λ)` **packing**: no `t`-subset lies
+/// in more than `λ` blocks.
+#[must_use]
+pub fn is_t_packing(design: &BlockDesign, t: u16, lambda: u64) -> bool {
+    packing_index(design, t) <= lambda
+}
+
+/// True iff the design is a `t-(v, r, λ)` **design**: every `t`-subset of
+/// the `v` points lies in exactly `λ` blocks.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_designs::{verify, BlockDesign};
+///
+/// let fano = BlockDesign::new(7, 3, vec![
+///     vec![0, 1, 2], vec![0, 3, 4], vec![0, 5, 6], vec![1, 3, 5],
+///     vec![1, 4, 6], vec![2, 3, 6], vec![2, 4, 5],
+/// ])?;
+/// assert!(verify::is_t_design(&fano, 2, 1));
+/// assert!(!verify::is_t_design(&fano, 2, 2));
+/// # Ok::<(), wcp_designs::DesignError>(())
+/// ```
+#[must_use]
+pub fn is_t_design(design: &BlockDesign, t: u16, lambda: u64) -> bool {
+    let counts = coverage_counts(design, t);
+    // Every observed count must be λ, and the number of distinct covered
+    // t-subsets must equal C(v, t).
+    if counts.values().any(|&c| c != lambda) {
+        return false;
+    }
+    let expect = wcp_combin::binomial(u64::from(design.num_points()), u64::from(t))
+        .expect("subset count overflow");
+    counts.len() as u128 == expect
+}
+
+/// Replication balance: the number of blocks containing each point,
+/// returned as `(min, max)`; `(0, 0)` for an empty design.
+///
+/// Load-balanced placements want this spread to be small.
+#[must_use]
+pub fn replication_range(design: &BlockDesign) -> (u64, u64) {
+    let mut per_point = vec![0u64; design.num_points() as usize];
+    for b in design.blocks() {
+        for &p in b {
+            per_point[p as usize] += 1;
+        }
+    }
+    match (per_point.iter().min(), per_point.iter().max()) {
+        (Some(&lo), Some(&hi)) => (lo, hi),
+        _ => (0, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fano() -> BlockDesign {
+        BlockDesign::new(
+            7,
+            3,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![0, 5, 6],
+                vec![1, 3, 5],
+                vec![1, 4, 6],
+                vec![2, 3, 6],
+                vec![2, 4, 5],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fano_is_steiner() {
+        let d = fano();
+        assert!(is_t_design(&d, 2, 1));
+        assert!(is_t_packing(&d, 2, 1));
+        assert!(is_t_packing(&d, 2, 5));
+        assert!(!is_t_packing(&d, 2, 0));
+        // Each point lies in 3 blocks.
+        assert_eq!(replication_range(&d), (3, 3));
+        // As a 1-design: every point in exactly 3 blocks.
+        assert!(is_t_design(&d, 1, 3));
+    }
+
+    #[test]
+    fn missing_subset_fails_design_check() {
+        // Remove one block from the Fano plane: pairs in it become
+        // uncovered, so it is no longer a 2-design but still a packing.
+        let mut blocks = fano().into_blocks();
+        blocks.pop();
+        let d = BlockDesign::new(7, 3, blocks).unwrap();
+        assert!(!is_t_design(&d, 2, 1));
+        assert!(is_t_packing(&d, 2, 1));
+    }
+
+    #[test]
+    fn empty_design() {
+        let d = BlockDesign::new(5, 3, vec![]).unwrap();
+        assert_eq!(packing_index(&d, 2), 0);
+        assert!(is_t_packing(&d, 2, 0));
+        assert!(!is_t_design(&d, 2, 1));
+        assert_eq!(replication_range(&d), (0, 0));
+    }
+
+    #[test]
+    fn t_larger_than_block_size() {
+        let d = BlockDesign::new(5, 2, vec![vec![0, 1]]).unwrap();
+        assert_eq!(packing_index(&d, 3), 0);
+    }
+
+    #[test]
+    fn duplicate_blocks_raise_index() {
+        let d = BlockDesign::new(6, 3, vec![vec![0, 1, 2]; 4]).unwrap();
+        assert_eq!(packing_index(&d, 2), 4);
+        assert_eq!(packing_index(&d, 3), 4);
+        assert_eq!(packing_index(&d, 1), 4);
+    }
+
+    #[test]
+    fn strength_one_counts_replication() {
+        let d = BlockDesign::new(4, 2, vec![vec![0, 1], vec![0, 2], vec![0, 3]]).unwrap();
+        assert_eq!(packing_index(&d, 1), 3);
+        assert_eq!(replication_range(&d), (1, 3));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests over the design constructions: every family must
+//! deliver what it claims for arbitrary in-range parameters.
+
+use proptest::prelude::*;
+use wcp_designs::greedy::{greedy_packing, GreedyConfig};
+use wcp_designs::registry::{best_unit_packing, RegistryConfig};
+use wcp_designs::{catalog, chunking, complete, mols, sts, verify};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every admissible STS size yields a verified Steiner triple system.
+    #[test]
+    fn sts_always_verifies(t in 1u16..20) {
+        for v in [6 * t + 1, 6 * t + 3] {
+            let d = sts::steiner_triple_system(v).expect("admissible");
+            prop_assert_eq!(d.num_blocks() as u64, u64::from(v) * u64::from(v - 1) / 6);
+            // Full pair balance is O(v²) — affordable to v ≈ 123 here.
+            if v <= 75 {
+                prop_assert!(verify::is_t_design(&d, 2, 1), "STS({})", v);
+            } else {
+                prop_assert!(verify::is_t_packing(&d, 2, 1), "STS({}) packing", v);
+            }
+        }
+    }
+
+    /// Greedy packings respect their λ for arbitrary parameters.
+    #[test]
+    fn greedy_respects_lambda(v in 6u16..24, r in 3u16..=5, t in 2u16..=4, lambda in 1u64..4, seed in any::<u64>()) {
+        prop_assume!(t < r && r < v);
+        let cfg = GreedyConfig { seed, max_blocks: 400, ..GreedyConfig::default() };
+        let d = greedy_packing(v, r, t, lambda, &cfg).expect("valid params");
+        prop_assert!(verify::is_t_packing(&d, t, lambda));
+    }
+
+    /// Chunking never exceeds the ideal capacity and never returns an
+    /// infeasible plan.
+    #[test]
+    fn chunking_sound(n in 20u16..200, r in 3u16..=5, t in 2u16..=3, m in 1usize..4) {
+        let sizes = catalog::steiner_sizes(t, r, r, n);
+        let plan = chunking::best_chunking(n, r, t, m, &sizes, 1);
+        prop_assert!(plan.capacity <= chunking::ideal_capacity(t, r, n, 1));
+        prop_assert!(plan.sizes.len() <= m);
+        let total: u64 = plan.sizes.iter().map(|&v| u64::from(v)).sum();
+        prop_assert!(total <= u64::from(n));
+        for &v in &plan.sizes {
+            prop_assert!(catalog::steiner_exists(t, r, v), "size {} not admissible", v);
+        }
+    }
+
+    /// Complete-design prefixes are always packings of every strength.
+    #[test]
+    fn complete_prefix_packs(v in 6u16..40, r in 2u16..=5, limit in 1usize..200) {
+        prop_assume!(r <= v);
+        let d = complete::complete_prefix(v, r, limit).expect("valid");
+        for t in 1..=r {
+            // Strength-t multiplicity of distinct r-sets is ≤ C(v−t, r−t);
+            // at t = r it is exactly ≤ 1.
+            prop_assert!(verify::packing_index(&d, t) <= wcp_combin::binomial(u64::from(v - t), u64::from(r - t)).unwrap() as u64);
+        }
+        prop_assert!(verify::is_t_packing(&d, r, 1));
+    }
+
+    /// MOLS from fields are always pairwise orthogonal; transversal
+    /// designs always verify as 2-packings.
+    #[test]
+    fn mols_and_tds(mi in 0usize..6, k in 3u16..=5) {
+        let m = [4u16, 5, 7, 8, 9, 11][mi];
+        prop_assume!(usize::from(k) - 2 <= mols::mols_count(m));
+        let td = mols::transversal_design(k, m).expect("enough MOLS");
+        prop_assert_eq!(td.num_blocks(), usize::from(m) * usize::from(m));
+        prop_assert!(verify::is_t_packing(&td, 2, 1));
+    }
+
+    /// The registry's promises hold for arbitrary small slots.
+    #[test]
+    fn registry_capacity_honest(t in 1u16..=4, r in 2u16..=5, v_max in 6u16..50, seed in any::<u64>()) {
+        prop_assume!(t <= r && r <= v_max);
+        let cfg = RegistryConfig { seed, ..RegistryConfig::default() };
+        if let Some(unit) = best_unit_packing(t, r, v_max, 150, &cfg) {
+            prop_assert!(unit.v() <= v_max);
+            let want = unit.capacity().min(150);
+            let d = unit.materialize(150).expect("materialize");
+            prop_assert!(d.num_blocks() as u64 >= want,
+                "{} promised {want} got {}", unit.provenance(), d.num_blocks());
+            prop_assert!(verify::is_t_packing(&d, t, 1), "{}", unit.provenance());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Runs every figure reproduction in sequence (`fig02` … `fig11`).
+//!
+//! Pass `--quick` to forward the fast mode to the simulation-heavy
+//! figures (Fig. 2 and Fig. 7 are the only ones that run adversaries;
+//! everything else is closed-form arithmetic and fast regardless).
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let figures = [
+        "fig02",
+        "fig03",
+        "fig04",
+        "fig05",
+        "fig06",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11",
+        "appendix_s1",
+        "optimality",
+        "baselines",
+    ];
+    for fig in figures {
+        println!("\n================ {fig} ================\n");
+        let sibling = exe_dir.join(fig);
+        let mut cmd = if sibling.exists() {
+            Command::new(sibling)
+        } else {
+            // Not pre-built (e.g. `cargo run --bin all` without a prior
+            // `cargo build --bins`): delegate to cargo.
+            let mut c = Command::new("cargo");
+            c.args(["run", "--release", "-p", "wcp-experiments", "--bin", fig]);
+            if quick {
+                c.arg("--");
+            }
+            c
+        };
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
+        assert!(status.success(), "{fig} exited with {status}");
+    }
+    println!(
+        "\nAll figures regenerated; CSVs in {}",
+        wcp_sim::results_dir().display()
+    );
+}

@@ -1,0 +1,89 @@
+//! Appendix A reproduction: the `s = 1` case.
+//!
+//! With `s = 1` a Combo placement degenerates to `Simple(0, λ0)` (only
+//! the load-cap slot exists), and the paper reports that Random slightly
+//! outperforms it in the `lbAvail − prAvail` measure — while both are
+//! simply poor, decaying like `b·e^{−kr/n}` (Lemma 4, Fig. 11).
+
+use wcp_analysis::lemma4::pr_avail_upper_s1;
+use wcp_analysis::theorem2::VulnTable;
+use wcp_core::{combo_plan, PackingProfile, SystemParams};
+use wcp_sim::{results_dir, Csv, Table};
+
+fn main() {
+    let vuln = VulnTable::new(38_400);
+    let mut table = Table::new(
+        [
+            "n",
+            "r",
+            "b",
+            "k",
+            "lb Simple(0,λ0)",
+            "prAvail rnd",
+            "Lemma4 cap",
+            "winner",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    table.title("Appendix A: the s = 1 case — Simple(0, λ0) vs Random");
+    let mut csv = Csv::new(
+        results_dir().join("appendix_s1.csv"),
+        &[
+            "n",
+            "r",
+            "b",
+            "k",
+            "lb_simple0",
+            "pr_avail",
+            "lemma4_upper",
+            "winner",
+        ],
+    );
+
+    for (n, r) in [(71u16, 3u16), (71, 5), (257, 3), (257, 5)] {
+        for b in [2400u64, 9600, 38_400] {
+            for k in [2u16, 5, 8] {
+                let params = SystemParams::new(n, b, r, 1, k).expect("valid");
+                let profile = PackingProfile::paper(&params).expect("paper grid");
+                let lb = combo_plan(&profile, &params).expect("DP").lb_avail;
+                let pr = vuln.pr_avail_paper(n, k, r, 1, b);
+                let cap = pr_avail_upper_s1(n, k, r, b);
+                let winner = match lb.cmp(&pr) {
+                    std::cmp::Ordering::Greater => "simple",
+                    std::cmp::Ordering::Equal => "tie",
+                    std::cmp::Ordering::Less => "random",
+                };
+                table.row(vec![
+                    n.to_string(),
+                    r.to_string(),
+                    b.to_string(),
+                    k.to_string(),
+                    lb.to_string(),
+                    pr.to_string(),
+                    format!("{cap:.0}"),
+                    winner.into(),
+                ]);
+                csv.row(&[
+                    n.to_string(),
+                    r.to_string(),
+                    b.to_string(),
+                    k.to_string(),
+                    lb.to_string(),
+                    pr.to_string(),
+                    format!("{cap:.1}"),
+                    winner.into(),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+    csv.write().expect("write CSV");
+    println!(
+        "\nPaper shape: both strategies are poor at s = 1 and sit near the Lemma-4\n\
+         ceiling b·(1−1/b)^(k·floor(rb/n)) — availability decays roughly linearly\n\
+         in k with slope r/n for either. In our measure Random pulls ahead as k·r/n\n\
+         grows (the paper reports it slightly ahead throughout; the difference is\n\
+         our tighter λ0 arithmetic — see EXPERIMENTS.md)."
+    );
+}

@@ -1,0 +1,80 @@
+//! Fig. 2 reproduction: `Avail(π) − lbAvail_si(x, λ)` for concrete
+//! `Simple(1, λ)` placements at `n = 71`, `r = 3` (STS(69)-backed, as in
+//! the paper), across `b ∈ {600 … 9600}`, `s ∈ {2, 3}`, `k ∈ {s̄ … 5}`.
+//!
+//! `Avail(π)` is measured by the worst-case adversary: exact
+//! branch-and-bound where the search completes within budget (all `k ≤ 4`
+//! cases; many `k = 5` ones), steepest-ascent local search otherwise — the
+//! `exact` column records which. A heuristic adversary can only
+//! *overestimate* `Avail`, so heuristic gaps are upper bounds.
+
+use wcp_adversary::{worst_case_failures, AdversaryConfig};
+use wcp_core::{SimpleStrategy, SystemParams};
+use wcp_designs::registry::RegistryConfig;
+use wcp_sim::{results_dir, Csv, Table};
+
+fn main() {
+    let mut table = Table::new(
+        ["b", "s", "k", "lambda", "Avail", "lbAvail", "gap", "exact"]
+            .map(String::from)
+            .to_vec(),
+    );
+    table.title("Fig. 2: Avail(pi) - lbAvail_si(x=1, lambda) for n=71, r=3 (STS(69))");
+    let mut csv = Csv::new(
+        results_dir().join("fig02.csv"),
+        &["b", "s", "k", "lambda", "avail", "lb_avail", "gap", "exact"],
+    );
+
+    let registry = RegistryConfig::default();
+    for b in [600u64, 1200, 2400, 4800, 9600] {
+        // Strategy depends only on b (x = 1, minimal λ).
+        let params_any_s = SystemParams::new(71, b, 3, 2, 2).expect("valid");
+        let strategy = SimpleStrategy::plan_constructive(1, &params_any_s, &registry)
+            .expect("STS(69) slot is constructible");
+        let placement = strategy.build(b).expect("capacity planned for b");
+        for s in [2u16, 3] {
+            for k in s.max(2)..=5 {
+                if k < s {
+                    continue;
+                }
+                let config = AdversaryConfig {
+                    // ~exact through k = 4; k = 5 usually completes thanks
+                    // to the incumbent-seeded bound, else LS takes over.
+                    exact_budget: 3_000_000,
+                    ..AdversaryConfig::default()
+                };
+                let wc = worst_case_failures(&placement, s, k, &config);
+                let avail = b - wc.failed;
+                let lb = strategy.lower_bound(b, k, s);
+                let gap = avail as i64 - lb;
+                table.row(vec![
+                    b.to_string(),
+                    s.to_string(),
+                    k.to_string(),
+                    strategy.lambda().to_string(),
+                    avail.to_string(),
+                    lb.to_string(),
+                    gap.to_string(),
+                    wc.exact.to_string(),
+                ]);
+                csv.row(&[
+                    b.to_string(),
+                    s.to_string(),
+                    k.to_string(),
+                    strategy.lambda().to_string(),
+                    avail.to_string(),
+                    lb.to_string(),
+                    gap.to_string(),
+                    wc.exact.to_string(),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+    csv.write().expect("write CSV");
+    println!("wrote {}", csv.path().display());
+    println!(
+        "\nPaper shape: gaps are small (0–25 objects), grow with b at fixed s, and\n\
+         are larger for s = 3 than s = 2 at the same k."
+    );
+}

@@ -1,0 +1,80 @@
+//! Fig. 3 reproduction: sensitivity of the Combo DP to the configured
+//! failure count.
+//!
+//! A `Combo(⟨λ_x⟩)` planned for `k = 6` failures is compared against one
+//! planned for `k′` when *both are evaluated at `k′`*: the plot shows
+//! `lbAvail_co(⟨λ_x⟩_{k}) / lbAvail_co(⟨λ_x⟩_{k′})` as a percentage for
+//! `k′ ∈ {4 … 8}`, at `r = 5`, `s = 3`, and the paper's three system
+//! sizes: `(n, b) ∈ {(31, 4800), (71, 1200), (257, 9600)}`.
+
+use wcp_core::{combo_plan, lb_avail_co, PackingProfile, SystemParams};
+use wcp_sim::{results_dir, Csv, Table};
+
+fn main() {
+    let k_config = 6u16;
+    let cases = [(31u16, 4800u64), (71, 1200), (257, 9600)];
+    let mut table = Table::new(
+        [
+            "n",
+            "b",
+            "k'",
+            "lb(plan@k=6, eval@k')",
+            "lb(plan@k', eval@k')",
+            "ratio %",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    table.title("Fig. 3: lbAvail_co(plan@k=6)/lbAvail_co(plan@k') in % (r=5, s=3)");
+    let mut csv = Csv::new(
+        results_dir().join("fig03.csv"),
+        &[
+            "n",
+            "b",
+            "k_prime",
+            "lb_fixed_plan",
+            "lb_matched_plan",
+            "ratio_pct",
+        ],
+    );
+
+    for (n, b) in cases {
+        let params_k = SystemParams::new(n, b, 5, 3, k_config).expect("valid");
+        let profile = PackingProfile::paper(&params_k).expect("paper grid");
+        let plan_fixed = combo_plan(&profile, &params_k).expect("DP");
+        for k_prime in 4u16..=8 {
+            let params_kp = params_k.with_k(k_prime).expect("valid");
+            let plan_matched = combo_plan(&profile, &params_kp).expect("DP");
+            let lb_fixed = lb_avail_co(&plan_fixed.lambdas, b, k_prime, 3).max(0);
+            let lb_matched = lb_avail_co(&plan_matched.lambdas, b, k_prime, 3).max(0);
+            let ratio = if lb_matched == 0 {
+                100.0
+            } else {
+                100.0 * lb_fixed as f64 / lb_matched as f64
+            };
+            table.row(vec![
+                n.to_string(),
+                b.to_string(),
+                k_prime.to_string(),
+                lb_fixed.to_string(),
+                lb_matched.to_string(),
+                format!("{ratio:.2}"),
+            ]);
+            csv.row(&[
+                n.to_string(),
+                b.to_string(),
+                k_prime.to_string(),
+                lb_fixed.to_string(),
+                lb_matched.to_string(),
+                format!("{ratio:.4}"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    csv.write().expect("write CSV");
+    println!("wrote {}", csv.path().display());
+    println!(
+        "\nPaper shape: ratios stay between ~99% and 100% — a Combo planned for the\n\
+         wrong k loses almost nothing."
+    );
+}

@@ -1,0 +1,92 @@
+//! Fig. 6 reproduction: the difficult `r = 5`, `x ∈ {2, 3}` cases of
+//! Fig. 5 re-plotted with design indices `μ_x > 1` allowed (`μ ≤ 5` and
+//! `μ ≤ 10`).
+//!
+//! With chunks of index `μ_i` combined at `λ = lcm{μ_i}`, each chunk
+//! contributes capacity proportional to `C(v, t)/C(r, t)` regardless of
+//! its `μ_i`, so the knapsack runs at a common index `Λ = lcm(1..=10) =
+//! 2520`, making every per-chunk capacity integral. The `μ > 1`
+//! existence oracle is divisibility admissibility (a documented, mildly
+//! optimistic substitution — DESIGN.md §3).
+
+use wcp_designs::catalog::smallest_admissible_mu;
+use wcp_designs::chunking::{capacity_profile, ideal_capacity};
+use wcp_sim::{results_dir, Csv, Table};
+
+const N_LO: u16 = 50;
+const N_HI: u16 = 800;
+const M: usize = 3;
+/// lcm(1..=10): common index making all chunk capacities integral.
+const LAMBDA: u64 = 2520;
+
+fn main() {
+    let mut csv = Csv::new(
+        results_dir().join("fig06.csv"),
+        &["max_mu", "x", "n", "gap"],
+    );
+    let mut table = Table::new(
+        [
+            "max_mu",
+            "x",
+            "gap<=0.01",
+            "<=0.05",
+            "<=0.10",
+            "<=0.25",
+            "<=0.50",
+            "<=0.99",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    table.title(format!(
+        "Fig. 6: r = 5, x in {{2,3}} with mu_x <= 5 / <= 10 (n in [{N_LO},{N_HI}], m <= {M})"
+    ));
+
+    let r = 5u16;
+    for max_mu in [5u64, 10] {
+        for x in [2u16, 3] {
+            let t = x + 1;
+            let sizes: Vec<u16> = (r..=N_HI)
+                .filter(|&v| smallest_admissible_mu(t, r, v, max_mu).is_some())
+                .collect();
+            let profile = capacity_profile(N_HI, r, t, M, &sizes, LAMBDA);
+            let mut gaps = Vec::new();
+            for n in N_LO..=N_HI {
+                let ideal = ideal_capacity(t, r, n, LAMBDA);
+                let gap = if ideal == 0 {
+                    0.0
+                } else {
+                    1.0 - profile[n as usize] as f64 / ideal as f64
+                };
+                gaps.push(gap);
+                csv.row(&[
+                    max_mu.to_string(),
+                    x.to_string(),
+                    n.to_string(),
+                    format!("{gap:.6}"),
+                ]);
+            }
+            let frac_le = |g: f64| -> String {
+                let c = gaps.iter().filter(|&&v| v <= g).count();
+                format!("{:.3}", c as f64 / gaps.len() as f64)
+            };
+            table.row(vec![
+                max_mu.to_string(),
+                x.to_string(),
+                frac_le(0.01),
+                frac_le(0.05),
+                frac_le(0.10),
+                frac_le(0.25),
+                frac_le(0.50),
+                frac_le(0.99),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    csv.write().expect("write CSV");
+    println!("wrote {}", csv.path().display());
+    println!(
+        "\nPaper shape: mu <= 5 dramatically improves x = 3; mu <= 10 additionally\n\
+         collapses the x = 2 gap for most system sizes."
+    );
+}

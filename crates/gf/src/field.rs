@@ -1,0 +1,605 @@
+//! Construction of `GF(p^k)` with table-based arithmetic.
+//!
+//! Elements are represented by their index in `0..q`: the index is the
+//! evaluation at `p` of the element's polynomial coordinate vector over
+//! `GF(p)` (so `0` is the additive identity and `1` the multiplicative
+//! identity regardless of `q`). Multiplication uses discrete log/antilog
+//! tables with respect to a primitive element found at construction time;
+//! addition uses a `q × q` table (fields here are small — at most 4096
+//! elements — since block sizes in the paper are `r ≤ 5` and system sizes
+//! `n ≤ 800`).
+
+use std::fmt;
+
+/// Error building a finite field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GfError {
+    /// The requested order is not a prime power (or is `< 2`).
+    NotPrimePower(u32),
+    /// The requested order exceeds the supported table size.
+    TooLarge(u32),
+}
+
+impl fmt::Display for GfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GfError::NotPrimePower(q) => write!(f, "{q} is not a prime power"),
+            GfError::TooLarge(q) => write!(f, "field order {q} exceeds supported maximum 1024"),
+        }
+    }
+}
+
+impl std::error::Error for GfError {}
+
+/// Decomposes `q` into `(p, k)` with `q = p^k`, `p` prime, if possible.
+#[must_use]
+pub(crate) fn prime_power(q: u32) -> Option<(u32, u32)> {
+    if q < 2 {
+        return None;
+    }
+    let mut p = 2u32;
+    while p * p <= q {
+        if q.is_multiple_of(p) {
+            let mut rem = q;
+            let mut k = 0;
+            while rem.is_multiple_of(p) {
+                rem /= p;
+                k += 1;
+            }
+            return (rem == 1).then_some((p, k));
+        }
+        p += 1;
+    }
+    Some((q, 1)) // q itself is prime
+}
+
+/// A finite field `GF(p^k)` with `q = p^k` elements.
+///
+/// Elements are `u32` indices in `0..q`; `0` and `1` are the additive and
+/// multiplicative identities. All operations are total over valid indices
+/// (except [`Gf::inv`] at zero) and panic on out-of-range input in debug
+/// builds.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_gf::Gf;
+///
+/// let f = Gf::new(16)?;
+/// assert_eq!(f.order(), 16);
+/// assert_eq!(f.characteristic(), 2);
+/// // Frobenius x -> x^4 fixes exactly the GF(4) subfield.
+/// let fixed: Vec<u32> = (0..16).filter(|&x| f.pow(x, 4) == x).collect();
+/// assert_eq!(fixed.len(), 4);
+/// # Ok::<(), wcp_gf::GfError>(())
+/// ```
+#[derive(Clone)]
+pub struct Gf {
+    p: u32,
+    k: u32,
+    q: u32,
+    add: Vec<u32>, // q*q addition table
+    exp: Vec<u32>, // exp[i] = g^i for i in 0..q-1 (period q-1)
+    log: Vec<u32>, // log[x] for x in 1..q
+    neg: Vec<u32>, // additive inverses
+    generator: u32,
+}
+
+impl fmt::Debug for Gf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gf")
+            .field("p", &self.p)
+            .field("k", &self.k)
+            .field("q", &self.q)
+            .field("generator", &self.generator)
+            .finish()
+    }
+}
+
+/// Maximum supported field order (tables are `O(q²)`).
+pub const MAX_ORDER: u32 = 1024;
+
+impl Gf {
+    /// Builds `GF(q)`.
+    ///
+    /// # Errors
+    ///
+    /// [`GfError::NotPrimePower`] if `q` is not a prime power;
+    /// [`GfError::TooLarge`] if `q > 4096`.
+    pub fn new(q: u32) -> Result<Self, GfError> {
+        let (p, k) = prime_power(q).ok_or(GfError::NotPrimePower(q))?;
+        if q > MAX_ORDER {
+            return Err(GfError::TooLarge(q));
+        }
+        let qi = q as usize;
+
+        // --- polynomial coordinate helpers (index <-> base-p digit vector) ---
+        let decode = |x: u32| -> Vec<u32> {
+            let mut v = vec![0u32; k as usize];
+            let mut x = x;
+            for d in v.iter_mut() {
+                *d = x % p;
+                x /= p;
+            }
+            v
+        };
+        let encode = |v: &[u32]| -> u32 {
+            let mut x = 0u32;
+            for &d in v.iter().rev() {
+                x = x * p + d;
+            }
+            x
+        };
+
+        // --- addition and negation tables (coefficient-wise mod p) ---
+        let mut add = vec![0u32; qi * qi];
+        let mut neg = vec![0u32; qi];
+        for a in 0..q {
+            let va = decode(a);
+            let vneg: Vec<u32> = va.iter().map(|&d| (p - d) % p).collect();
+            neg[a as usize] = encode(&vneg);
+            for b in a..q {
+                let vb = decode(b);
+                let vs: Vec<u32> = va.iter().zip(&vb).map(|(&x, &y)| (x + y) % p).collect();
+                let s = encode(&vs);
+                add[a as usize * qi + b as usize] = s;
+                add[b as usize * qi + a as usize] = s;
+            }
+        }
+
+        // --- multiplication: reduce polynomial products modulo an
+        //     irreducible monic polynomial of degree k over GF(p) ---
+        let modulus = find_irreducible(p, k);
+        let polymul = |a: u32, b: u32| -> u32 {
+            // Schoolbook product of the coordinate vectors, reduced by the
+            // modulus via repeated x^k = -(modulus tail).
+            let va = decode(a);
+            let vb = decode(b);
+            let deg = 2 * k as usize - 1;
+            let mut prod = vec![0u32; deg];
+            for (i, &x) in va.iter().enumerate() {
+                if x == 0 {
+                    continue;
+                }
+                for (j, &y) in vb.iter().enumerate() {
+                    prod[i + j] = (prod[i + j] + x * y) % p;
+                }
+            }
+            // Reduce: while degree >= k, subtract coeff * x^(d-k) * modulus.
+            for d in (k as usize..deg).rev() {
+                let c = prod[d];
+                if c == 0 {
+                    continue;
+                }
+                prod[d] = 0;
+                for (j, &m) in modulus.iter().enumerate().take(k as usize) {
+                    let idx = d - k as usize + j;
+                    prod[idx] = (prod[idx] + c * (p - m)) % p;
+                }
+            }
+            encode(&prod[..k as usize])
+        };
+
+        // --- find a primitive element and fill log/antilog tables ---
+        let factors = distinct_prime_factors(q - 1);
+        let mut generator = 0u32;
+        'search: for cand in 2..q {
+            for &f in &factors {
+                if pow_with(cand, (q - 1) / f, polymul) == 1 {
+                    continue 'search;
+                }
+            }
+            generator = cand;
+            break;
+        }
+        assert!(
+            generator != 0 || q == 2,
+            "no primitive element found for q={q} (irreducible search bug)"
+        );
+        if q == 2 {
+            generator = 1;
+        }
+
+        let mut exp = vec![0u32; (q - 1) as usize];
+        let mut log = vec![0u32; qi];
+        let mut cur = 1u32;
+        for (i, e) in exp.iter_mut().enumerate() {
+            *e = cur;
+            log[cur as usize] = i as u32;
+            cur = polymul(cur, generator);
+        }
+        assert_eq!(cur, 1, "generator order != q-1 for q={q}");
+
+        Ok(Self {
+            p,
+            k,
+            q,
+            add,
+            exp,
+            log,
+            neg,
+            generator,
+        })
+    }
+
+    /// Field order `q`.
+    #[must_use]
+    pub fn order(&self) -> u32 {
+        self.q
+    }
+
+    /// Characteristic `p`.
+    #[must_use]
+    pub fn characteristic(&self) -> u32 {
+        self.p
+    }
+
+    /// Extension degree `k` (so `q = p^k`).
+    #[must_use]
+    pub fn degree(&self) -> u32 {
+        self.k
+    }
+
+    /// The additive identity (always `0`).
+    #[must_use]
+    pub fn zero(&self) -> u32 {
+        0
+    }
+
+    /// The multiplicative identity (always `1`).
+    #[must_use]
+    pub fn one(&self) -> u32 {
+        1
+    }
+
+    /// A fixed primitive element (multiplicative generator).
+    #[must_use]
+    pub fn generator(&self) -> u32 {
+        self.generator
+    }
+
+    /// `a + b`.
+    #[must_use]
+    pub fn add(&self, a: u32, b: u32) -> u32 {
+        self.add[a as usize * self.q as usize + b as usize]
+    }
+
+    /// `-a`.
+    #[must_use]
+    pub fn neg(&self, a: u32) -> u32 {
+        self.neg[a as usize]
+    }
+
+    /// `a - b`.
+    #[must_use]
+    pub fn sub(&self, a: u32, b: u32) -> u32 {
+        self.add(a, self.neg(b))
+    }
+
+    /// `a · b`.
+    #[must_use]
+    pub fn mul(&self, a: u32, b: u32) -> u32 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let l = self.log[a as usize] + self.log[b as usize];
+        self.exp[(l % (self.q - 1)) as usize]
+    }
+
+    /// `a⁻¹`, or `None` for `a = 0`.
+    #[must_use]
+    pub fn inv(&self, a: u32) -> Option<u32> {
+        if a == 0 {
+            return None;
+        }
+        let l = self.log[a as usize];
+        Some(self.exp[((self.q - 1 - l) % (self.q - 1)) as usize])
+    }
+
+    /// `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b = 0`.
+    #[must_use]
+    pub fn div(&self, a: u32, b: u32) -> u32 {
+        self.mul(a, self.inv(b).expect("division by zero"))
+    }
+
+    /// `a^e` (with `0^0 = 1`).
+    #[must_use]
+    pub fn pow(&self, a: u32, e: u64) -> u32 {
+        if e == 0 {
+            return 1;
+        }
+        if a == 0 {
+            return 0;
+        }
+        let l = u64::from(self.log[a as usize]);
+        let m = u64::from(self.q - 1);
+        self.exp[((l * (e % m)) % m) as usize]
+    }
+
+    /// The elements of the subfield of order `q_sub` (including 0 and 1).
+    ///
+    /// The subfield of order `p^e` exists iff `e` divides `k`; its nonzero
+    /// elements are exactly the powers `g^(j·(q−1)/(q_sub−1))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if `q_sub` is not the order of a subfield of this field.
+    pub fn subfield_elements(&self, q_sub: u32) -> Result<Vec<u32>, GfError> {
+        let (p, e) = prime_power(q_sub).ok_or(GfError::NotPrimePower(q_sub))?;
+        if p != self.p || !self.k.is_multiple_of(e) {
+            return Err(GfError::NotPrimePower(q_sub));
+        }
+        let step = (self.q - 1) / (q_sub - 1);
+        let mut out = Vec::with_capacity(q_sub as usize);
+        out.push(0);
+        for j in 0..q_sub - 1 {
+            out.push(self.exp[(j * step % (self.q - 1)) as usize]);
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Iterates over all elements `0..q`.
+    pub fn elements(&self) -> impl Iterator<Item = u32> + use<> {
+        0..self.q
+    }
+}
+
+/// Returns the coefficient vector (little-endian, length `k+1`, monic) of an
+/// irreducible degree-`k` polynomial over `GF(p)`, found by exhaustive
+/// search with trial division.
+fn find_irreducible(p: u32, k: u32) -> Vec<u32> {
+    if k == 1 {
+        return vec![0, 1]; // x (unused: degree-1 reduction never triggers)
+    }
+    // Iterate over the p^k possible non-leading coefficient vectors.
+    let total = (p as u64).pow(k);
+    for idx in 0..total {
+        let mut coeffs = Vec::with_capacity(k as usize + 1);
+        let mut x = idx;
+        for _ in 0..k {
+            coeffs.push((x % u64::from(p)) as u32);
+            x /= u64::from(p);
+        }
+        coeffs.push(1); // monic
+        if coeffs[0] == 0 {
+            continue; // divisible by x
+        }
+        if is_irreducible(&coeffs, p) {
+            return coeffs;
+        }
+    }
+    unreachable!("an irreducible polynomial of degree {k} over GF({p}) always exists")
+}
+
+/// Deterministic irreducibility test by trial division with every monic
+/// polynomial of degree `1 ..= deg/2`.
+fn is_irreducible(poly: &[u32], p: u32) -> bool {
+    let deg = poly.len() - 1;
+    for d in 1..=deg / 2 {
+        let total = (p as u64).pow(d as u32);
+        for idx in 0..total {
+            let mut div = Vec::with_capacity(d + 1);
+            let mut x = idx;
+            for _ in 0..d {
+                div.push((x % u64::from(p)) as u32);
+                x /= u64::from(p);
+            }
+            div.push(1);
+            if poly_rem_is_zero(poly, &div, p) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// True iff `divisor` (monic) divides `poly` over `GF(p)`.
+fn poly_rem_is_zero(poly: &[u32], divisor: &[u32], p: u32) -> bool {
+    let mut rem: Vec<u32> = poly.to_vec();
+    let dd = divisor.len() - 1;
+    while rem.len() > dd {
+        let lead = *rem.last().expect("nonempty");
+        let shift = rem.len() - 1 - dd;
+        if lead != 0 {
+            for (j, &m) in divisor.iter().enumerate() {
+                let idx = shift + j;
+                rem[idx] = (rem[idx] + lead * (p - m) % p) % p;
+            }
+        }
+        rem.pop();
+    }
+    rem.iter().all(|&c| c == 0)
+}
+
+/// Distinct prime factors of `n` by trial division.
+fn distinct_prime_factors(mut n: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut d = 2u32;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Modular exponentiation with a custom multiplication (used before tables
+/// exist).
+fn pow_with(a: u32, mut e: u32, mul: impl Fn(u32, u32) -> u32) -> u32 {
+    let mut base = a;
+    let mut acc = 1u32;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul(acc, base);
+        }
+        base = mul(base, base);
+        e >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_power_decomposition() {
+        assert_eq!(prime_power(2), Some((2, 1)));
+        assert_eq!(prime_power(9), Some((3, 2)));
+        assert_eq!(prime_power(16), Some((2, 4)));
+        assert_eq!(prime_power(243), Some((3, 5)));
+        assert_eq!(prime_power(6), None);
+        assert_eq!(prime_power(1), None);
+        assert_eq!(prime_power(257), Some((257, 1)));
+    }
+
+    fn check_field_axioms(q: u32) {
+        let f = Gf::new(q).unwrap();
+        assert_eq!(f.order(), q);
+        // identities
+        for a in 0..q {
+            assert_eq!(f.add(a, 0), a);
+            assert_eq!(f.mul(a, 1), a);
+            assert_eq!(f.add(a, f.neg(a)), 0);
+            if a != 0 {
+                assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
+            }
+        }
+        // commutativity + associativity + distributivity (sampled fully for
+        // small q, else on a stride)
+        let stride = if q <= 32 { 1 } else { q / 17 + 1 };
+        let pts: Vec<u32> = (0..q).step_by(stride as usize).collect();
+        for &a in &pts {
+            for &b in &pts {
+                assert_eq!(f.add(a, b), f.add(b, a));
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for &c in &pts {
+                    assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+                    assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+                    assert_eq!(
+                        f.mul(a, f.add(b, c)),
+                        f.add(f.mul(a, b), f.mul(a, c)),
+                        "distributivity a={a} b={b} c={c} q={q}"
+                    );
+                }
+            }
+        }
+        // generator has full order: exp table covered all nonzero elements
+        let mut seen = vec![false; q as usize];
+        let mut cur = 1u32;
+        for _ in 0..q - 1 {
+            assert!(!seen[cur as usize], "generator order too small");
+            seen[cur as usize] = true;
+            cur = f.mul(cur, f.generator());
+        }
+        assert_eq!(cur, 1);
+    }
+
+    #[test]
+    fn prime_fields() {
+        for q in [2u32, 3, 5, 7, 11, 13, 17, 19, 23] {
+            check_field_axioms(q);
+        }
+    }
+
+    #[test]
+    fn extension_fields() {
+        for q in [4u32, 8, 9, 16, 25, 27, 32, 49, 64, 81] {
+            check_field_axioms(q);
+        }
+    }
+
+    #[test]
+    fn large_extension_fields() {
+        for q in [128u32, 243, 256, 625] {
+            check_field_axioms(q);
+        }
+    }
+
+    #[test]
+    fn non_prime_power_rejected() {
+        assert_eq!(Gf::new(6).unwrap_err(), GfError::NotPrimePower(6));
+        assert_eq!(Gf::new(12).unwrap_err(), GfError::NotPrimePower(12));
+        assert_eq!(Gf::new(0).unwrap_err(), GfError::NotPrimePower(0));
+        assert!(Gf::new(5041 * 2).is_err());
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        assert_eq!(Gf::new(2048).unwrap_err(), GfError::TooLarge(2048));
+    }
+
+    #[test]
+    fn characteristic_addition() {
+        // In GF(2^k), every element is its own negative.
+        let f = Gf::new(16).unwrap();
+        for a in 0..16 {
+            assert_eq!(f.add(a, a), 0);
+            assert_eq!(f.neg(a), a);
+        }
+        // In GF(3^k), a + a + a = 0.
+        let f = Gf::new(27).unwrap();
+        for a in 0..27 {
+            assert_eq!(f.add(f.add(a, a), a), 0);
+        }
+    }
+
+    #[test]
+    fn subfields() {
+        let f = Gf::new(256).unwrap(); // GF(2^8) ⊇ GF(16) ⊇ GF(4) ⊇ GF(2)
+        for q_sub in [2u32, 4, 16, 256] {
+            let sub = f.subfield_elements(q_sub).unwrap();
+            assert_eq!(sub.len(), q_sub as usize);
+            // closure under add and mul
+            for &a in &sub {
+                for &b in &sub {
+                    assert!(sub.binary_search(&f.add(a, b)).is_ok(), "add closure");
+                    assert!(sub.binary_search(&f.mul(a, b)).is_ok(), "mul closure");
+                }
+            }
+            // fixed by Frobenius x -> x^q_sub
+            for &a in &sub {
+                assert_eq!(f.pow(a, u64::from(q_sub)), a);
+            }
+        }
+        // GF(8) is *not* a subfield of GF(256) (3 does not divide 8).
+        assert!(f.subfield_elements(8).is_err());
+        // Wrong characteristic.
+        assert!(f.subfield_elements(9).is_err());
+    }
+
+    #[test]
+    fn pow_agrees_with_repeated_mul() {
+        let f = Gf::new(27).unwrap();
+        for a in 0..27u32 {
+            let mut acc = 1u32;
+            for e in 0..=30u64 {
+                assert_eq!(f.pow(a, e), acc, "a={a} e={e}");
+                acc = f.mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    fn frobenius_is_additive() {
+        // (a+b)^p = a^p + b^p in characteristic p.
+        let f = Gf::new(81).unwrap();
+        for a in 0..81 {
+            for b in 0..81 {
+                assert_eq!(f.pow(f.add(a, b), 3), f.add(f.pow(a, 3), f.pow(b, 3)));
+            }
+        }
+    }
+}

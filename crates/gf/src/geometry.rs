@@ -1,0 +1,304 @@
+//! Points and lines of affine and projective spaces over `GF(q)`.
+//!
+//! * The lines of `AG(d, q)` form a `2-(q^d, q, 1)` design — every pair of
+//!   points lies on exactly one line. Used for e.g. `2-(25,5,1)`
+//!   (the affine plane of order 5, the paper's `n_1` for `n = 31`, `r = 5`)
+//!   and `2-(64,4,1)`.
+//! * The lines of `PG(d, q)` form a `2-((q^{d+1}−1)/(q−1), q+1, 1)` design,
+//!   e.g. `2-(85,5,1)` from `PG(3,4)`.
+//!
+//! Points are plain `u16` indices; the coordinate encodings are internal.
+
+use crate::Gf;
+use std::collections::HashSet;
+
+/// Number of points of `AG(d, q)`, i.e. `q^d`.
+#[must_use]
+pub fn ag_point_count(q: u32, d: u32) -> u64 {
+    u64::from(q).pow(d)
+}
+
+/// Number of points of `PG(d, q)`, i.e. `(q^{d+1} − 1)/(q − 1)`.
+#[must_use]
+pub fn pg_point_count(q: u32, d: u32) -> u64 {
+    (u64::from(q).pow(d + 1) - 1) / (u64::from(q) - 1)
+}
+
+/// Encodes an affine coordinate vector as a point index (base-`q` digits).
+fn ag_encode(q: u32, coords: &[u32]) -> u64 {
+    coords
+        .iter()
+        .rev()
+        .fold(0u64, |acc, &c| acc * u64::from(q) + u64::from(c))
+}
+
+/// Decodes a point index into affine coordinates.
+fn ag_decode(q: u32, d: u32, mut idx: u64) -> Vec<u32> {
+    let mut out = vec![0u32; d as usize];
+    for c in out.iter_mut() {
+        *c = (idx % u64::from(q)) as u32;
+        idx /= u64::from(q);
+    }
+    out
+}
+
+/// All lines of the affine space `AG(d, q)`, each as a sorted vector of
+/// point indices in `0..q^d`.
+///
+/// The lines form a `2-(q^d, q, 1)` design with
+/// `q^{d−1}(q^d − 1)/(q − 1)` blocks.
+///
+/// # Panics
+///
+/// Panics if `d = 0` or the point count exceeds `u16` range (the placement
+/// library never needs more than 800 points).
+///
+/// # Examples
+///
+/// ```
+/// use wcp_gf::{geometry, Gf};
+///
+/// let f = Gf::new(3)?;
+/// let lines = geometry::ag_lines(&f, 2); // AG(2,3): 12 lines of 3 points
+/// assert_eq!(lines.len(), 12);
+/// assert!(lines.iter().all(|l| l.len() == 3));
+/// # Ok::<(), wcp_gf::GfError>(())
+/// ```
+#[must_use]
+pub fn ag_lines(gf: &Gf, d: u32) -> Vec<Vec<u16>> {
+    assert!(d >= 1, "dimension must be positive");
+    let q = gf.order();
+    let n_points = ag_point_count(q, d);
+    assert!(n_points <= u64::from(u16::MAX), "too many points for u16");
+
+    // One direction representative per point of PG(d-1, q): the first
+    // nonzero coordinate is 1.
+    let directions = pg_normalized_vectors(gf, d - 1);
+
+    let mut seen: HashSet<Vec<u16>> = HashSet::new();
+    let mut lines = Vec::new();
+    for base_idx in 0..n_points {
+        let base = ag_decode(q, d, base_idx);
+        for dir in &directions {
+            let mut line: Vec<u16> = Vec::with_capacity(q as usize);
+            for t in gf.elements() {
+                let pt: Vec<u32> = base
+                    .iter()
+                    .zip(dir)
+                    .map(|(&b, &v)| gf.add(b, gf.mul(t, v)))
+                    .collect();
+                line.push(ag_encode(q, &pt) as u16);
+            }
+            line.sort_unstable();
+            if seen.insert(line.clone()) {
+                lines.push(line);
+            }
+        }
+    }
+    lines
+}
+
+/// Normalized representatives of the 1-dimensional subspaces of
+/// `GF(q)^{d+1}` (i.e. the points of `PG(d, q)`), each a coordinate vector
+/// whose first nonzero entry is 1.
+fn pg_normalized_vectors(gf: &Gf, d: u32) -> Vec<Vec<u32>> {
+    let q = gf.order();
+    let dim = d as usize + 1;
+    let mut out = Vec::new();
+    // Enumerate by position of the leading 1: coordinates before it are 0,
+    // coordinates after it range over all of GF(q).
+    for lead in 0..dim {
+        let free = dim - lead - 1;
+        let total = u64::from(q).pow(free as u32);
+        for idx in 0..total {
+            let mut v = vec![0u32; dim];
+            v[lead] = 1;
+            let mut x = idx;
+            for c in v.iter_mut().skip(lead + 1) {
+                *c = (x % u64::from(q)) as u32;
+                x /= u64::from(q);
+            }
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// All lines of the projective space `PG(d, q)`, each as a sorted vector of
+/// point indices in `0..pg_point_count(q, d)`.
+///
+/// The lines form a `2-((q^{d+1}−1)/(q−1), q+1, 1)` design. Point `i`
+/// corresponds to the `i`-th normalized vector in the order produced by
+/// leading-coordinate enumeration.
+///
+/// # Panics
+///
+/// Panics if `d < 1` or the point count exceeds `u16` range.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_gf::{geometry, Gf};
+///
+/// let f = Gf::new(2)?;
+/// let lines = geometry::pg_lines(&f, 2); // Fano plane: 7 lines of 3 points
+/// assert_eq!(lines.len(), 7);
+/// # Ok::<(), wcp_gf::GfError>(())
+/// ```
+#[must_use]
+pub fn pg_lines(gf: &Gf, d: u32) -> Vec<Vec<u16>> {
+    assert!(d >= 1, "dimension must be positive");
+    let q = gf.order();
+    let n_points = pg_point_count(q, d);
+    assert!(n_points <= u64::from(u16::MAX), "too many points for u16");
+
+    let points = pg_normalized_vectors(gf, d);
+    assert_eq!(points.len() as u64, n_points);
+
+    // Index lookup: normalize an arbitrary nonzero vector and find it.
+    let normalize = |v: &[u32]| -> Vec<u32> {
+        let lead = v.iter().position(|&c| c != 0).expect("nonzero vector");
+        let inv = gf.inv(v[lead]).expect("nonzero leading coordinate");
+        v.iter().map(|&c| gf.mul(c, inv)).collect()
+    };
+    let index_of: std::collections::HashMap<Vec<u32>, u16> = points
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.clone(), i as u16))
+        .collect();
+
+    let mut seen: HashSet<Vec<u16>> = HashSet::new();
+    let mut lines = Vec::new();
+    for i in 0..points.len() {
+        for j in i + 1..points.len() {
+            let a = &points[i];
+            let b = &points[j];
+            // Line through a and b: a, and a·t + b for all t (includes b at
+            // t = 0); in homogeneous form: all nonzero combinations αa + βb
+            // up to scaling, represented by β=0 (a itself) plus α ranging
+            // with β=1.
+            let mut line: Vec<u16> = Vec::with_capacity(q as usize + 1);
+            line.push(i as u16);
+            for t in gf.elements() {
+                let v: Vec<u32> = a
+                    .iter()
+                    .zip(b)
+                    .map(|(&x, &y)| gf.add(gf.mul(t, x), y))
+                    .collect();
+                line.push(index_of[&normalize(&v)]);
+            }
+            line.sort_unstable();
+            line.dedup();
+            if seen.insert(line.clone()) {
+                lines.push(line);
+            }
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks that `blocks` forms a 2-(v, block_size, 1) design: every pair
+    /// of points is covered exactly once.
+    fn assert_pairwise_balanced(v: usize, block_size: usize, blocks: &[Vec<u16>]) {
+        let mut pair_count = vec![0u32; v * v];
+        for b in blocks {
+            assert_eq!(b.len(), block_size, "block size");
+            for i in 0..b.len() {
+                for j in i + 1..b.len() {
+                    pair_count[b[i] as usize * v + b[j] as usize] += 1;
+                }
+            }
+        }
+        for i in 0..v {
+            for j in i + 1..v {
+                assert_eq!(
+                    pair_count[i * v + j],
+                    1,
+                    "pair ({i},{j}) covered wrong number of times"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ag23_is_sts9() {
+        let f = Gf::new(3).unwrap();
+        let lines = ag_lines(&f, 2);
+        assert_eq!(lines.len(), 12);
+        assert_pairwise_balanced(9, 3, &lines);
+    }
+
+    #[test]
+    fn ag25_is_affine_plane_order5() {
+        // 2-(25,5,1): the paper's n_1 = 25 entry for n = 31, r = 5.
+        let f = Gf::new(5).unwrap();
+        let lines = ag_lines(&f, 2);
+        assert_eq!(lines.len(), 30);
+        assert_pairwise_balanced(25, 5, &lines);
+    }
+
+    #[test]
+    fn ag34_lines() {
+        // 2-(64,4,1): our substitute for the paper's n_1 entry at n = 71, r = 4.
+        let f = Gf::new(4).unwrap();
+        let lines = ag_lines(&f, 3);
+        assert_eq!(lines.len(), 64 * 63 / (4 * 3)); // 336
+        assert_pairwise_balanced(64, 4, &lines);
+    }
+
+    #[test]
+    fn ag44_lines() {
+        // 2-(256,4,1): the paper's n_1 = 256 entry for n = 257, r = 4.
+        let f = Gf::new(4).unwrap();
+        let lines = ag_lines(&f, 4);
+        assert_eq!(lines.len(), 256 * 255 / 12); // 5440
+        assert_pairwise_balanced(256, 4, &lines);
+    }
+
+    #[test]
+    fn fano_plane() {
+        let f = Gf::new(2).unwrap();
+        let lines = pg_lines(&f, 2);
+        assert_eq!(lines.len(), 7);
+        assert_pairwise_balanced(7, 3, &lines);
+    }
+
+    #[test]
+    fn pg24_projective_plane_order4() {
+        // 2-(21,5,1).
+        let f = Gf::new(4).unwrap();
+        let lines = pg_lines(&f, 2);
+        assert_eq!(lines.len(), 21);
+        assert_pairwise_balanced(21, 5, &lines);
+    }
+
+    #[test]
+    fn pg34_lines() {
+        // 2-(85,5,1).
+        let f = Gf::new(4).unwrap();
+        let lines = pg_lines(&f, 3);
+        assert_eq!(pg_point_count(4, 3), 85);
+        assert_eq!(lines.len(), 357); // 85·84/(5·4)
+        assert_pairwise_balanced(85, 5, &lines);
+    }
+
+    #[test]
+    fn pg33_lines() {
+        // 2-(40,4,1).
+        let f = Gf::new(3).unwrap();
+        let lines = pg_lines(&f, 3);
+        assert_eq!(lines.len(), 130); // 40·39/12
+        assert_pairwise_balanced(40, 4, &lines);
+    }
+
+    #[test]
+    fn counts() {
+        assert_eq!(ag_point_count(5, 3), 125);
+        assert_eq!(pg_point_count(2, 2), 7);
+        assert_eq!(pg_point_count(4, 4), 341);
+    }
+}

@@ -1,0 +1,33 @@
+//! Finite fields and finite geometries.
+//!
+//! The combinatorial designs behind `Simple(x, λ)` placements are classical
+//! geometric objects: lines of affine and projective spaces, Hermitian
+//! unitals, and Möbius (subline) 3-designs on the projective line. All of
+//! them need arithmetic in `GF(p^k)`; this crate builds such fields from
+//! scratch (irreducible polynomial search + log/antilog tables) and exposes
+//! the geometry on top:
+//!
+//! * [`Gf`] — a finite field with `q = p^k ≤ 4096` elements; constant-time
+//!   add/mul/inv via precomputed tables;
+//! * [`geometry`] — points and lines of `AG(d, q)` and `PG(d, q)`;
+//! * [`projline`] — the projective line `PG(1, q)` and Möbius maps
+//!   (`PGL(2, q)`), including the map through three prescribed points used
+//!   to enumerate subline designs.
+//!
+//! # Examples
+//!
+//! ```
+//! use wcp_gf::Gf;
+//!
+//! let f = Gf::new(9)?; // GF(3^2)
+//! let a = 5u32;
+//! assert_eq!(f.mul(a, f.inv(a).unwrap()), f.one());
+//! assert_eq!(f.add(a, f.neg(a)), f.zero());
+//! # Ok::<(), wcp_gf::GfError>(())
+//! ```
+
+mod field;
+pub mod geometry;
+pub mod projline;
+
+pub use field::{Gf, GfError};

@@ -1,0 +1,181 @@
+//! The projective line `PG(1, q)` and Möbius transformations (`PGL(2, q)`).
+//!
+//! Subline designs — the `3-(q^d + 1, q + 1, 1)` family that provides the
+//! inversive planes (`d = 2`), the paper's `3-(65,5,1)`, `3-(257,5,1)` and
+//! `3-(28,4,1)` — are orbits of the standard subline
+//! `PG(1, q) ⊂ PG(1, q^d)` under `PGL(2, q^d)`. This module provides the
+//! point encoding and the Möbius map through three prescribed points, which
+//! together let callers enumerate the orbit triple-by-triple.
+
+use crate::Gf;
+
+/// The point at infinity of `PG(1, q)` is encoded as index `q`; finite
+/// points `x ∈ GF(q)` are encoded as their field index. The projective line
+/// therefore has points `0 ..= q`.
+#[must_use]
+pub fn infinity(gf: &Gf) -> u32 {
+    gf.order()
+}
+
+/// Number of points of `PG(1, q)`, i.e. `q + 1`.
+#[must_use]
+pub fn point_count(gf: &Gf) -> u32 {
+    gf.order() + 1
+}
+
+/// Homogeneous coordinates `(u : v)` of an encoded point.
+fn homogeneous(gf: &Gf, pt: u32) -> (u32, u32) {
+    if pt == gf.order() {
+        (1, 0)
+    } else {
+        (pt, 1)
+    }
+}
+
+/// A Möbius transformation `t ↦ (a·t + b)/(c·t + d)` over `GF(q)`,
+/// represented by an invertible 2×2 matrix.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_gf::{projline::Moebius, Gf};
+///
+/// let f = Gf::new(5)?;
+/// let inf = f.order(); // encoded point at infinity
+/// let m = Moebius::through_images(&f, [2, 3, inf]).unwrap();
+/// assert_eq!(m.apply(&f, 0), 2);       // 0 ↦ first target
+/// assert_eq!(m.apply(&f, 1), 3);       // 1 ↦ second target
+/// assert_eq!(m.apply(&f, inf), inf);   // ∞ ↦ third target
+/// # Ok::<(), wcp_gf::GfError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Moebius {
+    a: u32,
+    b: u32,
+    c: u32,
+    d: u32,
+}
+
+impl Moebius {
+    /// The unique map sending `(0, 1, ∞)` to the three distinct points
+    /// `targets = [p0, p1, p∞]` (encoded form). Returns `None` if the
+    /// targets are not pairwise distinct.
+    ///
+    /// `PGL(2, q)` is sharply 3-transitive, so every Möbius map arises this
+    /// way for exactly one ordered triple.
+    #[must_use]
+    pub fn through_images(gf: &Gf, targets: [u32; 3]) -> Option<Self> {
+        let [p0, p1, pinf] = targets;
+        if p0 == p1 || p0 == pinf || p1 == pinf {
+            return None;
+        }
+        let (x0, x1) = homogeneous(gf, p0); // image of 0 ~ column 2
+        let (y0, y1) = homogeneous(gf, p1); // image of 1 ~ col1 + col2
+        let (z0, z1) = homogeneous(gf, pinf); // image of ∞ ~ column 1
+                                              // Solve [z | x] · (α, β)^T = y for α, β ∈ GF(q)*.
+        let det = gf.sub(gf.mul(z0, x1), gf.mul(z1, x0));
+        debug_assert_ne!(det, 0, "distinct projective points are independent");
+        let det_inv = gf.inv(det)?;
+        let alpha = gf.mul(gf.sub(gf.mul(y0, x1), gf.mul(y1, x0)), det_inv);
+        let beta = gf.mul(gf.sub(gf.mul(z0, y1), gf.mul(z1, y0)), det_inv);
+        debug_assert_ne!(alpha, 0);
+        debug_assert_ne!(beta, 0);
+        Some(Self {
+            a: gf.mul(alpha, z0),
+            b: gf.mul(beta, x0),
+            c: gf.mul(alpha, z1),
+            d: gf.mul(beta, x1),
+        })
+    }
+
+    /// Applies the map to an encoded point.
+    #[must_use]
+    pub fn apply(&self, gf: &Gf, pt: u32) -> u32 {
+        let (u, v) = homogeneous(gf, pt);
+        let nu = gf.add(gf.mul(self.a, u), gf.mul(self.b, v));
+        let nv = gf.add(gf.mul(self.c, u), gf.mul(self.d, v));
+        if nv == 0 {
+            gf.order()
+        } else {
+            gf.div(nu, nv)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharply_three_transitive() {
+        let gf = Gf::new(7).unwrap();
+        let pts: Vec<u32> = (0..point_count(&gf)).collect();
+        // Every ordered triple of distinct points is hit by exactly one map
+        // of the (0,1,∞) parametrization, and the map indeed sends 0,1,∞
+        // there.
+        let mut count = 0;
+        for &a in &pts {
+            for &b in &pts {
+                for &c in &pts {
+                    let Some(m) = Moebius::through_images(&gf, [a, b, c]) else {
+                        continue;
+                    };
+                    count += 1;
+                    assert_eq!(m.apply(&gf, 0), a);
+                    assert_eq!(m.apply(&gf, 1), b);
+                    assert_eq!(m.apply(&gf, infinity(&gf)), c);
+                }
+            }
+        }
+        // |PGL(2,7)| = 8·7·6 = 336 ordered triples.
+        assert_eq!(count, 336);
+    }
+
+    #[test]
+    fn maps_are_bijections() {
+        let gf = Gf::new(9).unwrap();
+        let inf = infinity(&gf);
+        for targets in [[0u32, 1, 2], [3, inf, 5], [inf, 0, 8], [7, 2, 0]] {
+            let m = Moebius::through_images(&gf, targets).unwrap();
+            let mut seen = vec![false; point_count(&gf) as usize];
+            for p in 0..point_count(&gf) {
+                let img = m.apply(&gf, p) as usize;
+                assert!(!seen[img], "not injective at {p}");
+                seen[img] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "not surjective");
+        }
+    }
+
+    #[test]
+    fn degenerate_triples_rejected() {
+        let gf = Gf::new(5).unwrap();
+        assert!(Moebius::through_images(&gf, [1, 1, 2]).is_none());
+        assert!(Moebius::through_images(&gf, [1, 2, 1]).is_none());
+        assert!(Moebius::through_images(&gf, [2, 1, 1]).is_none());
+    }
+
+    #[test]
+    fn composition_preserves_cross_ratio_structure() {
+        // The image of the standard subline GF(2) ∪ {∞} = {0, 1, ∞} under
+        // any map is a 3-point set; with q = 2 the "circles" are just all
+        // triples — sanity check that all C(5,3)=10 triples of PG(1,4) arise.
+        let gf = Gf::new(4).unwrap();
+        let inf = infinity(&gf);
+        let mut circles = std::collections::HashSet::new();
+        let pts: Vec<u32> = (0..point_count(&gf)).collect();
+        for &a in &pts {
+            for &b in &pts {
+                for &c in &pts {
+                    if let Some(m) = Moebius::through_images(&gf, [a, b, c]) {
+                        let mut circle: Vec<u32> =
+                            [0u32, 1, inf].iter().map(|&p| m.apply(&gf, p)).collect();
+                        circle.sort_unstable();
+                        circles.insert(circle);
+                    }
+                }
+            }
+        }
+        assert_eq!(circles.len(), 10);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for finite fields and geometries.
+
+use proptest::prelude::*;
+use wcp_gf::{geometry, projline::Moebius, Gf};
+
+/// The prime powers ≤ 128 (field sizes the constructions use).
+const PRIME_POWERS: &[u32] = &[
+    2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31, 32, 49, 64, 81, 121, 125, 128,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Field axioms on random element triples of random fields.
+    #[test]
+    fn field_axioms(qi in 0usize..PRIME_POWERS.len(), seed in any::<u64>()) {
+        let q = PRIME_POWERS[qi];
+        let gf = Gf::new(q).expect("prime power");
+        let a = (seed % u64::from(q)) as u32;
+        let b = ((seed >> 16) % u64::from(q)) as u32;
+        let c = ((seed >> 32) % u64::from(q)) as u32;
+        prop_assert_eq!(gf.add(a, b), gf.add(b, a));
+        prop_assert_eq!(gf.mul(a, b), gf.mul(b, a));
+        prop_assert_eq!(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
+        prop_assert_eq!(gf.sub(gf.add(a, b), b), a);
+        if b != 0 {
+            prop_assert_eq!(gf.mul(gf.div(a, b), b), a);
+        }
+        // Frobenius is a field automorphism: (a+b)^p = a^p + b^p.
+        let p = u64::from(gf.characteristic());
+        prop_assert_eq!(
+            gf.pow(gf.add(a, b), p),
+            gf.add(gf.pow(a, p), gf.pow(b, p))
+        );
+    }
+
+    /// Fermat: a^q = a for every element.
+    #[test]
+    fn fermat(qi in 0usize..PRIME_POWERS.len(), seed in any::<u64>()) {
+        let q = PRIME_POWERS[qi];
+        let gf = Gf::new(q).expect("prime power");
+        let a = (seed % u64::from(q)) as u32;
+        prop_assert_eq!(gf.pow(a, u64::from(q)), a);
+    }
+
+    /// Möbius maps compose consistently with their defining triples: the
+    /// map through the images of (0, 1, ∞) under m is m itself.
+    #[test]
+    fn moebius_reconstruction(qi in 0usize..8, seed in any::<u64>()) {
+        let q = PRIME_POWERS[qi];
+        let gf = Gf::new(q).expect("prime power");
+        let npts = u64::from(q) + 1;
+        let a = (seed % npts) as u32;
+        let b = ((seed >> 20) % npts) as u32;
+        let c = ((seed >> 40) % npts) as u32;
+        prop_assume!(a != b && b != c && a != c);
+        let m = Moebius::through_images(&gf, [a, b, c]).expect("distinct");
+        let images = [m.apply(&gf, 0), m.apply(&gf, 1), m.apply(&gf, q)];
+        let m2 = Moebius::through_images(&gf, images).expect("distinct images");
+        for p in 0..=q {
+            prop_assert_eq!(m.apply(&gf, p), m2.apply(&gf, p));
+        }
+    }
+}
+
+/// Line designs have the right block counts for a sample of geometries
+/// (full pair-balance is covered by unit tests; this checks the formulas
+/// across more parameters).
+#[test]
+fn line_counts_match_formulas() {
+    for (q, d) in [(2u32, 2u32), (2, 4), (3, 2), (3, 3), (4, 2), (5, 2), (7, 2)] {
+        let gf = Gf::new(q).unwrap();
+        let ag = geometry::ag_lines(&gf, d);
+        let v = geometry::ag_point_count(q, d);
+        let expect = v * (v - 1) / (u64::from(q) * (u64::from(q) - 1));
+        assert_eq!(ag.len() as u64, expect, "AG({d},{q})");
+        if d >= 2 {
+            let pg = geometry::pg_lines(&gf, d);
+            let vp = geometry::pg_point_count(q, d);
+            let expect = vp * (vp - 1) / (u64::from(q + 1) * u64::from(q));
+            assert_eq!(pg.len() as u64, expect, "PG({d},{q})");
+        }
+    }
+}

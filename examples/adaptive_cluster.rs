@@ -1,0 +1,64 @@
+//! Adaptive placement under churn: objects come and go, the placer keeps
+//! the worst-case guarantee live — the extension the paper leaves as
+//! future work (Sec. IV-D).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example adaptive_cluster
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use worst_case_placement::core::adaptive::AdaptivePlacer;
+use worst_case_placement::prelude::*;
+
+fn main() -> Result<(), PlacementError> {
+    let params = SystemParams::new(71, 1500, 3, 2, 4)?;
+    let mut placer = AdaptivePlacer::new(&params, &RegistryConfig::default(), 0.05)?;
+    let mut rng = StdRng::seed_from_u64(2015);
+    let mut live: Vec<u64> = Vec::new();
+    let adversary = AdversaryConfig::default();
+
+    println!("churn simulation on n=71, r=3, s=2, planned for k=4\n");
+    println!(
+        "{:>6} {:>6} {:>14} {:>12} {:>10}",
+        "step", "live", "lambdas", "live bound", "replan?"
+    );
+
+    for step in 0..=5000u32 {
+        // 60% adds until warm, then balanced churn.
+        let warm = live.len() >= 1000;
+        let add = live.is_empty() || rng.gen_bool(if warm { 0.5 } else { 0.8 });
+        if add {
+            live.push(placer.add_object()?);
+        } else {
+            let idx = rng.gen_range(0..live.len());
+            let id = live.swap_remove(idx);
+            placer.remove_object(id)?;
+        }
+        if step % 1000 == 0 {
+            println!(
+                "{:>6} {:>6} {:>14} {:>12} {:>10}",
+                step,
+                placer.len(),
+                format!("{:?}", placer.lambdas()),
+                placer.lower_bound(),
+                placer.needs_replan()?
+            );
+        }
+    }
+
+    // The live guarantee must hold against a real adversary.
+    let placement = placer.snapshot()?;
+    let (avail, wc) = availability(&placement, 2, 4, &adversary);
+    println!(
+        "\nfinal: {} live objects; adversary (exact={}) leaves {} ≥ bound {}",
+        placer.len(),
+        wc.exact,
+        avail,
+        placer.lower_bound()
+    );
+    assert!(avail as i64 >= placer.lower_bound());
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Design explorer: inspect what the combinatorial substrate can build
+//! for a given system size — the same information the paper's Fig. 4 and
+//! Sec. III-C parameter-selection study convey.
+//!
+//! Run with (defaults shown):
+//!
+//! ```sh
+//! cargo run --release --example design_explorer -- 71 5
+//! ```
+
+use worst_case_placement::designs::chunking::{best_chunking, ideal_capacity};
+use worst_case_placement::designs::registry::{best_unit_packing, RegistryConfig};
+use worst_case_placement::designs::{catalog, verify};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u16 = args.next().and_then(|a| a.parse().ok()).unwrap_or(71);
+    let r: u16 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    assert!((2..=5).contains(&r), "the paper's scope is 2 ≤ r ≤ 5");
+
+    println!("=== constructible packings for n = {n}, r = {r} ===\n");
+    let config = RegistryConfig::default();
+    for x in 1..r {
+        let t = x + 1;
+        match best_unit_packing(t, r, n, 5_000, &config) {
+            Some(unit) => {
+                // Materialize a few hundred blocks and verify the packing
+                // property end-to-end.
+                let design = unit.materialize(500).expect("registry units materialize");
+                assert!(
+                    verify::is_t_packing(&design, t, 1),
+                    "registry delivered a non-packing?!"
+                );
+                println!(
+                    "x = {x}: {t}-({}, {r}, 1) packing, capacity {}{}\n         {}",
+                    unit.v(),
+                    unit.capacity(),
+                    if unit.is_maximal() { " (maximum)" } else { "" },
+                    unit.provenance()
+                );
+            }
+            None => println!("x = {x}: nothing constructible"),
+        }
+    }
+
+    println!("\n=== Observation-2 chunking (t = 2), Steiner sizes only ===\n");
+    let sizes = catalog::steiner_sizes(2, r, r, n);
+    let plan = best_chunking(n, r, 2, 3, &sizes, 1);
+    println!(
+        "admissible Steiner sizes ≤ {n}: {:?}\nbest ≤3-chunk plan: {:?} → capacity {} (ideal {})",
+        sizes,
+        plan.sizes,
+        plan.capacity,
+        ideal_capacity(2, r, n, 1),
+    );
+}

@@ -1,0 +1,60 @@
+//! Distributed file system blocks: GFS/HDFS-style 3-way replication where
+//! a block stays readable while *any* replica survives (`s = r = 3`),
+//! attacked by an informed adversary.
+//!
+//! Also shows the flip side the paper stresses: the same placement logic
+//! with quorum objects (`s = 2`, majority of 3 lost ⇒ object down) trades
+//! away the advantage — placement strategy must match the failure
+//! semantics.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example distributed_fs
+//! ```
+
+use worst_case_placement::prelude::*;
+
+fn main() -> Result<(), PlacementError> {
+    let n = 257u16;
+    let b = 4800u64;
+    let r = 3u16;
+    let adversary = AdversaryConfig::default();
+
+    println!("{b} file blocks, {r} replicas each, on {n} chunkservers\n");
+    for (label, s) in [
+        ("read-anywhere (s = 3: all replicas must die)", 3u16),
+        ("majority quorum (s = 2)", 2),
+    ] {
+        println!("--- {label} ---");
+        println!(
+            "{:>4} {:>18} {:>18} {:>12}",
+            "k", "combo surviving", "random surviving", "combo bound"
+        );
+        for k in [4u16, 6, 8] {
+            let params = SystemParams::new(n, b, r, s, k)?;
+            let combo = ComboStrategy::plan_constructive(&params, &RegistryConfig::default())?;
+            let placement = combo.build(&params)?;
+            let (avail_combo, _) = availability(&placement, s, k, &adversary);
+            let random = RandomStrategy::new(11, RandomVariant::LoadBalanced).place(&params)?;
+            let (avail_rnd, _) = availability(&random, s, k, &adversary);
+            println!(
+                "{:>4} {:>18} {:>18} {:>12}",
+                k,
+                avail_combo,
+                avail_rnd,
+                combo.lower_bound()
+            );
+            assert!(avail_combo >= combo.lower_bound());
+        }
+        println!();
+    }
+
+    println!(
+        "At s = r every surviving replica keeps a block alive, so the adversary\n\
+         must capture whole replica sets — packings make that maximally hard.\n\
+         Under majority quorums (s = 2) the adversary only needs 2 of 3 replicas,\n\
+         and the safe choice of placement changes with it (compare the bounds)."
+    );
+    Ok(())
+}

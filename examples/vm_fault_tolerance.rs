@@ -1,0 +1,57 @@
+//! VM fault tolerance: primary/backup pairs (`r = 2`), the scenario the
+//! paper's introduction motivates with VMware FT.
+//!
+//! Each "object" is a VM whose two replicas (primary + hot standby) must
+//! not *both* be lost (`s = r = 2`). The question: across a rack of 71
+//! hosts, how should the pairs be spread so a targeted k-host outage
+//! strands as few VMs as possible?
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example vm_fault_tolerance
+//! ```
+
+use worst_case_placement::prelude::*;
+
+fn main() -> Result<(), PlacementError> {
+    let n = 71u16;
+    let adversary = AdversaryConfig::default();
+
+    println!("VM pairs on {n} hosts; a VM dies only if BOTH replicas die (s = r = 2)\n");
+    println!(
+        "{:>6} {:>4} {:>16} {:>16} {:>14}",
+        "VMs", "k", "combo surviving", "random surviving", "combo bound"
+    );
+    for (b, k) in [(600u64, 2u16), (1200, 3), (2400, 4)] {
+        let params = SystemParams::new(n, b, 2, 2, k)?;
+
+        // Combo placement: with r = 2 and s = 2 the x = 1 slot is the
+        // "all distinct pairs" design — no two VMs share both hosts until
+        // capacity forces λ up.
+        let combo = ComboStrategy::plan_constructive(&params, &RegistryConfig::default())?;
+        let placement = combo.build(&params)?;
+        let (avail_combo, _) = availability(&placement, 2, k, &adversary);
+
+        // The usual practice: random placement with a load cap.
+        let random = RandomStrategy::new(7, RandomVariant::LoadBalanced).place(&params)?;
+        let (avail_rnd, _) = availability(&random, 2, k, &adversary);
+
+        println!(
+            "{:>6} {:>4} {:>16} {:>16} {:>14}",
+            b,
+            k,
+            avail_combo,
+            avail_rnd,
+            combo.lower_bound()
+        );
+        assert!(avail_combo >= combo.lower_bound());
+    }
+
+    println!(
+        "\nWith pairs kept distinct (a 2-(71,2,λ) packing), killing k hosts fells at\n\
+         most λ·C(k,2) VMs — the worst case is capped by design, while random\n\
+         placement concentrates more pairs on unlucky host sets."
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! # worst-case-placement
+//!
+//! A from-scratch Rust implementation of **"Replica Placement for
+//! Availability in the Worst Case"** (Li, Gao & Reiter, ICDCS 2015): place
+//! `b` objects, each replicated on `r` of `n` nodes, so that an adversary
+//! who knows the placement and fails the worst `k` nodes kills as few
+//! objects as possible (an object dies once `s` of its replicas do).
+//!
+//! The headline idea: build placements from *t-packings* — block designs
+//! in which no `x+1` nodes jointly host more than `λ` objects — instead
+//! of placing replicas randomly. This library implements the paper's
+//! whole stack:
+//!
+//! * [`core`] — the `Simple(x, λ)` and `Combo(⟨λ_x⟩)` strategies, the
+//!   availability-maximizing dynamic program, load-balanced random
+//!   placement, and the Lemma-1/2/3 capacity and availability bounds;
+//! * [`designs`] — every design family the strategies need, built from
+//!   scratch (Steiner triple systems, finite-geometry line designs,
+//!   Hermitian unitals, Boolean/doubled quadruple systems, Möbius subline
+//!   designs, greedy packings), plus the existence catalog, chunk
+//!   decomposition and a provenance-carrying registry;
+//! * [`gf`] — finite fields `GF(p^k)` and the projective/affine
+//!   geometries behind the constructions;
+//! * [`adversary`] — exact branch-and-bound and local-search worst-case
+//!   failure search (Definition 1 made executable);
+//! * [`analysis`] — the closed forms: c-competitiveness (Theorem 1),
+//!   the worst-case vulnerability of random placement (Theorem 2,
+//!   Definitions 5–6) and the `s = 1` bound (Lemma 4);
+//! * [`combin`] / [`sim`] — combinatorics and experiment substrates.
+//!
+//! The `wcp-experiments` crate regenerates every table and figure of the
+//! paper's evaluation; see EXPERIMENTS.md for the paper-vs-measured
+//! record.
+//!
+//! ## Example: plan, build, attack
+//!
+//! ```
+//! use worst_case_placement::prelude::*;
+//!
+//! // 71 nodes, 1200 objects, 3-way replication, objects die at 2 replica
+//! // losses; plan for 3 simultaneous node failures.
+//! let params = SystemParams::new(71, 1200, 3, 2, 3)?;
+//! let combo = ComboStrategy::plan_constructive(&params, &RegistryConfig::default())?;
+//! let placement = combo.build(&params)?;
+//!
+//! // The adversary fails the worst 3 nodes it can find.
+//! let (avail, witness) = availability(&placement, 2, 3, &AdversaryConfig::default());
+//!
+//! // The paper's guarantee holds: measured availability is at least the
+//! // DP-optimized lower bound.
+//! assert!(avail >= combo.lower_bound());
+//! assert_eq!(witness.nodes.len(), 3);
+//! # Ok::<(), worst_case_placement::core::PlacementError>(())
+//! ```
+
+pub use wcp_adversary as adversary;
+pub use wcp_analysis as analysis;
+pub use wcp_combin as combin;
+pub use wcp_core as core;
+pub use wcp_designs as designs;
+pub use wcp_gf as gf;
+pub use wcp_sim as sim;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use wcp_adversary::{availability, worst_case_failures, AdversaryConfig, WorstCase};
+    pub use wcp_analysis::{competitive_constants, pr_avail, pr_avail_fraction};
+    pub use wcp_core::{
+        combo_plan, lb_avail_co, lb_avail_si, ComboStrategy, PackingProfile, Placement,
+        PlacementError, RandomStrategy, RandomVariant, SimpleStrategy, SystemParams,
+    };
+    pub use wcp_designs::registry::RegistryConfig;
+}

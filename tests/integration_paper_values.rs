@@ -1,0 +1,149 @@
+//! Regression tests pinning the reproduction to the paper's published
+//! numbers (see EXPERIMENTS.md for the full record and the documented
+//! deviations).
+
+use wcp_analysis::theorem2::VulnTable;
+use wcp_experiments::{fig10_simple_cell, fig9_cell, Outcome};
+
+/// Fig. 9a, n = 71, r = 2, s = 2: the entire table matches the paper
+/// cell-for-cell.
+#[test]
+fn fig9a_r2_s2_exact_match() {
+    let expected: &[(u64, [i64; 6])] = &[
+        (600, [75, 57, 45, 33, 25, 16]),
+        (1200, [80, 70, 60, 52, 46, 40]),
+        (2400, [85, 76, 71, 67, 64, 61]),
+        (4800, [77, 68, 62, 57, 53, 50]),
+        (9600, [69, 58, 52, 47, 43, 40]),
+        (19_200, [60, 48, 42, 37, 34, 31]),
+        (38_400, [48, 38, 32, 28, 25, 23]),
+    ];
+    let table = VulnTable::new(38_400);
+    for &(b, row) in expected {
+        for (i, &want) in row.iter().enumerate() {
+            let k = (i + 2) as u16;
+            let cell = fig9_cell(&table, 71, 2, 2, b, k);
+            assert_eq!(cell.pct, Some(want), "b={b} k={k}");
+            assert_eq!(cell.outcome, Outcome::Win);
+        }
+    }
+}
+
+/// Fig. 9a, n = 71, r = 3, s = 3: matches the paper including the
+/// dark-gray (Random-wins) cells.
+#[test]
+fn fig9a_r3_s3_exact_match() {
+    let expected: &[(u64, [i64; 5])] = &[
+        (600, [66, 50, 50, 28, 22]),
+        (1200, [66, 20, 14, -11, -27]),
+        (2400, [66, 20, -25, -81, -100]),
+        (4800, [75, 42, 0, -42, -84]),
+        (9600, [80, 50, 23, -5, -29]),
+        (19_200, [83, 63, 44, 25, 10]),
+        (38_400, [85, 71, 60, 50, 40]),
+    ];
+    let table = VulnTable::new(38_400);
+    for &(b, row) in expected {
+        for (i, &want) in row.iter().enumerate() {
+            let k = (i + 3) as u16;
+            let cell = fig9_cell(&table, 71, 3, 3, b, k);
+            assert_eq!(cell.pct, Some(want), "b={b} k={k}");
+        }
+    }
+}
+
+/// Fig. 10a, n = 31, r = s = 3: the x = 1 and x = 2 Simple sub-tables
+/// match the paper exactly, λ values included.
+#[test]
+fn fig10a_simple_subtables_exact_match() {
+    let table = VulnTable::new(38_400);
+    // (b, λ1, x=1 row for k=3..6, λ2, x=2 row for k=3..6)
+    type Fig10Row = (u64, u64, [i64; 4], u64, [i64; 4]);
+    let expected: &[Fig10Row] = &[
+        (600, 4, [0, -33, -30, -42], 1, [75, 33, 0, -42]),
+        (1200, 8, [-100, -100, -100, -100], 1, [75, 50, 23, 0]),
+        (2400, 16, [-166, -190, -178, -166], 1, [83, 63, 47, 33]),
+        (4800, 31, [-342, -287, -255, -229], 2, [71, 50, 31, 14]),
+        (9600, 62, [-520, -439, -357, -297], 3, [70, 47, 33, 23]),
+        (19_200, 124, [-785, -570, -450, -366], 5, [64, 45, 33, 24]),
+        (38_400, 248, [-1027, -713, -535, -425], 9, [59, 40, 30, 23]),
+    ];
+    for &(b, lam1, row1, lam2, row2) in expected {
+        for (i, &want) in row1.iter().enumerate() {
+            let k = (i + 3) as u16;
+            let (cell, lam) = fig10_simple_cell(&table, 31, 3, 3, 1, b, k);
+            assert_eq!(lam, lam1, "λ1 at b={b}");
+            assert_eq!(cell.pct, Some(want), "x=1 b={b} k={k}");
+        }
+        for (i, &want) in row2.iter().enumerate() {
+            let k = (i + 3) as u16;
+            let (cell, lam) = fig10_simple_cell(&table, 31, 3, 3, 2, b, k);
+            assert_eq!(lam, lam2, "λ2 at b={b}");
+            assert_eq!(cell.pct, Some(want), "x=2 b={b} k={k}");
+        }
+    }
+}
+
+/// Fig. 10a Combo at b = 4800, k ∈ {5, 6}: the paper highlights that the
+/// DP's mix (Simple(2,1) + Simple(1,2)) beats every single-x placement —
+/// entries 44 and 36.
+#[test]
+fn fig10a_combo_beats_every_simple() {
+    let table = VulnTable::new(4800);
+    for (k, want) in [(5u16, 44i64), (6, 36)] {
+        let combo = fig9_cell(&table, 31, 3, 3, 4800, k);
+        assert_eq!(combo.pct, Some(want), "combo k={k}");
+        let (s1, _) = fig10_simple_cell(&table, 31, 3, 3, 1, 4800, k);
+        let (s2, _) = fig10_simple_cell(&table, 31, 3, 3, 2, 4800, k);
+        assert!(combo.pct > s1.pct && combo.pct > s2.pct, "k={k}");
+    }
+}
+
+/// Fig. 9b, n = 257, r = 4, s = 4: all 35 cells match the paper exactly.
+#[test]
+fn fig9b_r4_s4_exact_match() {
+    let expected: &[(u64, [i64; 5])] = &[
+        (600, [50, 66, 33, 25, 0]),
+        (1200, [50, 66, 33, 25, 0]),
+        (2400, [50, 66, 33, 25, 20]),
+        (4800, [50, 66, 50, 25, 20]),
+        (9600, [50, 33, -25, -40, -50]),
+        (19_200, [66, 33, -25, -60, -133]),
+        (38_400, [66, 50, 0, -33, -100]),
+    ];
+    let table = VulnTable::new(38_400);
+    for &(b, row) in expected {
+        for (i, &want) in row.iter().enumerate() {
+            let k = (i + 4) as u16;
+            let cell = fig9_cell(&table, 257, 4, 4, b, k);
+            assert_eq!(cell.pct, Some(want), "b={b} k={k}");
+        }
+    }
+}
+
+/// The paper's prose anchor: "n = 71, r = 2, s = 2, b = 2400 and k = 2,
+/// Combo guarantees to preserve the availability of 85% of the objects
+/// that will probably fail under Random."
+#[test]
+fn prose_anchor_85_percent() {
+    let table = VulnTable::new(2400);
+    let cell = fig9_cell(&table, 71, 2, 2, 2400, 2);
+    assert_eq!(cell.pct, Some(85));
+}
+
+/// Theorem-2 prAvail is sane at the paper's scales and the two published
+/// variants differ by exactly one object.
+#[test]
+fn pr_avail_variants() {
+    let table = VulnTable::new(38_400);
+    for (n, k, r, s, b) in [
+        (71u16, 5u16, 5u16, 3u16, 38_400u64),
+        (257, 8, 5, 2, 9600),
+        (71, 2, 2, 2, 600),
+    ] {
+        let def6 = table.pr_avail(n, k, r, s, b);
+        let paper = table.pr_avail_paper(n, k, r, s, b);
+        assert_eq!(def6 - 1, paper, "({n},{k},{r},{s},{b})");
+        assert!(def6 <= b);
+    }
+}
