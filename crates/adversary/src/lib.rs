@@ -56,6 +56,34 @@ impl Default for AdversaryConfig {
     }
 }
 
+/// [`AdversaryConfig`] *is* an [`wcp_core::engine::Attacker`]: plugging
+/// it into [`wcp_core::Engine`] makes the facade's attack stage the full
+/// exact-with-heuristic-fallback ladder of [`worst_case_failures`].
+///
+/// # Examples
+///
+/// ```
+/// use wcp_adversary::AdversaryConfig;
+/// use wcp_core::{Engine, StrategyKind, SystemParams};
+///
+/// let params = SystemParams::new(13, 26, 3, 2, 3)?;
+/// let engine = Engine::with_attacker(params, AdversaryConfig::default());
+/// let report = engine.evaluate(&StrategyKind::Combo)?;
+/// assert!(report.exact);
+/// assert!(report.measured_availability as i64 >= report.lower_bound);
+/// # Ok::<(), wcp_core::PlacementError>(())
+/// ```
+impl wcp_core::engine::Attacker for AdversaryConfig {
+    fn attack(&self, placement: &Placement, s: u16, k: u16) -> wcp_core::engine::AttackOutcome {
+        let wc = worst_case_failures(placement, s, k, self);
+        wcp_core::engine::AttackOutcome {
+            failed: wc.failed,
+            nodes: wc.nodes,
+            exact: wc.exact,
+        }
+    }
+}
+
 /// The outcome of an adversary run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorstCase {

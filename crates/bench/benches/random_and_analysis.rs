@@ -4,9 +4,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use wcp_analysis::theorem2::VulnTable;
-use wcp_core::{RandomStrategy, RandomVariant, SystemParams};
+use wcp_core::{PlannerContext, RandomVariant, StrategyKind, SystemParams};
 
 fn bench_random(c: &mut Criterion) {
+    let ctx = PlannerContext::default();
     let mut group = c.benchmark_group("random_placement");
     group.sample_size(10);
     for &(n, b, r) in &[(71u16, 2400u64, 3u16), (257, 9600, 5)] {
@@ -15,10 +16,15 @@ fn bench_random(c: &mut Criterion) {
             let mut seed = 0u64;
             bench.iter(|| {
                 seed += 1;
-                RandomStrategy::new(seed, RandomVariant::LoadBalanced)
-                    .place(black_box(&params))
-                    .expect("sample")
-                    .num_objects()
+                StrategyKind::Random {
+                    seed,
+                    variant: RandomVariant::LoadBalanced,
+                }
+                .plan(black_box(&params), &ctx)
+                .expect("plans")
+                .build(&params)
+                .expect("sample")
+                .num_objects()
             });
         });
     }

@@ -2,12 +2,14 @@
 //!
 //! The benchmarks measure the computational pieces behind the paper's
 //! experiments: the Combo DP (Sec. III-B1), the design constructions of
-//! Sec. III-C, the worst-case adversary behind Definition 1, and the
-//! Theorem-2 analysis. `cargo bench --workspace` runs them all.
+//! Sec. III-C, the worst-case adversary behind Definition 1, the
+//! Theorem-2 analysis, and the unified strategy sweep through the
+//! `Engine` facade. `cargo bench --workspace` runs them all.
 
-use wcp_core::{Placement, RandomStrategy, RandomVariant, SystemParams};
+use wcp_core::{Placement, PlannerContext, RandomVariant, StrategyKind, SystemParams};
 
-/// A deterministic mid-size random placement for adversary benchmarks.
+/// A deterministic mid-size random placement for adversary benchmarks,
+/// drawn through the unified strategy API.
 ///
 /// # Panics
 ///
@@ -15,7 +17,12 @@ use wcp_core::{Placement, RandomStrategy, RandomVariant, SystemParams};
 #[must_use]
 pub fn fixture_placement(n: u16, b: u64, r: u16) -> Placement {
     let params = SystemParams::new(n, b, r, 1, 1).expect("fixture parameters are valid");
-    RandomStrategy::new(0x000b_e9c4, RandomVariant::LoadBalanced)
-        .place(&params)
-        .expect("fixture placement samples")
+    StrategyKind::Random {
+        seed: 0x000b_e9c4,
+        variant: RandomVariant::LoadBalanced,
+    }
+    .plan(&params, &PlannerContext::default())
+    .expect("random strategies always plan")
+    .build(&params)
+    .expect("fixture placement samples")
 }

@@ -313,6 +313,78 @@ impl AdaptivePlacer {
     }
 }
 
+/// An [`AdaptivePlacer`] behind the unified
+/// [`crate::PlacementStrategy`] API: the placer's *live* population and
+/// λ usage, frozen into a strategy whose `build` exports the snapshot.
+///
+/// Obtain one either from [`AdaptiveSnapshot::plan`] (fills a fresh
+/// placer with `params.b()` objects, the path [`crate::StrategyKind`]
+/// uses) or [`AdaptiveSnapshot::from_placer`] (wraps a placer that has
+/// lived through churn).
+#[derive(Debug)]
+pub struct AdaptiveSnapshot {
+    placer: AdaptivePlacer,
+}
+
+impl AdaptiveSnapshot {
+    /// Builds a placer for `params`, fills it with `params.b()` objects
+    /// and freezes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placer construction and placement errors.
+    pub fn plan(
+        params: &SystemParams,
+        config: &wcp_designs::registry::RegistryConfig,
+        replan_threshold: f64,
+    ) -> Result<Self, PlacementError> {
+        let mut placer = AdaptivePlacer::new(params, config, replan_threshold)?;
+        for _ in 0..params.b() {
+            placer.add_object()?;
+        }
+        Ok(Self { placer })
+    }
+
+    /// Wraps an existing placer (e.g. after a churn workload).
+    #[must_use]
+    pub fn from_placer(placer: AdaptivePlacer) -> Self {
+        Self { placer }
+    }
+
+    /// The wrapped placer.
+    #[must_use]
+    pub fn placer(&self) -> &AdaptivePlacer {
+        &self.placer
+    }
+
+    /// Unwraps the placer for further churn.
+    #[must_use]
+    pub fn into_placer(self) -> AdaptivePlacer {
+        self.placer
+    }
+}
+
+impl crate::PlacementStrategy for AdaptiveSnapshot {
+    fn name(&self) -> &str {
+        "adaptive"
+    }
+
+    /// The Lemma-3 bound for the live population's λ usage, evaluated at
+    /// the given parameters' `(k, s)`.
+    fn lower_bound(&self, params: &SystemParams) -> i64 {
+        lb_avail_co(
+            &self.placer.lambdas(),
+            self.placer.len() as u64,
+            params.k(),
+            params.s(),
+        )
+    }
+
+    fn build(&self, _params: &SystemParams) -> Result<crate::Placement, PlacementError> {
+        self.placer.snapshot()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +473,22 @@ mod tests {
             let _ = p.remove_object(id);
         }
         let _ = p.needs_replan().unwrap();
+    }
+
+    #[test]
+    fn snapshot_strategy_matches_placer() {
+        use crate::PlacementStrategy;
+        let params = SystemParams::new(71, 300, 3, 2, 3).unwrap();
+        let snap = AdaptiveSnapshot::plan(&params, &RegistryConfig::default(), 0.05).unwrap();
+        assert_eq!(snap.name(), "adaptive");
+        assert_eq!(snap.lower_bound(&params), snap.placer().lower_bound());
+        let placement = snap.build(&params).unwrap();
+        assert_eq!(placement.num_objects(), 300);
+        // Churned placers freeze too.
+        let mut placer = snap.into_placer();
+        placer.remove_object(0).unwrap();
+        let snap = AdaptiveSnapshot::from_placer(placer);
+        assert_eq!(snap.build(&params).unwrap().num_objects(), 299);
     }
 
     #[test]

@@ -74,18 +74,24 @@ pub fn group_placement(params: &SystemParams) -> Result<Placement, PlacementErro
     Placement::new(params.n(), params.r(), sets)
 }
 
-/// Closed-form worst-case failures for [`ring_placement`] in the
-/// *single-arc regime* `2s − 1 ≥ r` (majority-or-stronger thresholds),
-/// with `b` a multiple of `n` (every start offset equally loaded):
-/// failing `k` **consecutive** nodes is then optimal and kills exactly
+/// Single-arc worst-case failures for [`ring_placement`], with `b` a
+/// multiple of `n` (every start offset equally loaded): failing `k`
+/// **consecutive** nodes kills exactly
 /// `(b/n)·(k − s + 1 + min(r − s, n − k))` objects when `k ≥ s` — the
 /// `k−s+1` windows fully determined inside the failed arc plus the
 /// windows entering it from the left with overlap ≥ s.
 ///
-/// Outside that regime (`2s − 1 < r`, e.g. `s = 1`) the adversary gains
-/// by *splitting* failures into multiple short arcs — each arc of length
-/// `s` buys `r − 2s + 1` extra kills — so no single-arc formula applies;
-/// see the `splitting_beats_single_arc` test.
+/// The single arc is provably the adversary's optimum at `s = r`
+/// (windows must lie fully inside the failed set; `m` arcs contain at
+/// most `k − m(r−1)` windows). At `s < r` it is **not** always optimal,
+/// even under majority thresholds `2s − 1 ≥ r`: splitting gains outright
+/// for `2s − 1 < r` (each length-`s` arc buys `r − 2s + 1` extra kills;
+/// see the `splitting_beats_single_arc` test), and at the boundary
+/// `2s − 1 = r` unit-gap patterns such as `{0, 1, 3, 4}` at
+/// `(n, r, s, k) = (9, 3, 2, 4)` let windows straddle a gap while still
+/// collecting `s` hits (see `unit_gaps_beat_single_arc_at_boundary`).
+/// Treat the value as the damage of one concrete attack — a lower bound
+/// on the true worst case — unless `s = r`.
 ///
 /// # Panics
 ///
@@ -100,10 +106,6 @@ pub fn ring_worst_failures(params: &SystemParams) -> u64 {
         params.b(),
     );
     debug_assert!(b.is_multiple_of(n), "closed form assumes b ≡ 0 (mod n)");
-    debug_assert!(
-        2 * s > r,
-        "closed form assumes the single-arc regime 2s−1 ≥ r"
-    );
     if k < s {
         return 0;
     }
@@ -115,6 +117,77 @@ pub fn ring_worst_failures(params: &SystemParams) -> u64 {
     let inside = k - s + 1;
     let entering = (r - s).min(n - k);
     per_offset * (inside + entering)
+}
+
+/// Worst-case failed objects for [`group_placement`], in closed form.
+///
+/// An object's replicas are exactly its group's `r` nodes, so the
+/// adversary kills a whole group by failing any `s` of its nodes; with a
+/// budget of `k` nodes it wipes out the `⌊k/s⌋` most-loaded groups and
+/// gains nothing from the `k mod s < s` leftover nodes. Round-robin
+/// assignment makes the first `b mod ⌊n/r⌋` groups one object heavier.
+#[must_use]
+pub fn group_worst_failures(params: &SystemParams) -> u64 {
+    let groups = u64::from(params.n() / params.r());
+    let killed = (u64::from(params.k()) / u64::from(params.s())).min(groups);
+    let per = params.b() / groups;
+    let heavier = params.b() % groups;
+    if killed <= heavier {
+        killed * (per + 1)
+    } else {
+        heavier * (per + 1) + (killed - heavier) * per
+    }
+}
+
+/// [`ring_placement`] behind the unified [`crate::PlacementStrategy`]
+/// API.
+///
+/// Its lower bound is the *exact* worst case `b − ring_worst_failures`
+/// when that is provable — `s = r` (a window dies only when fully
+/// contained in the failed set, and among any `m` failed arcs the
+/// contained-window count `k − m(r−1)` is maximized by one arc) with
+/// `b ≡ 0 (mod n)` — and the vacuous 0 otherwise. At `s < r` even the
+/// single-arc regime `2s − 1 ≥ r` is not safe: see the counterexample
+/// on [`ring_worst_failures`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStrategy;
+
+impl crate::PlacementStrategy for RingStrategy {
+    fn name(&self) -> &str {
+        "ring"
+    }
+
+    fn lower_bound(&self, params: &SystemParams) -> i64 {
+        let (n, b) = (u64::from(params.n()), params.b());
+        if params.s() == params.r() && b.is_multiple_of(n) {
+            b as i64 - ring_worst_failures(params) as i64
+        } else {
+            0
+        }
+    }
+
+    fn build(&self, params: &SystemParams) -> Result<Placement, PlacementError> {
+        ring_placement(params)
+    }
+}
+
+/// [`group_placement`] behind the unified [`crate::PlacementStrategy`]
+/// API; its lower bound is the exact `b −` [`group_worst_failures`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStrategy;
+
+impl crate::PlacementStrategy for GroupStrategy {
+    fn name(&self) -> &str {
+        "group"
+    }
+
+    fn lower_bound(&self, params: &SystemParams) -> i64 {
+        params.b() as i64 - group_worst_failures(params) as i64
+    }
+
+    fn build(&self, params: &SystemParams) -> Result<Placement, PlacementError> {
+        group_placement(params)
+    }
 }
 
 #[cfg(test)]
@@ -130,8 +203,21 @@ mod tests {
     }
 
     #[test]
+    fn unit_gaps_beat_single_arc_at_boundary() {
+        // At 2s − 1 = r the single-arc formula is NOT the worst case for
+        // every k: with (n, r, s, k) = (9, 3, 2, 4) the pattern
+        // {0, 1, 3, 4} kills 5 window offsets (windows straddle the unit
+        // gap with 2 hits) against the arc's 4.
+        let params = SystemParams::new(9, 27, 3, 2, 4).unwrap();
+        let p = ring_placement(&params).unwrap();
+        assert_eq!(p.failed_objects(&[0, 1, 3, 4], 2), 15);
+        assert_eq!(ring_worst_failures(&params), 12); // single arc only
+        assert_eq!(brute_force(&p, 2, 4), 15);
+    }
+
+    #[test]
     fn ring_closed_form_matches_brute_force() {
-        // Single-arc regime only: 2s − 1 ≥ r.
+        // Points where the single arc happens to be optimal.
         for (n, r, s, k) in [
             (10u16, 3u16, 2u16, 3u16),
             (10, 3, 3, 4),
@@ -183,6 +269,47 @@ mod tests {
         let loads = p.loads();
         assert_eq!(loads.iter().sum::<u32>(), 150);
         assert!(loads.iter().all(|&l| l == 15));
+    }
+
+    #[test]
+    fn group_closed_form_matches_brute_force() {
+        for (n, b, r, s, k) in [
+            (12u16, 120u64, 3u16, 2u16, 3u16),
+            (12, 121, 3, 2, 5),
+            (12, 50, 4, 2, 6),
+            (15, 33, 5, 3, 7),
+            (10, 40, 3, 1, 4),
+            (9, 27, 3, 3, 8),
+        ] {
+            let params = SystemParams::new(n, b, r, s, k).unwrap();
+            let p = group_placement(&params).unwrap();
+            assert_eq!(
+                group_worst_failures(&params),
+                brute_force(&p, s, k),
+                "n={n} b={b} r={r} s={s} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_strategy_bounds_are_tight_or_vacuous() {
+        use crate::PlacementStrategy;
+        let ring = RingStrategy;
+        // Ring at s = r: the single-arc bound is provably exact.
+        let params = SystemParams::new(10, 30, 3, 3, 4).unwrap();
+        let p = ring.build(&params).unwrap();
+        assert_eq!(ring.lower_bound(&params), 30 - brute_force(&p, 3, 4) as i64);
+        // At s < r the ring claims only the vacuous 0 (see
+        // `unit_gaps_beat_single_arc_at_boundary`).
+        let params2 = SystemParams::new(10, 30, 3, 2, 3).unwrap();
+        assert_eq!(ring.lower_bound(&params2), 0);
+        // Group bound is always exact.
+        let group = GroupStrategy;
+        let pg = group.build(&params2).unwrap();
+        assert_eq!(
+            group.lower_bound(&params2),
+            30 - brute_force(&pg, 2, 3) as i64
+        );
     }
 
     #[test]

@@ -250,6 +250,23 @@ impl ComboStrategy {
     }
 }
 
+impl crate::PlacementStrategy for ComboStrategy {
+    fn name(&self) -> &str {
+        "combo"
+    }
+
+    /// Lemma 3 for the planned `⟨λ_x⟩`, re-evaluated at the given
+    /// parameters' `(b, k)` (the Fig. 3 sensitivity study evaluates a
+    /// plan at failure counts other than the one it was planned for).
+    fn lower_bound(&self, params: &SystemParams) -> i64 {
+        lb_avail_co(&self.plan.lambdas, params.b(), params.k(), params.s())
+    }
+
+    fn build(&self, params: &SystemParams) -> Result<Placement, PlacementError> {
+        ComboStrategy::build(self, params)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

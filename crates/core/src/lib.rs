@@ -22,21 +22,24 @@
 //! * [`PackingProfile`] — the per-`x` packing parameters `(n_x, μ_x)` and
 //!   capacities feeding the DP: either the paper's Fig. 4 table
 //!   ([`PackingProfile::paper`]) or whatever the construction registry can
-//!   actually build ([`PackingProfile::constructive`]).
+//!   actually build ([`PackingProfile::constructive`]);
+//! * [`PlacementStrategy`] / [`StrategyKind`] — the unified strategy
+//!   abstraction every family (Simple, Combo, Random, the ring/group
+//!   baselines, adaptive snapshots) implements;
+//! * [`Engine`] — the facade running plan → build → attack → report in
+//!   one call, returning a serializable [`EvaluationReport`].
 //!
 //! # Quickstart
 //!
 //! ```
-//! use wcp_core::{ComboStrategy, SystemParams};
-//! use wcp_designs::registry::RegistryConfig;
+//! use wcp_core::{Engine, StrategyKind, SystemParams};
 //!
 //! // 71 nodes, 1200 objects, 3 replicas each; an object dies when 2
 //! // replicas die; plan for 3 node failures.
 //! let params = SystemParams::new(71, 1200, 3, 2, 3)?;
-//! let strategy = ComboStrategy::plan_constructive(&params, &RegistryConfig::default())?;
-//! assert!(strategy.lower_bound() > 1100); // most objects survive
-//! let placement = strategy.build(&params)?;
-//! assert_eq!(placement.num_objects(), 1200);
+//! let report = Engine::new(params).evaluate(&StrategyKind::Combo)?;
+//! assert!(report.lower_bound > 1100); // most objects survive, guaranteed
+//! assert!(report.measured_availability as i64 >= report.lower_bound);
 //! # Ok::<(), wcp_core::PlacementError>(())
 //! ```
 
@@ -45,6 +48,7 @@ pub mod baselines;
 mod bounds;
 mod combo;
 pub mod domains;
+pub mod engine;
 mod error;
 pub mod io;
 mod params;
@@ -52,12 +56,19 @@ mod placement;
 pub mod profiles;
 mod random;
 mod simple;
+pub mod strategy;
 
+pub use adaptive::AdaptiveSnapshot;
+pub use baselines::{GroupStrategy, RingStrategy};
 pub use bounds::{lb_avail_co, lb_avail_si, simple_capacity};
 pub use combo::{combo_plan, ComboPlan, ComboStrategy};
+pub use engine::{
+    AttackOutcome, Attacker, Engine, EvaluationReport, ExhaustiveAttacker, LoadStats, Timings,
+};
 pub use error::PlacementError;
 pub use params::SystemParams;
 pub use placement::Placement;
 pub use profiles::{PackingProfile, UnitSpec};
 pub use random::{RandomStrategy, RandomVariant};
 pub use simple::SimpleStrategy;
+pub use strategy::{PlacementStrategy, PlannerContext, StrategyKind};

@@ -32,6 +32,20 @@ pub enum RandomVariant {
     Unconstrained,
 }
 
+impl RandomVariant {
+    /// The variant's display name, shared by
+    /// [`crate::PlacementStrategy::name`] and
+    /// [`crate::StrategyKind::label`] so the two can never drift apart.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            RandomVariant::LoadBalanced => "random(load-balanced)",
+            RandomVariant::SequentialUniform => "random(sequential-uniform)",
+            RandomVariant::Unconstrained => "random(unconstrained)",
+        }
+    }
+}
+
 /// A seeded random placement strategy.
 ///
 /// # Examples
@@ -187,6 +201,22 @@ impl RandomStrategy {
             sets.push(set);
         }
         Ok(Some(Placement::new(params.n(), params.r(), sets)?))
+    }
+}
+
+impl crate::PlacementStrategy for RandomStrategy {
+    fn name(&self) -> &str {
+        self.variant.label()
+    }
+
+    /// Random placement offers only probabilistic guarantees (Theorem 2);
+    /// its deterministic worst-case bound is the vacuous 0.
+    fn lower_bound(&self, _params: &SystemParams) -> i64 {
+        0
+    }
+
+    fn build(&self, params: &SystemParams) -> Result<Placement, PlacementError> {
+        self.place(params)
     }
 }
 

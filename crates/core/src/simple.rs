@@ -31,6 +31,7 @@ pub struct SimpleStrategy {
     lambda: u64,
     n: u16,
     r: u16,
+    name: String,
 }
 
 impl SimpleStrategy {
@@ -38,7 +39,14 @@ impl SimpleStrategy {
     /// spec's `μ`; use [`UnitSpec::units_for`] to size it).
     #[must_use]
     pub fn from_spec(spec: UnitSpec, lambda: u64, n: u16, r: u16) -> Self {
-        Self { spec, lambda, n, r }
+        let name = format!("simple(x={}, λ={lambda})", spec.x);
+        Self {
+            spec,
+            lambda,
+            n,
+            r,
+            name,
+        }
     }
 
     /// Plans a `Simple(x, λ)` for `params.b()` objects with minimal `λ`
@@ -69,12 +77,7 @@ impl SimpleStrategy {
                 capacity: 0,
             })?;
         let lambda = d * spec.mu;
-        Ok(Self {
-            spec,
-            lambda,
-            n: params.n(),
-            r: params.r(),
-        })
+        Ok(Self::from_spec(spec, lambda, params.n(), params.r()))
     }
 
     /// The packing index `λ`.
@@ -142,6 +145,21 @@ impl SimpleStrategy {
             sets.push(base_blocks[i % base_blocks.len()].clone());
         }
         Placement::new(self.n, self.r, sets)
+    }
+}
+
+impl crate::PlacementStrategy for SimpleStrategy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Lemma 2 at the given parameters' `(b, k, s)`.
+    fn lower_bound(&self, params: &SystemParams) -> i64 {
+        self.lower_bound(params.b(), params.k(), params.s())
+    }
+
+    fn build(&self, params: &SystemParams) -> Result<Placement, PlacementError> {
+        self.build(params.b())
     }
 }
 

@@ -1,0 +1,267 @@
+//! The unified [`PlacementStrategy`] abstraction.
+//!
+//! The paper's whole point is comparing placement strategies —
+//! `Simple(x, λ)`, `Combo(⟨λ_x⟩)`, load-balanced `Random`, and naive
+//! baselines — under one worst-case availability metric (Definition 1).
+//! This module gives every strategy family one API:
+//!
+//! * [`PlacementStrategy`] — an object-safe trait over *planned*
+//!   strategies: a [`name`](PlacementStrategy::name), an availability
+//!   [`lower_bound`](PlacementStrategy::lower_bound), and a
+//!   [`build`](PlacementStrategy::build) that materializes a
+//!   [`Placement`]. Implemented by [`SimpleStrategy`], [`ComboStrategy`],
+//!   [`RandomStrategy`], the ring/group baselines
+//!   ([`crate::RingStrategy`], [`crate::GroupStrategy`]) and adaptive
+//!   snapshots ([`crate::AdaptiveSnapshot`]);
+//! * [`StrategyKind`] — a declarative registry of the strategy families,
+//!   whose [`plan`](StrategyKind::plan) turns `(params, context)` into a
+//!   boxed [`PlacementStrategy`];
+//! * [`PlannerContext`] — the planning-time knobs shared by every
+//!   family (design registry configuration, adaptive re-plan threshold).
+//!
+//! The [`crate::engine`] module drives the full plan → build → attack →
+//! report pipeline on top of this trait.
+
+use crate::adaptive::AdaptiveSnapshot;
+use crate::baselines::{GroupStrategy, RingStrategy};
+use crate::{
+    ComboStrategy, Placement, PlacementError, RandomStrategy, RandomVariant, SimpleStrategy,
+    SystemParams,
+};
+use wcp_designs::registry::RegistryConfig;
+
+/// A planned replica-placement strategy, ready to materialize and to
+/// state its worst-case availability guarantee.
+///
+/// The trait is object safe; heterogeneous collections of strategies
+/// (`Vec<Box<dyn PlacementStrategy>>`) are the intended use, see
+/// [`StrategyKind::plan`].
+pub trait PlacementStrategy {
+    /// Human-readable strategy identifier (stable enough for reports and
+    /// benchmark ids).
+    fn name(&self) -> &str;
+
+    /// The availability the strategy *guarantees* under the worst
+    /// `params.k()` node failures (Lemmas 2–3 for the packing
+    /// strategies; exact closed forms for the baselines; 0 — the vacuous
+    /// bound — for strategies with only probabilistic guarantees).
+    ///
+    /// May be negative when the formula's penalty exceeds `b` (the paper
+    /// plots such vacuous bounds in Fig. 10).
+    fn lower_bound(&self, params: &SystemParams) -> i64;
+
+    /// Materializes the placement for `params.b()` objects.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError`] when the strategy cannot host `params.b()`
+    /// objects or a backing design cannot be materialized.
+    fn build(&self, params: &SystemParams) -> Result<Placement, PlacementError>;
+}
+
+/// Planning-time configuration shared by every strategy family.
+#[derive(Debug, Clone)]
+pub struct PlannerContext {
+    /// Configuration of the constructive design registry.
+    pub registry: RegistryConfig,
+    /// Tolerated relative regret before an adaptive placer asks for a
+    /// re-plan (see [`crate::adaptive::AdaptivePlacer::new`]).
+    pub replan_threshold: f64,
+}
+
+impl Default for PlannerContext {
+    fn default() -> Self {
+        Self {
+            registry: RegistryConfig::default(),
+            replan_threshold: 0.05,
+        }
+    }
+}
+
+/// The registry of strategy families, i.e. *how to obtain* a
+/// [`PlacementStrategy`] for given parameters.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_core::{PlannerContext, StrategyKind, SystemParams};
+///
+/// let params = SystemParams::new(71, 600, 3, 2, 3)?;
+/// let strategy = StrategyKind::Combo.plan(&params, &PlannerContext::default())?;
+/// assert_eq!(strategy.name(), "combo");
+/// assert!(strategy.lower_bound(&params) > 500);
+/// assert_eq!(strategy.build(&params)?.num_objects(), 600);
+/// # Ok::<(), wcp_core::PlacementError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// `Simple(x, λ)` (Definition 2) with minimal `λ`, constructively
+    /// backed.
+    Simple {
+        /// The overlap bound `x < s`.
+        x: u16,
+    },
+    /// `Combo(⟨λ_x⟩)` (Definition 3) planned by the DP of Sec. III-B1.
+    Combo,
+    /// Load-balanced random placement (Definition 4) or one of its
+    /// variants.
+    Random {
+        /// RNG seed (placements are deterministic given seed and
+        /// parameters).
+        seed: u64,
+        /// The sampling process.
+        variant: RandomVariant,
+    },
+    /// Chained declustering: object `i` on `r` consecutive nodes.
+    Ring,
+    /// Disjoint replica groups (copyset-style).
+    Group,
+    /// Snapshot of an [`crate::adaptive::AdaptivePlacer`] filled with
+    /// `params.b()` objects.
+    Adaptive,
+}
+
+impl StrategyKind {
+    /// One representative of every strategy family, for conformance
+    /// sweeps and apples-to-apples benchmarks: `Simple(x)` for each
+    /// `x < s`, Combo, load-balanced Random, ring, group, and the
+    /// adaptive snapshot.
+    #[must_use]
+    pub fn all(params: &SystemParams) -> Vec<StrategyKind> {
+        let mut kinds: Vec<StrategyKind> = (0..params.s())
+            .map(|x| StrategyKind::Simple { x })
+            .collect();
+        kinds.extend([
+            StrategyKind::Combo,
+            StrategyKind::Random {
+                seed: 0x5eed,
+                variant: RandomVariant::LoadBalanced,
+            },
+            StrategyKind::Ring,
+            StrategyKind::Group,
+            StrategyKind::Adaptive,
+        ]);
+        kinds
+    }
+
+    /// The kind's display label (matches the planned strategy's
+    /// [`PlacementStrategy::name`] up to planned details such as `λ`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            StrategyKind::Simple { x } => format!("simple(x={x})"),
+            StrategyKind::Combo => "combo".into(),
+            StrategyKind::Random { variant, .. } => variant.label().into(),
+            StrategyKind::Ring => "ring".into(),
+            StrategyKind::Group => "group".into(),
+            StrategyKind::Adaptive => "adaptive".into(),
+        }
+    }
+
+    /// Plans this kind for `params`, returning the unified strategy
+    /// object.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::Design`] when a packing slot is not
+    /// constructible at these parameters; [`PlacementError::InvalidParams`]
+    /// for kind/parameter mismatches (e.g. `Simple { x ≥ s }`).
+    pub fn plan(
+        &self,
+        params: &SystemParams,
+        ctx: &PlannerContext,
+    ) -> Result<Box<dyn PlacementStrategy>, PlacementError> {
+        Ok(match self {
+            StrategyKind::Simple { x } => Box::new(SimpleStrategy::plan_constructive(
+                *x,
+                params,
+                &ctx.registry,
+            )?),
+            StrategyKind::Combo => {
+                Box::new(ComboStrategy::plan_constructive(params, &ctx.registry)?)
+            }
+            StrategyKind::Random { seed, variant } => {
+                Box::new(RandomStrategy::new(*seed, *variant))
+            }
+            StrategyKind::Ring => Box::new(RingStrategy),
+            StrategyKind::Group => Box::new(GroupStrategy),
+            StrategyKind::Adaptive => Box::new(AdaptiveSnapshot::plan(
+                params,
+                &ctx.registry,
+                ctx.replan_threshold,
+            )?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: u16, b: u64, r: u16, s: u16, k: u16) -> SystemParams {
+        SystemParams::new(n, b, r, s, k).unwrap()
+    }
+
+    #[test]
+    fn all_covers_every_family() {
+        let p = params(31, 100, 3, 2, 3);
+        let kinds = StrategyKind::all(&p);
+        assert!(kinds.contains(&StrategyKind::Simple { x: 0 }));
+        assert!(kinds.contains(&StrategyKind::Simple { x: 1 }));
+        assert!(kinds.contains(&StrategyKind::Combo));
+        assert!(kinds.contains(&StrategyKind::Ring));
+        assert!(kinds.contains(&StrategyKind::Group));
+        assert!(kinds.contains(&StrategyKind::Adaptive));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, StrategyKind::Random { .. })));
+    }
+
+    #[test]
+    fn every_kind_plans_and_builds_on_a_small_system() {
+        let p = params(13, 26, 3, 2, 3);
+        let ctx = PlannerContext::default();
+        for kind in StrategyKind::all(&p) {
+            let strategy = kind.plan(&p, &ctx).expect("plans");
+            let placement = strategy.build(&p).expect("builds");
+            assert_eq!(placement.num_objects(), 26, "{}", strategy.name());
+            assert_eq!(placement.num_nodes(), 13, "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn planned_names_are_distinct() {
+        let p = params(13, 26, 3, 2, 3);
+        let ctx = PlannerContext::default();
+        let names: Vec<String> = StrategyKind::all(&p)
+            .iter()
+            .map(|k| k.plan(&p, &ctx).expect("plans").name().to_string())
+            .collect();
+        let distinct: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(distinct.len(), names.len(), "{names:?}");
+    }
+
+    #[test]
+    fn simple_x_out_of_range_rejected() {
+        let p = params(13, 26, 3, 2, 3);
+        assert!(StrategyKind::Simple { x: 2 }
+            .plan(&p, &PlannerContext::default())
+            .is_err());
+    }
+
+    #[test]
+    fn trait_bound_matches_inherent_bounds() {
+        let p = params(71, 900, 3, 2, 4);
+        let ctx = PlannerContext::default();
+        let combo = ComboStrategy::plan_constructive(&p, &ctx.registry).unwrap();
+        assert_eq!(
+            PlacementStrategy::lower_bound(&combo, &p),
+            combo.lower_bound() as i64
+        );
+        let simple = SimpleStrategy::plan_constructive(1, &p, &ctx.registry).unwrap();
+        assert_eq!(
+            PlacementStrategy::lower_bound(&simple, &p),
+            simple.lower_bound(p.b(), p.k(), p.s())
+        );
+    }
+}

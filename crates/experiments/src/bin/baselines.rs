@@ -6,11 +6,13 @@
 //! concrete: rings spread overlap thinly (bad at small `s`), groups
 //! concentrate it (bad when `b/⌊n/r⌋` exceeds the packing bound), and the
 //! Combo packing sits on the right side of both.
+//!
+//! Every strategy goes through the *same* `Engine` pipeline — the
+//! apples-to-apples comparison is exactly what the unified
+//! `PlacementStrategy` trait exists for.
 
-use wcp_adversary::{worst_case_failures, AdversaryConfig};
-use wcp_core::baselines::{group_placement, ring_placement};
-use wcp_core::{ComboStrategy, RandomStrategy, RandomVariant, SystemParams};
-use wcp_designs::registry::RegistryConfig;
+use wcp_adversary::AdversaryConfig;
+use wcp_core::{Engine, RandomVariant, StrategyKind, SystemParams};
 use wcp_sim::{results_dir, seed_for, Csv, Table};
 
 fn main() {
@@ -47,7 +49,6 @@ fn main() {
         ],
     );
 
-    let adversary = AdversaryConfig::default();
     for (n, b, r, s, k) in [
         (31u16, 620u64, 5u16, 3u16, 4u16),
         (31, 1240, 5, 3, 5),
@@ -56,49 +57,40 @@ fn main() {
         (71, 710, 2, 2, 3),
     ] {
         let params = SystemParams::new(n, b, r, s, k).expect("valid");
-        let combo =
-            ComboStrategy::plan_constructive(&params, &RegistryConfig::default()).expect("plan");
-        let placements = [
-            ("combo", combo.build(&params).expect("build")),
-            (
-                "random",
-                RandomStrategy::new(seed_for("baselines", b), RandomVariant::LoadBalanced)
-                    .place(&params)
-                    .expect("sample"),
-            ),
-            ("ring", ring_placement(&params).expect("ring")),
-            ("group", group_placement(&params).expect("group")),
+        let engine = Engine::with_attacker(params, AdversaryConfig::default());
+        let kinds = [
+            StrategyKind::Combo,
+            StrategyKind::Random {
+                seed: seed_for("baselines", b),
+                variant: RandomVariant::LoadBalanced,
+            },
+            StrategyKind::Ring,
+            StrategyKind::Group,
         ];
-        let mut avails = Vec::new();
-        for (_, placement) in &placements {
-            let wc = worst_case_failures(placement, s, k, &adversary);
-            avails.push(b - wc.failed);
-        }
-        table.row(vec![
+        let reports: Vec<_> = kinds
+            .iter()
+            .map(|kind| engine.evaluate(kind).expect("evaluates"))
+            .collect();
+        let combo_bound = reports[0].lower_bound;
+        let mut row = vec![
             n.to_string(),
             b.to_string(),
             r.to_string(),
             s.to_string(),
             k.to_string(),
-            avails[0].to_string(),
-            avails[1].to_string(),
-            avails[2].to_string(),
-            avails[3].to_string(),
-            combo.lower_bound().to_string(),
-        ]);
-        csv.row(&[
-            n.to_string(),
-            b.to_string(),
-            r.to_string(),
-            s.to_string(),
-            k.to_string(),
-            avails[0].to_string(),
-            avails[1].to_string(),
-            avails[2].to_string(),
-            avails[3].to_string(),
-            combo.lower_bound().to_string(),
-        ]);
-        assert!(avails[0] >= combo.lower_bound(), "bound violated");
+        ];
+        row.extend(
+            reports
+                .iter()
+                .map(|rep| rep.measured_availability.to_string()),
+        );
+        row.push(combo_bound.to_string());
+        table.row(row.clone());
+        csv.row(&row);
+        assert!(
+            reports[0].measured_availability as i64 >= combo_bound,
+            "bound violated"
+        );
     }
     println!("{}", table.render());
     csv.write().expect("write CSV");

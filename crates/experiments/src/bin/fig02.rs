@@ -7,66 +7,68 @@
 //! cases; many `k = 5` ones), steepest-ascent local search otherwise — the
 //! `exact` column records which. A heuristic adversary can only
 //! *overestimate* `Avail`, so heuristic gaps are upper bounds.
+//!
+//! Every `(b, s, k)` point runs through the unified `Engine` pipeline
+//! with the exact-with-fallback adversary plugged in as its attacker;
+//! the strategy column carries the planned `λ`.
 
-use wcp_adversary::{worst_case_failures, AdversaryConfig};
-use wcp_core::{SimpleStrategy, SystemParams};
-use wcp_designs::registry::RegistryConfig;
+use wcp_adversary::AdversaryConfig;
+use wcp_core::{Engine, PlannerContext, StrategyKind, SystemParams};
 use wcp_sim::{results_dir, Csv, Table};
 
 fn main() {
     let mut table = Table::new(
-        ["b", "s", "k", "lambda", "Avail", "lbAvail", "gap", "exact"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "b", "s", "k", "strategy", "Avail", "lbAvail", "gap", "exact",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     table.title("Fig. 2: Avail(pi) - lbAvail_si(x=1, lambda) for n=71, r=3 (STS(69))");
     let mut csv = Csv::new(
         results_dir().join("fig02.csv"),
-        &["b", "s", "k", "lambda", "avail", "lb_avail", "gap", "exact"],
+        &[
+            "b", "s", "k", "strategy", "avail", "lb_avail", "gap", "exact",
+        ],
     );
 
-    let registry = RegistryConfig::default();
+    let kind = StrategyKind::Simple { x: 1 };
+    let ctx = PlannerContext::default();
     for b in [600u64, 1200, 2400, 4800, 9600] {
-        // Strategy depends only on b (x = 1, minimal λ).
+        // The plan depends only on b (x = 1, minimal λ); the s/k sweep
+        // re-evaluates the same planned strategy.
         let params_any_s = SystemParams::new(71, b, 3, 2, 2).expect("valid");
-        let strategy = SimpleStrategy::plan_constructive(1, &params_any_s, &registry)
+        let strategy = kind
+            .plan(&params_any_s, &ctx)
             .expect("STS(69) slot is constructible");
-        let placement = strategy.build(b).expect("capacity planned for b");
         for s in [2u16, 3] {
             for k in s.max(2)..=5 {
                 if k < s {
                     continue;
                 }
-                let config = AdversaryConfig {
+                let params = SystemParams::new(71, b, 3, s, k).expect("valid");
+                let adversary = AdversaryConfig {
                     // ~exact through k = 4; k = 5 usually completes thanks
                     // to the incumbent-seeded bound, else LS takes over.
                     exact_budget: 3_000_000,
                     ..AdversaryConfig::default()
                 };
-                let wc = worst_case_failures(&placement, s, k, &config);
-                let avail = b - wc.failed;
-                let lb = strategy.lower_bound(b, k, s);
-                let gap = avail as i64 - lb;
-                table.row(vec![
+                let report = Engine::with_attacker(params, adversary)
+                    .evaluate_strategy(strategy.as_ref())
+                    .expect("capacity planned for b");
+                let gap = report.measured_availability as i64 - report.lower_bound;
+                let row = [
                     b.to_string(),
                     s.to_string(),
                     k.to_string(),
-                    strategy.lambda().to_string(),
-                    avail.to_string(),
-                    lb.to_string(),
+                    report.strategy.clone(),
+                    report.measured_availability.to_string(),
+                    report.lower_bound.to_string(),
                     gap.to_string(),
-                    wc.exact.to_string(),
-                ]);
-                csv.row(&[
-                    b.to_string(),
-                    s.to_string(),
-                    k.to_string(),
-                    strategy.lambda().to_string(),
-                    avail.to_string(),
-                    lb.to_string(),
-                    gap.to_string(),
-                    wc.exact.to_string(),
-                ]);
+                    report.exact.to_string(),
+                ];
+                table.row(row.to_vec());
+                csv.row(&row);
             }
         }
     }

@@ -12,16 +12,19 @@
 //! within the paper's ±10%-by-b=600 criterion — in our runs the error is
 //! already below ~5% at b = 150. See EXPERIMENTS.md for the comparison
 //! against the paper's (larger) small-b errors.
+//!
+//! Each draw runs through the unified `Engine` pipeline
+//! (`StrategyKind::Random`) with a per-draw adversary budget.
 
-use wcp_adversary::{worst_case_failures, AdversaryConfig};
+use wcp_adversary::AdversaryConfig;
 use wcp_analysis::theorem2::VulnTable;
-use wcp_core::{RandomStrategy, RandomVariant, SystemParams};
+use wcp_core::{Engine, RandomVariant, StrategyKind, SystemParams};
 use wcp_sim::{results_dir, seed_for, Csv, Summary, Table};
 
 const SIMS: u64 = 20;
 
 fn measure(params: &SystemParams, variant: RandomVariant, sims: u64, tag: &str) -> (Summary, u32) {
-    let (n, b, r, s, k) = (params.n(), params.b(), params.r(), params.s(), params.k());
+    let (n, b, k) = (params.n(), params.b(), params.k());
     let mut avails = Vec::new();
     let mut exact_runs = 0u32;
     for i in 0..sims {
@@ -29,14 +32,11 @@ fn measure(params: &SystemParams, variant: RandomVariant, sims: u64, tag: &str) 
             tag,
             u64::from(n) * 1_000_000 + u64::from(k) * 10_000 + b + i,
         );
-        let placement = RandomStrategy::new(seed, variant)
-            .place(params)
-            .expect("sampling succeeds");
         // Exact search pays off only when C(n, k) is within reach;
         // otherwise give the prune a brief chance and move to local
         // search rather than burn the full budget per placement.
         let space = wcp_combin::binomial(u64::from(n), u64::from(k)).unwrap_or(u128::MAX);
-        let config = AdversaryConfig {
+        let adversary = AdversaryConfig {
             exact_budget: if space <= 4_000_000 {
                 6_000_000
             } else {
@@ -46,13 +46,14 @@ fn measure(params: &SystemParams, variant: RandomVariant, sims: u64, tag: &str) 
             max_steps: 80,
             seed,
         };
-        let wc = worst_case_failures(&placement, s, k, &config);
-        if wc.exact {
+        let report = Engine::with_attacker(*params, adversary)
+            .evaluate(&StrategyKind::Random { seed, variant })
+            .expect("sampling succeeds");
+        if report.exact {
             exact_runs += 1;
         }
-        avails.push((b - wc.failed) as f64);
+        avails.push(report.measured_availability as f64);
     }
-    let _ = r;
     (Summary::of(&avails), exact_runs)
 }
 

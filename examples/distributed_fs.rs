@@ -19,7 +19,6 @@ fn main() -> Result<(), PlacementError> {
     let n = 257u16;
     let b = 4800u64;
     let r = 3u16;
-    let adversary = AdversaryConfig::default();
 
     println!("{b} file blocks, {r} replicas each, on {n} chunkservers\n");
     for (label, s) in [
@@ -33,19 +32,17 @@ fn main() -> Result<(), PlacementError> {
         );
         for k in [4u16, 6, 8] {
             let params = SystemParams::new(n, b, r, s, k)?;
-            let combo = ComboStrategy::plan_constructive(&params, &RegistryConfig::default())?;
-            let placement = combo.build(&params)?;
-            let (avail_combo, _) = availability(&placement, s, k, &adversary);
-            let random = RandomStrategy::new(11, RandomVariant::LoadBalanced).place(&params)?;
-            let (avail_rnd, _) = availability(&random, s, k, &adversary);
+            let engine = Engine::with_attacker(params, AdversaryConfig::default());
+            let combo = engine.evaluate(&StrategyKind::Combo)?;
+            let random = engine.evaluate(&StrategyKind::Random {
+                seed: 11,
+                variant: RandomVariant::LoadBalanced,
+            })?;
             println!(
                 "{:>4} {:>18} {:>18} {:>12}",
-                k,
-                avail_combo,
-                avail_rnd,
-                combo.lower_bound()
+                k, combo.measured_availability, random.measured_availability, combo.lower_bound
             );
-            assert!(avail_combo >= combo.lower_bound());
+            assert!(combo.measured_availability as i64 >= combo.lower_bound);
         }
         println!();
     }

@@ -1,5 +1,5 @@
-//! Quickstart: plan a Combo placement, build it, attack it, and compare
-//! with random placement.
+//! Quickstart: drive the full plan → build → attack → report pipeline
+//! through the `Engine` facade and compare Combo against Random.
 //!
 //! Run with:
 //!
@@ -24,45 +24,46 @@ fn main() -> Result<(), PlacementError> {
         params.k()
     );
 
-    // Plan: the DP picks how to split objects across Simple(x, λ) packings.
-    let combo = ComboStrategy::plan_constructive(&params, &RegistryConfig::default())?;
-    println!("\nCombo plan (λ_x per overlap bound x):");
-    for (x, (lam, objs)) in combo
-        .plan()
-        .lambdas
-        .iter()
-        .zip(&combo.plan().objects)
-        .enumerate()
-    {
-        let spec = combo.profile().spec(x as u16);
-        println!("  x={x}: λ={lam}, objects={objs}  [{}]", spec.provenance);
-    }
-    println!("guaranteed availability ≥ {}", combo.lower_bound());
+    // One engine, any strategy: the exact branch-and-bound adversary
+    // (with heuristic fallback) attacks whatever the strategy builds.
+    let engine = Engine::with_attacker(params, AdversaryConfig::default());
 
-    // Build the actual placement and attack it.
-    let placement = combo.build(&params)?;
-    let adversary = AdversaryConfig::default();
-    let (avail, wc) = availability(&placement, params.s(), params.k(), &adversary);
+    let combo = engine.evaluate(&StrategyKind::Combo)?;
     println!(
-        "\nworst {} failures found by adversary (exact={}): kill {} objects → {} survive",
-        params.k(),
-        wc.exact,
-        wc.failed,
-        avail
+        "\n{}: guaranteed ≥ {}, measured {} (exact={}, worst nodes {:?})",
+        combo.strategy, combo.lower_bound, combo.measured_availability, combo.exact, combo.witness
     );
-    assert!(avail >= combo.lower_bound(), "the paper's bound must hold");
+    println!(
+        "  loads: min {} / mean {:.1} / max {} replicas per node",
+        combo.load_stats.min, combo.load_stats.mean, combo.load_stats.max
+    );
+    println!(
+        "  cost: plan {:.1} ms, build {:.1} ms, attack {:.1} ms",
+        combo.timings.plan_ns as f64 / 1e6,
+        combo.timings.build_ns as f64 / 1e6,
+        combo.timings.attack_ns as f64 / 1e6
+    );
+    assert!(
+        combo.measured_availability as i64 >= combo.lower_bound,
+        "the paper's bound must hold"
+    );
 
     // Compare with load-balanced random placement under the same attack.
-    let random = RandomStrategy::new(42, RandomVariant::LoadBalanced).place(&params)?;
-    let (avail_rnd, wc_rnd) = availability(&random, params.s(), params.k(), &adversary);
+    let random = engine.evaluate(&StrategyKind::Random {
+        seed: 42,
+        variant: RandomVariant::LoadBalanced,
+    })?;
     println!(
-        "random placement under its own worst attack (exact={}): {} survive",
-        wc_rnd.exact, avail_rnd
+        "\n{}: measured {} under its own worst attack (exact={})",
+        random.strategy, random.measured_availability, random.exact
     );
 
     println!(
         "\ncombo preserved {} more objects than random in the worst case",
-        avail as i64 - avail_rnd as i64
+        combo.measured_availability as i64 - random.measured_availability as i64
     );
+
+    // Every report serializes for downstream tooling.
+    println!("\ncombo report as JSON:\n{}", combo.to_json());
     Ok(())
 }

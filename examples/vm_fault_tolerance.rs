@@ -16,7 +16,6 @@ use worst_case_placement::prelude::*;
 
 fn main() -> Result<(), PlacementError> {
     let n = 71u16;
-    let adversary = AdversaryConfig::default();
 
     println!("VM pairs on {n} hosts; a VM dies only if BOTH replicas die (s = r = 2)\n");
     println!(
@@ -25,27 +24,24 @@ fn main() -> Result<(), PlacementError> {
     );
     for (b, k) in [(600u64, 2u16), (1200, 3), (2400, 4)] {
         let params = SystemParams::new(n, b, 2, 2, k)?;
+        let engine = Engine::with_attacker(params, AdversaryConfig::default());
 
         // Combo placement: with r = 2 and s = 2 the x = 1 slot is the
         // "all distinct pairs" design — no two VMs share both hosts until
         // capacity forces λ up.
-        let combo = ComboStrategy::plan_constructive(&params, &RegistryConfig::default())?;
-        let placement = combo.build(&params)?;
-        let (avail_combo, _) = availability(&placement, 2, k, &adversary);
+        let combo = engine.evaluate(&StrategyKind::Combo)?;
 
         // The usual practice: random placement with a load cap.
-        let random = RandomStrategy::new(7, RandomVariant::LoadBalanced).place(&params)?;
-        let (avail_rnd, _) = availability(&random, 2, k, &adversary);
+        let random = engine.evaluate(&StrategyKind::Random {
+            seed: 7,
+            variant: RandomVariant::LoadBalanced,
+        })?;
 
         println!(
             "{:>6} {:>4} {:>16} {:>16} {:>14}",
-            b,
-            k,
-            avail_combo,
-            avail_rnd,
-            combo.lower_bound()
+            b, k, combo.measured_availability, random.measured_availability, combo.lower_bound
         );
-        assert!(avail_combo >= combo.lower_bound());
+        assert!(combo.measured_availability as i64 >= combo.lower_bound);
     }
 
     println!(

@@ -13,7 +13,9 @@
 //!
 //! * [`core`] — the `Simple(x, λ)` and `Combo(⟨λ_x⟩)` strategies, the
 //!   availability-maximizing dynamic program, load-balanced random
-//!   placement, and the Lemma-1/2/3 capacity and availability bounds;
+//!   placement, the Lemma-1/2/3 capacity and availability bounds, the
+//!   unified `PlacementStrategy` trait every family implements, and the
+//!   `Engine` facade running plan → build → attack → report in one call;
 //! * [`designs`] — every design family the strategies need, built from
 //!   scratch (Steiner triple systems, finite-geometry line designs,
 //!   Hermitian unitals, Boolean/doubled quadruple systems, Möbius subline
@@ -32,26 +34,37 @@
 //! paper's evaluation; see EXPERIMENTS.md for the paper-vs-measured
 //! record.
 //!
-//! ## Example: plan, build, attack
+//! ## Example: the Engine facade
 //!
 //! ```
 //! use worst_case_placement::prelude::*;
 //!
 //! // 71 nodes, 1200 objects, 3-way replication, objects die at 2 replica
-//! // losses; plan for 3 simultaneous node failures.
+//! // losses; plan for 3 simultaneous node failures. The engine plans the
+//! // strategy, builds the placement, attacks it with the exact
+//! // branch-and-bound adversary, and reports everything in one record.
 //! let params = SystemParams::new(71, 1200, 3, 2, 3)?;
-//! let combo = ComboStrategy::plan_constructive(&params, &RegistryConfig::default())?;
-//! let placement = combo.build(&params)?;
-//!
-//! // The adversary fails the worst 3 nodes it can find.
-//! let (avail, witness) = availability(&placement, 2, 3, &AdversaryConfig::default());
+//! let engine = Engine::with_attacker(params, AdversaryConfig::default());
+//! let report = engine.evaluate(&StrategyKind::Combo)?;
 //!
 //! // The paper's guarantee holds: measured availability is at least the
 //! // DP-optimized lower bound.
-//! assert!(avail >= combo.lower_bound());
-//! assert_eq!(witness.nodes.len(), 3);
+//! assert!(report.measured_availability as i64 >= report.lower_bound);
+//! assert_eq!(report.witness.len(), 3);
+//!
+//! // The same pipeline runs every strategy family for comparison …
+//! let sweep = engine.evaluate_all()?;
+//! assert!(sweep.iter().any(|r| r.strategy == "ring"));
+//! // … and every report serializes to JSON.
+//! assert!(report.to_json().starts_with('{'));
 //! # Ok::<(), worst_case_placement::core::PlacementError>(())
 //! ```
+
+/// Runs the README's quickstart as a doctest so the documented
+/// entry-point can never drift from the real API.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
 
 pub use wcp_adversary as adversary;
 pub use wcp_analysis as analysis;
@@ -66,8 +79,11 @@ pub mod prelude {
     pub use wcp_adversary::{availability, worst_case_failures, AdversaryConfig, WorstCase};
     pub use wcp_analysis::{competitive_constants, pr_avail, pr_avail_fraction};
     pub use wcp_core::{
-        combo_plan, lb_avail_co, lb_avail_si, ComboStrategy, PackingProfile, Placement,
-        PlacementError, RandomStrategy, RandomVariant, SimpleStrategy, SystemParams,
+        combo_plan, lb_avail_co, lb_avail_si, AdaptiveSnapshot, AttackOutcome, Attacker,
+        ComboStrategy, Engine, EvaluationReport, ExhaustiveAttacker, GroupStrategy, LoadStats,
+        PackingProfile, Placement, PlacementError, PlacementStrategy, PlannerContext,
+        RandomStrategy, RandomVariant, RingStrategy, SimpleStrategy, StrategyKind, SystemParams,
+        Timings,
     };
     pub use wcp_designs::registry::RegistryConfig;
 }

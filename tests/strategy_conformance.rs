@@ -1,0 +1,173 @@
+//! Trait-conformance suite: every registered `StrategyKind`, on a grid
+//! of small `(n, r, s, k)` instances, must
+//!
+//! 1. build a structurally valid placement (`r` distinct in-range nodes
+//!    per object, exactly `b` objects),
+//! 2. respect its load cap where it claims one (Definition 4 for the
+//!    Random family), and
+//! 3. measure — under the *exact* adversary — worst-case availability at
+//!    least its claimed `lower_bound` (Lemmas 2–3 for the packing
+//!    strategies, the closed forms for ring/group, the vacuous 0 for
+//!    Random).
+
+use worst_case_placement::prelude::*;
+
+/// The conformance grid: small enough for the exact adversary
+/// everywhere, wide enough to hit every `x < s` slot, `s = r`, `s = 1`,
+/// and both baselines' regimes.
+fn grid() -> Vec<SystemParams> {
+    let mut grid = Vec::new();
+    for (n, b, r) in [(9u16, 27u64, 3u16), (12, 40, 3), (13, 26, 3), (16, 64, 4)] {
+        for s in 1..=r.min(3) {
+            for k in [s, s + 2] {
+                if k < n {
+                    grid.push(SystemParams::new(n, b, r, s, k).expect("valid grid point"));
+                }
+            }
+        }
+    }
+    grid
+}
+
+fn check_structure(placement: &Placement, params: &SystemParams, name: &str) {
+    assert_eq!(
+        placement.num_objects() as u64,
+        params.b(),
+        "{name}: object count"
+    );
+    assert_eq!(placement.num_nodes(), params.n(), "{name}: node count");
+    for (obj, set) in placement.replica_sets().iter().enumerate() {
+        assert_eq!(
+            set.len(),
+            usize::from(params.r()),
+            "{name}: object {obj} replica count"
+        );
+        assert!(
+            set.windows(2).all(|w| w[0] < w[1]),
+            "{name}: object {obj} nodes not distinct/sorted: {set:?}"
+        );
+        assert!(
+            set.last().is_none_or(|&nd| nd < params.n()),
+            "{name}: object {obj} node out of range: {set:?}"
+        );
+    }
+}
+
+/// The headline conformance property: plan → build → exact attack, and
+/// `measured ≥ lower_bound`, for every strategy family on every grid
+/// point.
+#[test]
+fn measured_availability_dominates_claimed_bound() {
+    for params in grid() {
+        let engine = Engine::with_attacker(params, AdversaryConfig::default());
+        for kind in StrategyKind::all(&params) {
+            let report = match engine.evaluate(&kind) {
+                Ok(report) => report,
+                // Not every x-slot is constructible at every tiny size.
+                Err(PlacementError::Design(_)) => continue,
+                Err(e) => panic!("{}: unexpected error {e}", kind.label()),
+            };
+            assert!(
+                report.exact,
+                "{}: grid instances must be exactly attackable",
+                report.strategy
+            );
+            assert!(
+                report.measured_availability as i64 >= report.lower_bound,
+                "{} violates its bound at n={} b={} r={} s={} k={}: measured {} < claimed {}",
+                report.strategy,
+                params.n(),
+                params.b(),
+                params.r(),
+                params.s(),
+                params.k(),
+                report.measured_availability,
+                report.lower_bound
+            );
+        }
+    }
+}
+
+/// Structural validity of everything every kind builds, plus the Random
+/// family's Definition-4 load cap.
+#[test]
+fn placements_are_structurally_valid() {
+    let ctx = PlannerContext::default();
+    for params in grid() {
+        for kind in StrategyKind::all(&params) {
+            let strategy = match kind.plan(&params, &ctx) {
+                Ok(strategy) => strategy,
+                Err(PlacementError::Design(_)) => continue,
+                Err(e) => panic!("{}: unexpected error {e}", kind.label()),
+            };
+            let placement = strategy.build(&params).expect("builds");
+            check_structure(&placement, &params, strategy.name());
+        }
+    }
+}
+
+/// Definition 4: the load-balanced Random variants never exceed
+/// `⌈rb/n⌉` replicas per node.
+#[test]
+fn random_family_respects_load_cap() {
+    let ctx = PlannerContext::default();
+    for params in grid() {
+        let cap = RandomStrategy::load_cap(&params);
+        for (seed, variant) in [
+            (1u64, RandomVariant::LoadBalanced),
+            (2, RandomVariant::SequentialUniform),
+        ] {
+            let placement = StrategyKind::Random { seed, variant }
+                .plan(&params, &ctx)
+                .expect("plans")
+                .build(&params)
+                .expect("builds");
+            assert!(
+                placement.max_load() <= cap,
+                "variant {variant:?} exceeded cap {cap} at n={} b={}",
+                params.n(),
+                params.b()
+            );
+        }
+    }
+}
+
+/// The baselines' closed-form bounds are not just valid but *tight*
+/// (they claim the exact worst case) wherever they claim more than the
+/// vacuous 0 — the adversary must not find anything worse.
+#[test]
+fn baseline_bounds_are_tight_when_nonvacuous() {
+    for params in grid() {
+        let engine = Engine::with_attacker(params, AdversaryConfig::default());
+        for kind in [StrategyKind::Ring, StrategyKind::Group] {
+            let report = engine.evaluate(&kind).expect("evaluates");
+            assert!(report.exact);
+            if report.lower_bound > 0 {
+                assert_eq!(
+                    report.measured_availability as i64,
+                    report.lower_bound,
+                    "{} closed form not tight at n={} b={} r={} s={} k={}",
+                    report.strategy,
+                    params.n(),
+                    params.b(),
+                    params.r(),
+                    params.s(),
+                    params.k()
+                );
+            }
+        }
+    }
+}
+
+/// Reports serialize to JSON for every family (the serving-layer
+/// contract of `EvaluationReport`).
+#[test]
+fn every_report_serializes() {
+    let params = SystemParams::new(13, 26, 3, 2, 3).expect("valid");
+    let engine = Engine::with_attacker(params, AdversaryConfig::default());
+    for report in engine.evaluate_all().expect("sweep") {
+        let json = report.to_json();
+        assert!(json.contains(&format!("\"strategy\": {:?}", report.strategy)));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of the criterion 0.5 API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology (simplified from upstream): each benchmark is warmed up,
+//! auto-calibrated to a per-sample iteration count targeting
+//! ~[`TARGET_SAMPLE_NANOS`], then measured for `sample_size` samples.
+//! The median ns/iter is reported on stdout, and every completed
+//! measurement is appended to the JSON file named by the
+//! `CRITERION_SHIM_JSON` environment variable (if set) so callers can
+//! snapshot results.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Per-sample target duration for calibration (100 µs keeps full runs
+/// fast while still amortizing timer overhead).
+pub const TARGET_SAMPLE_NANOS: f64 = 100_000.0;
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/benchmark` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Minimum nanoseconds per iteration across samples.
+    pub min_ns: f64,
+    /// Maximum nanoseconds per iteration across samples.
+    pub max_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+/// The harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let m = run_benchmark(id.to_string(), 20, f);
+        self.results.push(m);
+        self
+    }
+
+    /// All measurements recorded so far.
+    #[must_use]
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Prints the final summary and writes the optional JSON snapshot.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks measured", self.results.len());
+        if let Ok(path) = std::env::var("CRITERION_SHIM_JSON") {
+            let json = measurements_to_json(&self.results);
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("criterion shim: cannot write {path}: {e}");
+            } else {
+                println!("wrote {path}");
+            }
+        }
+    }
+}
+
+/// Renders measurements as a JSON array.
+#[must_use]
+pub fn measurements_to_json(results: &[Measurement]) -> String {
+    let mut out = String::from("[\n");
+    for (i, m) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": {:?}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}{}\n",
+            m.id,
+            m.median_ns,
+            m.min_ns,
+            m.max_ns,
+            m.samples,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks a function under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let m = run_benchmark(format!("{}/{}", self.name, id), self.sample_size, f);
+        self.criterion.results.push(m);
+        self
+    }
+
+    /// Benchmarks a function taking an input under `group/id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A `name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    #[must_use]
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            repr: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` for the calibrated number of iterations, recording wall
+    /// time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: String, sample_size: usize, mut f: F) -> Measurement {
+    // Calibration: start at one iteration, grow until a sample costs
+    // ~TARGET_SAMPLE_NANOS.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0.0,
+        };
+        f(&mut b);
+        if b.elapsed_ns >= TARGET_SAMPLE_NANOS || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0.0,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed_ns / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let m = Measurement {
+        id,
+        median_ns: median,
+        min_ns: per_iter[0],
+        max_ns: *per_iter.last().expect("non-empty"),
+        samples: sample_size,
+    };
+    println!(
+        "  {:<50} median {:>12.1} ns/iter  (min {:.1}, max {:.1}, {} samples × {} iters)",
+        m.id, m.median_ns, m.min_ns, m.max_ns, m.samples, iters
+    );
+    m
+}
+
+/// Groups benchmark functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert_eq!(c.measurements().len(), 2);
+        assert!(c.measurements().iter().all(|m| m.median_ns > 0.0));
+        let json = measurements_to_json(c.measurements());
+        assert!(json.contains("g/sum") && json.contains("g/param/42"));
+    }
+}
