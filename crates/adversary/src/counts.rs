@@ -40,6 +40,47 @@ impl FailureCounts {
         }
     }
 
+    /// Rebinds the structure to another placement/threshold, reusing
+    /// every allocation: the hit and membership vectors are resized in
+    /// place and the inverted index's inner vectors keep their
+    /// capacity. Sweeps evaluating many cells of similar shape go
+    /// through here instead of [`FailureCounts::new`] so the per-cell
+    /// cost is a fill, not an allocation storm.
+    pub fn rebind(&mut self, placement: &Placement, s: u16) {
+        let b = placement.num_objects();
+        self.s = s;
+        self.failed = 0;
+        self.hits.clear();
+        self.hits.resize(b, 0);
+        self.hist.clear();
+        self.hist.resize(usize::from(s), 0);
+        self.hist[0] = b as u64;
+        self.in_set.clear();
+        self.in_set
+            .resize(usize::from(placement.num_nodes()), false);
+        let n = usize::from(placement.num_nodes());
+        for per_node in self.by_node.iter_mut() {
+            per_node.clear();
+        }
+        self.by_node.resize_with(n, Vec::new);
+        for (obj, set) in placement.replica_sets().iter().enumerate() {
+            for &nd in set {
+                self.by_node[usize::from(nd)].push(obj as u32);
+            }
+        }
+    }
+
+    /// Empties the failed-node set without touching the placement
+    /// binding (cheaper than removing the members one by one when the
+    /// whole set is discarded, e.g. between local-search restarts).
+    pub fn clear(&mut self) {
+        self.failed = 0;
+        self.hits.fill(0);
+        self.hist.fill(0);
+        self.hist[0] = self.hits.len() as u64;
+        self.in_set.fill(false);
+    }
+
     /// Number of currently failed objects.
     #[must_use]
     pub fn failed(&self) -> u64 {
@@ -144,6 +185,46 @@ mod tests {
             vec![vec![0, 1, 2], vec![0, 1, 3], vec![3, 4, 5], vec![0, 4, 5]],
         )
         .unwrap()
+    }
+
+    #[test]
+    fn rebind_matches_fresh_construction() {
+        let p = sample();
+        let mut fc = FailureCounts::new(&p, 2);
+        fc.add_node(0);
+        fc.add_node(4);
+        // Rebind to a differently shaped placement and compare against a
+        // fresh build observationally.
+        let q = Placement::new(4, 2, vec![vec![0, 1], vec![1, 2], vec![2, 3]]).unwrap();
+        fc.rebind(&q, 1);
+        let fresh = FailureCounts::new(&q, 1);
+        assert_eq!(fc.failed(), fresh.failed());
+        assert_eq!(fc.nodes(), fresh.nodes());
+        for nd in 0..4u16 {
+            assert_eq!(fc.gain(nd), fresh.gain(nd), "node {nd}");
+        }
+        fc.add_node(1);
+        assert_eq!(fc.failed(), q.failed_objects(&[1], 1));
+        // Rebind back to the original, including shrinking the index.
+        fc.rebind(&p, 2);
+        fc.add_node(0);
+        fc.add_node(1);
+        assert_eq!(fc.failed(), p.failed_objects(&[0, 1], 2));
+    }
+
+    #[test]
+    fn clear_resets_membership_and_histogram() {
+        let p = sample();
+        let mut fc = FailureCounts::new(&p, 2);
+        fc.add_node(0);
+        fc.add_node(5);
+        fc.clear();
+        assert_eq!(fc.failed(), 0);
+        assert_eq!(fc.nodes(), Vec::<u16>::new());
+        assert_eq!(fc.failable_within(2), 4);
+        fc.add_node(0);
+        fc.add_node(1);
+        assert_eq!(fc.failed(), p.failed_objects(&[0, 1], 2));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! branch-and-bound pruning.
 
 use crate::counts::FailureCounts;
-use crate::WorstCase;
+use crate::{AdversaryScratch, WorstCase};
 use wcp_core::Placement;
 
 /// Finds the exact maximum number of failed objects over all `k`-subsets
@@ -37,6 +37,27 @@ pub fn exact_worst(
     budget: u64,
     incumbent: u64,
 ) -> Option<WorstCase> {
+    exact_worst_with(
+        placement,
+        s,
+        k,
+        budget,
+        incumbent,
+        &mut AdversaryScratch::new(),
+    )
+}
+
+/// [`exact_worst`] reusing the caller's scratch buffers (the DFS's
+/// failure accounting is rebuilt in place instead of reallocated).
+#[must_use]
+pub fn exact_worst_with(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    budget: u64,
+    incumbent: u64,
+    scratch: &mut AdversaryScratch,
+) -> Option<WorstCase> {
     let n = placement.num_nodes();
     if k >= n {
         // Degenerate: fail everything possible.
@@ -54,10 +75,10 @@ pub fn exact_worst(
     let mut order: Vec<u16> = (0..n).collect();
     order.sort_by_key(|&nd| std::cmp::Reverse(loads[usize::from(nd)]));
 
-    let mut fc = FailureCounts::new(placement, s);
+    let fc = scratch.bind(placement, s);
     let b = placement.num_objects() as u64;
     let mut search = Search {
-        fc: &mut fc,
+        fc,
         order: &order,
         k,
         best: incumbent,

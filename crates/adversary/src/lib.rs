@@ -19,16 +19,51 @@
 //! `b − failed`. A heuristic adversary can only under-estimate the damage,
 //! i.e. over-estimate availability — experiment reports carry the `exact`
 //! flag for this reason.
+//!
+//! Every adversary also has a `_with` variant threading an
+//! [`AdversaryScratch`] so batch callers reuse the failure-accounting
+//! buffers across evaluations; [`SweepAdversary`] packages that as the
+//! per-worker attacker of `wcp_core`'s parallel sweep subsystem.
 
 mod counts;
 mod exact;
 mod search;
 
 pub use counts::FailureCounts;
-pub use exact::exact_worst;
-pub use search::{greedy_worst, local_search_worst};
+pub use exact::{exact_worst, exact_worst_with};
+pub use search::{greedy_worst, greedy_worst_with, local_search_worst, local_search_worst_with};
 
+use wcp_core::sweep::{AdversarySpec, CellAttacker, SweepCell};
 use wcp_core::Placement;
+
+/// Reusable adversary working memory: one [`FailureCounts`] whose
+/// allocations (hit counters, histogram, inverted index) survive across
+/// evaluations. The `_with` adversary entry points rebind it to each new
+/// placement in place, so a sweep over thousands of cells of the same
+/// `(n, b, r)` shape performs no per-cell allocation beyond the
+/// placement itself.
+#[derive(Debug, Default)]
+pub struct AdversaryScratch {
+    fc: Option<FailureCounts>,
+}
+
+impl AdversaryScratch {
+    /// Empty scratch; buffers materialize on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds the scratch to a placement/threshold, reusing previous
+    /// allocations when present.
+    pub fn bind(&mut self, placement: &Placement, s: u16) -> &mut FailureCounts {
+        match &mut self.fc {
+            Some(fc) => fc.rebind(placement, s),
+            None => self.fc = Some(FailureCounts::new(placement, s)),
+        }
+        self.fc.as_mut().expect("bound above")
+    }
+}
 
 /// Tuning for the auto adversary.
 #[derive(Debug, Clone)]
@@ -125,12 +160,32 @@ pub fn worst_case_failures(
     k: u16,
     config: &AdversaryConfig,
 ) -> WorstCase {
+    worst_case_failures_with(placement, s, k, config, &mut AdversaryScratch::new())
+}
+
+/// [`worst_case_failures`] reusing the caller's scratch buffers across
+/// both the local-search stage and the exact DFS.
+#[must_use]
+pub fn worst_case_failures_with(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    config: &AdversaryConfig,
+    scratch: &mut AdversaryScratch,
+) -> WorstCase {
     assert!(k <= placement.num_nodes(), "k must be ≤ n");
     assert!(s <= placement.replicas_per_object(), "s must be ≤ r");
     // Seed the exact search with the local-search incumbent: a strong lower
     // bound tightens pruning dramatically.
-    let heuristic = local_search_worst(placement, s, k, config);
-    if let Some(exact) = exact_worst(placement, s, k, config.exact_budget, heuristic.failed) {
+    let heuristic = local_search_worst_with(placement, s, k, config, scratch);
+    if let Some(exact) = exact_worst_with(
+        placement,
+        s,
+        k,
+        config.exact_budget,
+        heuristic.failed,
+        scratch,
+    ) {
         // The DFS only returns node sets when it beats the seed; reuse the
         // heuristic's witness when the incumbent stood.
         if exact.failed > heuristic.failed {
@@ -168,6 +223,77 @@ pub fn availability(
 ) -> (u64, WorstCase) {
     let wc = worst_case_failures(placement, s, k, config);
     (placement.num_objects() as u64 - wc.failed, wc)
+}
+
+/// The per-worker sweep adversary: resolves each cell's
+/// [`AdversarySpec`] to the full exact-with-fallback ladder and reuses
+/// one [`AdversaryScratch`] across every cell the worker evaluates.
+///
+/// Heuristic stages are seeded with the cell's stable seed, so sweep
+/// results are byte-identical for any thread count.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_adversary::SweepAdversary;
+/// use wcp_core::sweep::{sweep_with, SweepOptions, SweepSpec};
+/// use wcp_core::{StrategyKind, SystemParams};
+///
+/// let mut spec = SweepSpec::new("doc");
+/// spec.explicit_params = vec![SystemParams::new(13, 26, 3, 2, 3)?];
+/// spec.strategies = vec![StrategyKind::Combo];
+/// let records = sweep_with(&spec, &SweepOptions::default(), SweepAdversary::new);
+/// assert!(records[0].outcome.as_ref().unwrap().exact);
+/// # Ok::<(), wcp_core::PlacementError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SweepAdversary {
+    scratch: AdversaryScratch,
+}
+
+impl SweepAdversary {
+    /// A fresh per-worker adversary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CellAttacker for SweepAdversary {
+    fn attack_cell(
+        &mut self,
+        cell: &SweepCell,
+        placement: &Placement,
+        s: u16,
+        k: u16,
+    ) -> wcp_core::engine::AttackOutcome {
+        let config = match cell.adversary {
+            // An "exhaustive" cell still benefits from the ladder: the
+            // incumbent-seeded DFS visits at most as many states as the
+            // plain enumeration it replaces.
+            AdversarySpec::Exhaustive { budget } => AdversaryConfig {
+                exact_budget: budget,
+                seed: cell.seed,
+                ..AdversaryConfig::default()
+            },
+            AdversarySpec::Auto {
+                exact_budget,
+                restarts,
+                max_steps,
+            } => AdversaryConfig {
+                exact_budget,
+                restarts,
+                max_steps,
+                seed: cell.seed,
+            },
+        };
+        let wc = worst_case_failures_with(placement, s, k, &config, &mut self.scratch);
+        wcp_core::engine::AttackOutcome {
+            failed: wc.failed,
+            nodes: wc.nodes,
+            exact: wc.exact,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,14 @@
 //! Heuristic adversaries: greedy and steepest-ascent swap local search.
+//!
+//! Both are available in two forms: the plain entry points
+//! ([`greedy_worst`], [`local_search_worst`]) that allocate their own
+//! failure accounting, and `_with` variants threading an
+//! [`AdversaryScratch`] so callers evaluating many placements back to
+//! back (the sweep subsystem) reuse the buffers instead of reallocating
+//! per evaluation.
 
 use crate::counts::FailureCounts;
-use crate::{AdversaryConfig, WorstCase};
+use crate::{AdversaryConfig, AdversaryScratch, WorstCase};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -25,9 +32,27 @@ use wcp_core::Placement;
 /// ```
 #[must_use]
 pub fn greedy_worst(placement: &Placement, s: u16, k: u16) -> WorstCase {
+    greedy_worst_with(placement, s, k, &mut AdversaryScratch::new())
+}
+
+/// [`greedy_worst`] reusing the caller's scratch buffers.
+#[must_use]
+pub fn greedy_worst_with(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    scratch: &mut AdversaryScratch,
+) -> WorstCase {
+    let fc = scratch.bind(placement, s);
+    greedy_into(fc, placement, k)
+}
+
+/// Runs the greedy ascent into `fc` (must be bound to `placement` and
+/// empty); leaves `fc` holding the chosen node set so callers can keep
+/// climbing from it.
+fn greedy_into(fc: &mut FailureCounts, placement: &Placement, k: u16) -> WorstCase {
     let n = placement.num_nodes();
     let loads = placement.loads();
-    let mut fc = FailureCounts::new(placement, s);
     for _ in 0..k.min(n) {
         let mut best_node = None;
         let mut best_key = (0u64, 0u32);
@@ -73,6 +98,21 @@ pub fn local_search_worst(
     k: u16,
     config: &AdversaryConfig,
 ) -> WorstCase {
+    local_search_worst_with(placement, s, k, config, &mut AdversaryScratch::new())
+}
+
+/// [`local_search_worst`] reusing the caller's scratch buffers: one
+/// [`FailureCounts`] serves the greedy seed and every restart (cleared
+/// in place between them, `O(b)` instead of a fresh inverted-index
+/// build).
+#[must_use]
+pub fn local_search_worst_with(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    config: &AdversaryConfig,
+    scratch: &mut AdversaryScratch,
+) -> WorstCase {
     let n = placement.num_nodes();
     if k >= n {
         let nodes: Vec<u16> = (0..n).collect();
@@ -84,23 +124,21 @@ pub fn local_search_worst(
         };
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut overall = greedy_worst(placement, s, k);
     let b = placement.num_objects() as u64;
+    let fc = scratch.bind(placement, s);
+    // Restart 0 climbs from the greedy set `greedy_into` leaves in `fc`.
+    let mut overall = greedy_into(fc, placement, k);
 
     for restart in 0..config.restarts {
-        let mut fc = FailureCounts::new(placement, s);
-        if restart == 0 {
-            for &nd in &overall.nodes {
-                fc.add_node(nd);
-            }
-        } else {
+        if restart > 0 {
+            fc.clear();
             let mut nodes: Vec<u16> = (0..n).collect();
             nodes.shuffle(&mut rng);
             for &nd in nodes.iter().take(usize::from(k)) {
                 fc.add_node(nd);
             }
         }
-        climb(&mut fc, n, config.max_steps, b);
+        climb(fc, n, config.max_steps, b);
         if fc.failed() > overall.failed {
             overall = WorstCase {
                 failed: fc.failed(),
@@ -183,6 +221,25 @@ mod tests {
                 assert!(ls.failed >= g.failed, "seed={seed} s={s} k={k}");
                 assert_eq!(p.failed_objects(&ls.nodes, s), ls.failed);
                 assert_eq!(ls.nodes.len(), usize::from(k));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_scratch_matches_fresh_buffers() {
+        // One scratch across a sequence of differently shaped placements
+        // must reproduce the fresh-allocation results cell for cell.
+        let mut scratch = AdversaryScratch::new();
+        let cfg = AdversaryConfig::default();
+        for (seed, n, b, r) in [(1u64, 20u16, 80u64, 3u16), (2, 25, 150, 3), (3, 12, 40, 4)] {
+            let p = random_placement(n, b, r, seed);
+            for (s, k) in [(1u16, 2u16), (2, 4), (2, 5)] {
+                let fresh_g = greedy_worst(&p, s, k);
+                let reuse_g = greedy_worst_with(&p, s, k, &mut scratch);
+                assert_eq!(fresh_g, reuse_g, "greedy n={n} s={s} k={k}");
+                let fresh_ls = local_search_worst(&p, s, k, &cfg);
+                let reuse_ls = local_search_worst_with(&p, s, k, &cfg, &mut scratch);
+                assert_eq!(fresh_ls, reuse_ls, "ls n={n} s={s} k={k}");
             }
         }
     }

@@ -2,10 +2,12 @@
 
 use proptest::prelude::*;
 use wcp_adversary::{
-    exact_worst, greedy_worst, local_search_worst, worst_case_failures, AdversaryConfig,
+    exact_worst, greedy_worst, local_search_worst, worst_case_failures, worst_case_failures_with,
+    AdversaryConfig, AdversaryScratch, SweepAdversary,
 };
 use wcp_combin::KSubsets;
-use wcp_core::{Placement, RandomStrategy, RandomVariant, SystemParams};
+use wcp_core::sweep::{sweep_with, AdversarySpec, SweepOptions, SweepSpec};
+use wcp_core::{Placement, RandomStrategy, RandomVariant, StrategyKind, SystemParams};
 
 fn brute_force(p: &Placement, s: u16, k: u16) -> u64 {
     KSubsets::new(p.num_nodes(), k)
@@ -63,6 +65,65 @@ proptest! {
         prop_assert!(g.failed <= ls.failed);
         prop_assert!(auto.exact);
         prop_assert_eq!(auto.failed, truth);
+    }
+
+    /// Buffer reuse is invisible: one scratch carried across a random
+    /// sequence of instances reproduces fresh-allocation results.
+    #[test]
+    fn scratch_reuse_is_observationally_pure(
+        first in (8u16..14, 10u64..50, 2u16..=4, 1u16..=4, any::<u64>()),
+        second in (8u16..14, 10u64..50, 2u16..=4, 1u16..=4, any::<u64>()),
+        third in (8u16..14, 10u64..50, 2u16..=4, 1u16..=4, any::<u64>()),
+    ) {
+        let cfg = AdversaryConfig::default();
+        let mut scratch = AdversaryScratch::new();
+        for (n, b, r, k, seed) in [first, second, third] {
+            prop_assume!(k < n && r <= n);
+            let s = r.min(2);
+            let p = placement(n, b, r, seed);
+            let fresh = worst_case_failures(&p, s, k, &cfg);
+            let reused = worst_case_failures_with(&p, s, k, &cfg, &mut scratch);
+            prop_assert_eq!(fresh, reused, "n={} b={} r={} k={}", n, b, r, k);
+        }
+    }
+
+    /// The full-ladder sweep (scratch-reusing `SweepAdversary`) is
+    /// deterministic in the thread count, including heuristic cells.
+    #[test]
+    fn ladder_sweep_parallel_equals_serial(
+        n in 9u16..14,
+        b in 12u64..40,
+        threads in 2usize..7,
+        budget in 1u64..2000,
+    ) {
+        let mut spec = SweepSpec::new("adv-prop");
+        spec.grid.n = vec![n];
+        spec.grid.b = vec![b, b * 2];
+        spec.grid.r = vec![3];
+        spec.grid.s = vec![1, 2];
+        spec.grid.k = vec![2, 4];
+        spec.strategies = vec![
+            StrategyKind::Ring,
+            StrategyKind::Random { seed: 1, variant: RandomVariant::LoadBalanced },
+        ];
+        // A tiny exact budget forces the heuristic fallback on some
+        // cells, exercising the seeded local search under parallelism.
+        spec.adversaries = vec![AdversarySpec::Auto {
+            exact_budget: budget,
+            restarts: 2,
+            max_steps: 40,
+        }];
+        let serial = sweep_with(
+            &spec,
+            &SweepOptions { threads: 1, ..SweepOptions::default() },
+            SweepAdversary::new,
+        );
+        let parallel = sweep_with(
+            &spec,
+            &SweepOptions { threads, ..SweepOptions::default() },
+            SweepAdversary::new,
+        );
+        prop_assert_eq!(serial, parallel);
     }
 
     /// Monotonicity: more failures never kill fewer objects; higher

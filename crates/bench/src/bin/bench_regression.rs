@@ -1,0 +1,84 @@
+//! `bench_regression` — the CI gate over benchmark snapshots.
+//!
+//! Compares a fresh `BENCH_strategies.json` against the committed
+//! baseline and exits non-zero when any strategy family's mean pipeline
+//! time regressed beyond the threshold (default 25%), or when a family
+//! vanished from the fresh snapshot:
+//!
+//! ```text
+//! bench_regression crates/bench/BENCH_strategies.json fresh.json --threshold 25
+//! ```
+
+use std::process::ExitCode;
+use wcp_bench::regression::compare;
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut paths = Vec::new();
+    let mut threshold_pct = 25.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--threshold needs a percentage".to_string())?;
+                threshold_pct = raw
+                    .parse()
+                    .map_err(|_| format!("invalid threshold '{raw}'"))?;
+                if threshold_pct <= 0.0 {
+                    return Err("threshold must be positive".to_string());
+                }
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return Err(
+            "usage: bench_regression <baseline.json> <current.json> [--threshold PCT]".to_string(),
+        );
+    };
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let deltas = compare(&read(baseline_path)?, &read(current_path)?)?;
+    let threshold = threshold_pct / 100.0;
+    let mut failed = false;
+    println!(
+        "{:<12} {:>14} {:>14} {:>9}  gate(±{threshold_pct}%)",
+        "family", "baseline_ns", "current_ns", "change"
+    );
+    for d in &deltas {
+        let regressed = d.regressed(threshold);
+        failed |= regressed;
+        let (current, change) = match (d.current_ns, d.change) {
+            (Some(c), Some(ch)) => (format!("{c:.0}"), format!("{:+.1}%", ch * 100.0)),
+            _ => ("missing".to_string(), "—".to_string()),
+        };
+        println!(
+            "{:<12} {:>14.0} {:>14} {:>9}  {}",
+            d.family,
+            d.baseline_ns,
+            current,
+            change,
+            if regressed { "FAIL" } else { "ok" }
+        );
+    }
+    Ok(failed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(false) => {
+            println!("no benchmark regressions");
+            ExitCode::SUCCESS
+        }
+        Ok(true) => {
+            eprintln!("benchmark regression gate FAILED");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,10 +1,14 @@
-//! Shared fixtures for the criterion benchmarks.
+//! Shared fixtures for the criterion benchmarks, plus the
+//! [`regression`] analysis CI uses to gate on benchmark snapshots.
 //!
 //! The benchmarks measure the computational pieces behind the paper's
 //! experiments: the Combo DP (Sec. III-B1), the design constructions of
 //! Sec. III-C, the worst-case adversary behind Definition 1, the
-//! Theorem-2 analysis, and the unified strategy sweep through the
-//! `Engine` facade. `cargo bench --workspace` runs them all.
+//! Theorem-2 analysis, the unified strategy sweep through the `Engine`
+//! facade, and the parallel sweep subsystem's throughput.
+//! `cargo bench --workspace` runs them all.
+
+pub mod regression;
 
 use wcp_core::{Placement, PlannerContext, RandomVariant, StrategyKind, SystemParams};
 

@@ -1,0 +1,229 @@
+//! Benchmark-snapshot regression analysis.
+//!
+//! CI records a fresh `BENCH_strategies.json` on every run and compares
+//! it against the committed baseline with [`compare`]: per *strategy
+//! family* (the name up to its parameter list — `simple(x=0, λ=60)` and
+//! `simple(x=1, λ=10)` are both family `simple`), the mean of the
+//! median pipeline times must not regress by more than the threshold.
+//! The `bench_regression` binary wraps this as a CI-friendly exit code.
+
+use wcp_sim::json::Value;
+
+/// Mean measured cost of one strategy family in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyTime {
+    /// Family label (strategy name up to the first `(`).
+    pub family: String,
+    /// Mean of the family's `median_pipeline_ns` entries.
+    pub mean_ns: f64,
+    /// Number of strategies aggregated.
+    pub strategies: usize,
+}
+
+/// The strategy family of a snapshot strategy name.
+#[must_use]
+pub fn family_of(strategy: &str) -> &str {
+    strategy.split('(').next().unwrap_or(strategy).trim()
+}
+
+/// Parses a `BENCH_strategies.json` snapshot into per-family mean
+/// times, preserving first-appearance order.
+///
+/// # Errors
+///
+/// A message when the document is not JSON or lacks the
+/// `strategies[].{strategy, median_pipeline_ns}` shape.
+pub fn family_means(snapshot: &str) -> Result<Vec<FamilyTime>, String> {
+    let doc = Value::parse(snapshot).map_err(|e| e.to_string())?;
+    let strategies = doc
+        .get("strategies")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "snapshot has no \"strategies\" array".to_string())?;
+    let mut families: Vec<FamilyTime> = Vec::new();
+    for entry in strategies {
+        let name = entry
+            .get("strategy")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "strategy entry without a \"strategy\" name".to_string())?;
+        let ns = entry
+            .get("median_pipeline_ns")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("strategy '{name}' lacks \"median_pipeline_ns\""))?;
+        let family = family_of(name);
+        match families.iter_mut().find(|f| f.family == family) {
+            Some(f) => {
+                // Running mean keeps one pass over the entries.
+                f.mean_ns += (ns - f.mean_ns) / (f.strategies as f64 + 1.0);
+                f.strategies += 1;
+            }
+            None => families.push(FamilyTime {
+                family: family.to_string(),
+                mean_ns: ns,
+                strategies: 1,
+            }),
+        }
+    }
+    if families.is_empty() {
+        return Err("snapshot contains no strategies".to_string());
+    }
+    Ok(families)
+}
+
+/// One family's baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyDelta {
+    /// Family label.
+    pub family: String,
+    /// Baseline mean, nanoseconds.
+    pub baseline_ns: f64,
+    /// Current mean, nanoseconds (`None` when the family vanished).
+    pub current_ns: Option<f64>,
+    /// `current / baseline − 1` (positive = slower).
+    pub change: Option<f64>,
+}
+
+impl FamilyDelta {
+    /// Whether this family fails the gate at `threshold` (fractional,
+    /// e.g. `0.25`): a mean-time regression beyond it, or a family
+    /// missing from the current snapshot.
+    #[must_use]
+    pub fn regressed(&self, threshold: f64) -> bool {
+        match self.change {
+            Some(change) => change > threshold,
+            None => true,
+        }
+    }
+}
+
+/// Compares two snapshots family by family.
+///
+/// Families only present in the current snapshot are ignored (new
+/// strategies are not regressions); families only present in the
+/// baseline count as regressed — a strategy silently dropping out of
+/// the benchmark must not pass the gate.
+///
+/// # Errors
+///
+/// Parse errors from either snapshot (see [`family_means`]).
+pub fn compare(baseline: &str, current: &str) -> Result<Vec<FamilyDelta>, String> {
+    let base = family_means(baseline)?;
+    let cur = family_means(current)?;
+    Ok(base
+        .into_iter()
+        .map(|b| {
+            let current_ns = cur.iter().find(|c| c.family == b.family).map(|c| c.mean_ns);
+            FamilyDelta {
+                change: current_ns.map(|c| c / b.mean_ns - 1.0),
+                family: b.family,
+                baseline_ns: b.mean_ns,
+                current_ns,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(entries: &[(&str, u64)]) -> String {
+        let body: Vec<String> = entries
+            .iter()
+            .map(|(name, ns)| format!("  {{\"strategy\": {name:?}, \"median_pipeline_ns\": {ns}}}"))
+            .collect();
+        format!("{{\n\"strategies\": [\n{}\n]\n}}\n", body.join(",\n"))
+    }
+
+    #[test]
+    fn families_aggregate_parameterized_strategies() {
+        let fams = family_means(&snapshot(&[
+            ("simple(x=0, λ=60)", 100),
+            ("simple(x=1, λ=10)", 300),
+            ("ring", 50),
+            ("random(load-balanced)", 70),
+        ]))
+        .unwrap();
+        assert_eq!(fams.len(), 3);
+        assert_eq!(fams[0].family, "simple");
+        assert_eq!(fams[0].strategies, 2);
+        assert!((fams[0].mean_ns - 200.0).abs() < 1e-9);
+        assert_eq!(fams[1].family, "ring");
+        assert_eq!(fams[2].family, "random");
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = snapshot(&[("ring", 100), ("combo", 200)]);
+        let cur = snapshot(&[("ring", 120), ("combo", 190)]);
+        let deltas = compare(&base, &cur).unwrap();
+        assert!(deltas.iter().all(|d| !d.regressed(0.25)));
+    }
+
+    #[test]
+    fn synthetic_regression_fails_the_gate() {
+        // The acceptance scenario: one family 60% slower than baseline
+        // must trip the 25% gate while the others stay green.
+        let base = snapshot(&[
+            ("simple(x=0, λ=60)", 100_000),
+            ("simple(x=1, λ=10)", 100_000),
+            ("combo", 200_000),
+            ("ring", 50_000),
+        ]);
+        let cur = snapshot(&[
+            ("simple(x=0, λ=60)", 160_000),
+            ("simple(x=1, λ=10)", 160_000),
+            ("combo", 210_000),
+            ("ring", 49_000),
+        ]);
+        let deltas = compare(&base, &cur).unwrap();
+        let simple = deltas.iter().find(|d| d.family == "simple").unwrap();
+        assert!(simple.regressed(0.25));
+        assert!((simple.change.unwrap() - 0.6).abs() < 1e-9);
+        assert!(!deltas
+            .iter()
+            .find(|d| d.family == "combo")
+            .unwrap()
+            .regressed(0.25));
+        assert!(!deltas
+            .iter()
+            .find(|d| d.family == "ring")
+            .unwrap()
+            .regressed(0.25));
+    }
+
+    #[test]
+    fn vanished_family_counts_as_regressed() {
+        let base = snapshot(&[("ring", 100), ("combo", 200)]);
+        let cur = snapshot(&[("ring", 100)]);
+        let deltas = compare(&base, &cur).unwrap();
+        let combo = deltas.iter().find(|d| d.family == "combo").unwrap();
+        assert_eq!(combo.current_ns, None);
+        assert!(combo.regressed(0.25));
+    }
+
+    #[test]
+    fn new_family_is_not_a_regression() {
+        let base = snapshot(&[("ring", 100)]);
+        let cur = snapshot(&[("ring", 100), ("teleport", 999_999)]);
+        let deltas = compare(&base, &cur).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert!(!deltas[0].regressed(0.25));
+    }
+
+    #[test]
+    fn committed_baseline_parses() {
+        let text = include_str!("../BENCH_strategies.json");
+        let fams = family_means(text).unwrap();
+        assert!(fams.iter().any(|f| f.family == "simple"));
+        assert!(fams.iter().any(|f| f.family == "combo"));
+        assert!(fams.iter().all(|f| f.mean_ns > 0.0));
+    }
+
+    #[test]
+    fn malformed_snapshots_error() {
+        assert!(family_means("{}").is_err());
+        assert!(family_means("{\"strategies\": []}").is_err());
+        assert!(family_means("{\"strategies\": [{\"strategy\": \"x\"}]}").is_err());
+        assert!(family_means("nope").is_err());
+    }
+}

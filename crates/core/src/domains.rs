@@ -20,7 +20,7 @@
 //!
 //! The worst-case guarantee against `k` domain failures is therefore
 //! exactly the paper's guarantee computed over domains; all adversaries
-//! in [`wcp_adversary`] work on the projected placement as-is.
+//! in `wcp-adversary` work on the projected placement as-is.
 
 use crate::{ComboStrategy, Placement, PlacementError, SystemParams};
 

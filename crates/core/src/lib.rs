@@ -57,6 +57,7 @@ pub mod profiles;
 mod random;
 mod simple;
 pub mod strategy;
+pub mod sweep;
 
 pub use adaptive::AdaptiveSnapshot;
 pub use baselines::{GroupStrategy, RingStrategy};
@@ -72,3 +73,7 @@ pub use profiles::{PackingProfile, UnitSpec};
 pub use random::{RandomStrategy, RandomVariant};
 pub use simple::SimpleStrategy;
 pub use strategy::{PlacementStrategy, PlannerContext, StrategyKind};
+pub use sweep::{
+    sweep_with, AdversarySpec, CellAttacker, DefaultCellAttacker, ParamGrid, SweepCell,
+    SweepOptions, SweepRecord, SweepSpec,
+};

@@ -158,6 +158,72 @@ impl StrategyKind {
         }
     }
 
+    /// Parses a compact spec string, the format sweep specs and CLI
+    /// flags use: `combo`, `ring`, `group`, `adaptive`, `simple:<x>`,
+    /// `random[:<seed>]` (load-balanced), `random-seq[:<seed>]`,
+    /// `random-unc[:<seed>]`. The default seed is `0x5eed`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::InvalidParams`] on unknown names or malformed
+    /// numeric suffixes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wcp_core::StrategyKind;
+    ///
+    /// assert_eq!(StrategyKind::parse_spec("combo")?, StrategyKind::Combo);
+    /// assert_eq!(
+    ///     StrategyKind::parse_spec("simple:1")?,
+    ///     StrategyKind::Simple { x: 1 }
+    /// );
+    /// assert!(StrategyKind::parse_spec("frobnicate").is_err());
+    /// # Ok::<(), wcp_core::PlacementError>(())
+    /// ```
+    pub fn parse_spec(spec: &str) -> Result<StrategyKind, PlacementError> {
+        let bad = |msg: String| PlacementError::InvalidParams(msg);
+        let (name, arg) = match spec.split_once(':') {
+            Some((name, arg)) => (name, Some(arg)),
+            None => (spec, None),
+        };
+        let seed = |arg: Option<&str>| -> Result<u64, PlacementError> {
+            arg.map_or(Ok(0x5eed), |a| {
+                a.parse()
+                    .map_err(|_| bad(format!("invalid seed '{a}' in strategy spec '{spec}'")))
+            })
+        };
+        match name {
+            "combo" => Ok(StrategyKind::Combo),
+            "ring" => Ok(StrategyKind::Ring),
+            "group" => Ok(StrategyKind::Group),
+            "adaptive" => Ok(StrategyKind::Adaptive),
+            "simple" => {
+                let arg = arg.ok_or_else(|| bad(format!("'{spec}' needs an x: simple:<x>")))?;
+                let x = arg
+                    .parse()
+                    .map_err(|_| bad(format!("invalid x '{arg}' in strategy spec '{spec}'")))?;
+                Ok(StrategyKind::Simple { x })
+            }
+            "random" => Ok(StrategyKind::Random {
+                seed: seed(arg)?,
+                variant: RandomVariant::LoadBalanced,
+            }),
+            "random-seq" => Ok(StrategyKind::Random {
+                seed: seed(arg)?,
+                variant: RandomVariant::SequentialUniform,
+            }),
+            "random-unc" => Ok(StrategyKind::Random {
+                seed: seed(arg)?,
+                variant: RandomVariant::Unconstrained,
+            }),
+            _ => Err(bad(format!(
+                "unknown strategy spec '{spec}' (expected combo, ring, group, adaptive, \
+                 simple:<x>, random[:<seed>], random-seq[:<seed>] or random-unc[:<seed>])"
+            ))),
+        }
+    }
+
     /// Plans this kind for `params`, returning the unified strategy
     /// object.
     ///
@@ -239,6 +305,45 @@ mod tests {
             .collect();
         let distinct: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(distinct.len(), names.len(), "{names:?}");
+    }
+
+    #[test]
+    fn spec_strings_round_trip() {
+        for (spec, kind) in [
+            ("combo", StrategyKind::Combo),
+            ("ring", StrategyKind::Ring),
+            ("group", StrategyKind::Group),
+            ("adaptive", StrategyKind::Adaptive),
+            ("simple:0", StrategyKind::Simple { x: 0 }),
+            ("simple:2", StrategyKind::Simple { x: 2 }),
+            (
+                "random:7",
+                StrategyKind::Random {
+                    seed: 7,
+                    variant: crate::RandomVariant::LoadBalanced,
+                },
+            ),
+            (
+                "random-seq",
+                StrategyKind::Random {
+                    seed: 0x5eed,
+                    variant: crate::RandomVariant::SequentialUniform,
+                },
+            ),
+            (
+                "random-unc:3",
+                StrategyKind::Random {
+                    seed: 3,
+                    variant: crate::RandomVariant::Unconstrained,
+                },
+            ),
+        ] {
+            assert_eq!(StrategyKind::parse_spec(spec).unwrap(), kind, "{spec}");
+        }
+        assert!(StrategyKind::parse_spec("simple").is_err());
+        assert!(StrategyKind::parse_spec("simple:x").is_err());
+        assert!(StrategyKind::parse_spec("random:notanumber").is_err());
+        assert!(StrategyKind::parse_spec("bogus").is_err());
     }
 
     #[test]

@@ -7,15 +7,50 @@
 //! concentrate it (bad when `b/⌊n/r⌋` exceeds the packing bound), and the
 //! Combo packing sits on the right side of both.
 //!
-//! Every strategy goes through the *same* `Engine` pipeline — the
-//! apples-to-apples comparison is exactly what the unified
-//! `PlacementStrategy` trait exists for.
+//! Every strategy goes through the *same* pipeline as explicit cells of
+//! one `SweepSpec` — the apples-to-apples comparison is exactly what the
+//! unified `PlacementStrategy` trait and the parallel sweep subsystem
+//! exist for.
 
-use wcp_adversary::AdversaryConfig;
-use wcp_core::{Engine, RandomVariant, StrategyKind, SystemParams};
+use wcp_adversary::SweepAdversary;
+use wcp_core::sweep::{sweep_with, AdversarySpec, SweepOptions, SweepSpec};
+use wcp_core::{RandomVariant, StrategyKind, SystemParams};
 use wcp_sim::{results_dir, seed_for, Csv, Table};
 
+const POINTS: &[(u16, u64, u16, u16, u16)] = &[
+    (31, 620, 5, 3, 4),
+    (31, 1240, 5, 3, 5),
+    (71, 1420, 3, 2, 4),
+    (71, 2840, 3, 3, 5),
+    (71, 710, 2, 2, 3),
+];
+
+fn kinds_for(b: u64) -> [StrategyKind; 4] {
+    [
+        StrategyKind::Combo,
+        StrategyKind::Random {
+            seed: seed_for("baselines", b),
+            variant: RandomVariant::LoadBalanced,
+        },
+        StrategyKind::Ring,
+        StrategyKind::Group,
+    ]
+}
+
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let points: &[(u16, u64, u16, u16, u16)] = if quick { &POINTS[..2] } else { POINTS };
+
+    let mut spec = SweepSpec::new("baselines");
+    for &(n, b, r, s, k) in points {
+        let params = SystemParams::new(n, b, r, s, k).expect("valid");
+        for kind in kinds_for(b) {
+            spec.explicit_cells
+                .push((params, kind, AdversarySpec::default()));
+        }
+    }
+    let records = sweep_with(&spec, &SweepOptions::default(), SweepAdversary::new);
+
     let mut table = Table::new(
         [
             "n",
@@ -49,27 +84,10 @@ fn main() {
         ],
     );
 
-    for (n, b, r, s, k) in [
-        (31u16, 620u64, 5u16, 3u16, 4u16),
-        (31, 1240, 5, 3, 5),
-        (71, 1420, 3, 2, 4),
-        (71, 2840, 3, 3, 5),
-        (71, 710, 2, 2, 3),
-    ] {
-        let params = SystemParams::new(n, b, r, s, k).expect("valid");
-        let engine = Engine::with_attacker(params, AdversaryConfig::default());
-        let kinds = [
-            StrategyKind::Combo,
-            StrategyKind::Random {
-                seed: seed_for("baselines", b),
-                variant: RandomVariant::LoadBalanced,
-            },
-            StrategyKind::Ring,
-            StrategyKind::Group,
-        ];
-        let reports: Vec<_> = kinds
+    for (&(n, b, r, s, k), row_records) in points.iter().zip(records.chunks(4)) {
+        let reports: Vec<_> = row_records
             .iter()
-            .map(|kind| engine.evaluate(kind).expect("evaluates"))
+            .map(|record| record.outcome.as_ref().expect("evaluates"))
             .collect();
         let combo_bound = reports[0].lower_bound;
         let mut row = vec![

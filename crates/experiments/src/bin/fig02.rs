@@ -8,15 +8,42 @@
 //! `exact` column records which. A heuristic adversary can only
 //! *overestimate* `Avail`, so heuristic gaps are upper bounds.
 //!
-//! Every `(b, s, k)` point runs through the unified `Engine` pipeline
-//! with the exact-with-fallback adversary plugged in as its attacker;
-//! the strategy column carries the planned `λ`.
+//! The whole figure is one `SweepSpec`: the `(b, s, k)` grid fans out
+//! across all cores through the parallel sweep subsystem (invalid
+//! combinations such as `k < s` drop out during cell enumeration), each
+//! cell running the unified plan → build → attack pipeline with the
+//! exact-with-fallback adversary ladder.
 
-use wcp_adversary::AdversaryConfig;
-use wcp_core::{Engine, PlannerContext, StrategyKind, SystemParams};
-use wcp_sim::{results_dir, Csv, Table};
+use wcp_adversary::SweepAdversary;
+use wcp_core::sweep::{sweep_with, AdversarySpec, SweepOptions, SweepSpec};
+use wcp_core::StrategyKind;
+use wcp_sim::{csv_safe, results_dir, Csv, Table};
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let b_values: &[u64] = if quick {
+        &[600, 2400]
+    } else {
+        &[600, 1200, 2400, 4800, 9600]
+    };
+
+    let mut spec = SweepSpec::new("fig02");
+    spec.grid.n = vec![71];
+    spec.grid.b = b_values.to_vec();
+    spec.grid.r = vec![3];
+    spec.grid.s = vec![2, 3];
+    spec.grid.k = vec![2, 3, 4, 5];
+    spec.strategies = vec![StrategyKind::Simple { x: 1 }];
+    spec.adversaries = vec![AdversarySpec::Auto {
+        // ~exact through k = 4; k = 5 usually completes thanks to the
+        // incumbent-seeded bound, else LS takes over.
+        exact_budget: 3_000_000,
+        restarts: 4,
+        max_steps: 200,
+    }];
+
+    let records = sweep_with(&spec, &SweepOptions::default(), SweepAdversary::new);
+
     let mut table = Table::new(
         [
             "b", "s", "k", "strategy", "Avail", "lbAvail", "gap", "exact",
@@ -31,46 +58,24 @@ fn main() {
             "b", "s", "k", "strategy", "avail", "lb_avail", "gap", "exact",
         ],
     );
-
-    let kind = StrategyKind::Simple { x: 1 };
-    let ctx = PlannerContext::default();
-    for b in [600u64, 1200, 2400, 4800, 9600] {
-        // The plan depends only on b (x = 1, minimal λ); the s/k sweep
-        // re-evaluates the same planned strategy.
-        let params_any_s = SystemParams::new(71, b, 3, 2, 2).expect("valid");
-        let strategy = kind
-            .plan(&params_any_s, &ctx)
-            .expect("STS(69) slot is constructible");
-        for s in [2u16, 3] {
-            for k in s.max(2)..=5 {
-                if k < s {
-                    continue;
-                }
-                let params = SystemParams::new(71, b, 3, s, k).expect("valid");
-                let adversary = AdversaryConfig {
-                    // ~exact through k = 4; k = 5 usually completes thanks
-                    // to the incumbent-seeded bound, else LS takes over.
-                    exact_budget: 3_000_000,
-                    ..AdversaryConfig::default()
-                };
-                let report = Engine::with_attacker(params, adversary)
-                    .evaluate_strategy(strategy.as_ref())
-                    .expect("capacity planned for b");
-                let gap = report.measured_availability as i64 - report.lower_bound;
-                let row = [
-                    b.to_string(),
-                    s.to_string(),
-                    k.to_string(),
-                    report.strategy.clone(),
-                    report.measured_availability.to_string(),
-                    report.lower_bound.to_string(),
-                    gap.to_string(),
-                    report.exact.to_string(),
-                ];
-                table.row(row.to_vec());
-                csv.row(&row);
-            }
-        }
+    for record in &records {
+        let report = record
+            .outcome
+            .as_ref()
+            .expect("STS(69) slot is constructible with capacity for b");
+        let gap = report.measured_availability as i64 - report.lower_bound;
+        let row = [
+            record.cell.params.b().to_string(),
+            record.cell.params.s().to_string(),
+            record.cell.params.k().to_string(),
+            csv_safe(&report.strategy),
+            report.measured_availability.to_string(),
+            report.lower_bound.to_string(),
+            gap.to_string(),
+            report.exact.to_string(),
+        ];
+        table.row(row.to_vec());
+        csv.row(&row);
     }
     println!("{}", table.render());
     csv.write().expect("write CSV");

@@ -13,42 +13,64 @@
 //! already below ~5% at b = 150. See EXPERIMENTS.md for the comparison
 //! against the paper's (larger) small-b errors.
 //!
-//! Each draw runs through the unified `Engine` pipeline
-//! (`StrategyKind::Random`) with a per-draw adversary budget.
+//! Every draw is one explicit cell of a single `SweepSpec` — the whole
+//! figure (hundreds of adversary runs) fans out across all cores
+//! through the parallel sweep subsystem, then aggregates per-point
+//! summaries from the records in canonical cell order.
 
-use wcp_adversary::AdversaryConfig;
+use wcp_adversary::SweepAdversary;
 use wcp_analysis::theorem2::VulnTable;
-use wcp_core::{Engine, RandomVariant, StrategyKind, SystemParams};
+use wcp_core::sweep::{sweep_with, AdversarySpec, SweepOptions, SweepRecord, SweepSpec};
+use wcp_core::{RandomVariant, StrategyKind, SystemParams};
 use wcp_sim::{results_dir, seed_for, Csv, Summary, Table};
 
 const SIMS: u64 = 20;
 
-fn measure(params: &SystemParams, variant: RandomVariant, sims: u64, tag: &str) -> (Summary, u32) {
+const PANELS: &[(u16, u16, u16, &[u16])] = &[(31, 5, 3, &[3, 4, 5]), (71, 5, 2, &[2, 3, 4, 5])];
+
+/// Appends the `sims` draws of one `(params, variant)` point as
+/// explicit sweep cells (stable per-draw placement seeds, adversary
+/// budget matched to the search-space size exactly as before).
+fn push_draws(
+    spec: &mut SweepSpec,
+    params: &SystemParams,
+    variant: RandomVariant,
+    sims: u64,
+    tag: &str,
+) {
     let (n, b, k) = (params.n(), params.b(), params.k());
-    let mut avails = Vec::new();
-    let mut exact_runs = 0u32;
+    // Exact search pays off only when C(n, k) is within reach; otherwise
+    // give the prune a brief chance and move to local search rather than
+    // burn the full budget per placement.
+    let space = wcp_combin::binomial(u64::from(n), u64::from(k)).unwrap_or(u128::MAX);
+    let adversary = AdversarySpec::Auto {
+        exact_budget: if space <= 4_000_000 {
+            6_000_000
+        } else {
+            100_000
+        },
+        restarts: 3,
+        max_steps: 80,
+    };
     for i in 0..sims {
         let seed = seed_for(
             tag,
             u64::from(n) * 1_000_000 + u64::from(k) * 10_000 + b + i,
         );
-        // Exact search pays off only when C(n, k) is within reach;
-        // otherwise give the prune a brief chance and move to local
-        // search rather than burn the full budget per placement.
-        let space = wcp_combin::binomial(u64::from(n), u64::from(k)).unwrap_or(u128::MAX);
-        let adversary = AdversaryConfig {
-            exact_budget: if space <= 4_000_000 {
-                6_000_000
-            } else {
-                100_000
-            },
-            restarts: 3,
-            max_steps: 80,
-            seed,
-        };
-        let report = Engine::with_attacker(*params, adversary)
-            .evaluate(&StrategyKind::Random { seed, variant })
-            .expect("sampling succeeds");
+        spec.explicit_cells.push((
+            *params,
+            StrategyKind::Random { seed, variant },
+            adversary.clone(),
+        ));
+    }
+}
+
+/// Summarizes one point's draws from its consecutive record chunk.
+fn summarize(records: &[SweepRecord]) -> (Summary, u32) {
+    let mut avails = Vec::with_capacity(records.len());
+    let mut exact_runs = 0u32;
+    for record in records {
+        let report = record.outcome.as_ref().expect("sampling succeeds");
         if report.exact {
             exact_runs += 1;
         }
@@ -65,6 +87,32 @@ fn main() {
     } else {
         &[150, 300, 600, 1200, 2400, 4800, 9600]
     };
+
+    // One spec holds every draw of every panel; cells are enumerated in
+    // the same nesting order the aggregation below walks.
+    let mut spec = SweepSpec::new("fig07");
+    for &(n, r, s, ks) in PANELS {
+        for &k in ks {
+            for &b in b_values {
+                let params = SystemParams::new(n, b, r, s, k).expect("valid");
+                push_draws(
+                    &mut spec,
+                    &params,
+                    RandomVariant::LoadBalanced,
+                    sims,
+                    "fig07w",
+                );
+                push_draws(
+                    &mut spec,
+                    &params,
+                    RandomVariant::SequentialUniform,
+                    sims,
+                    "fig07s",
+                );
+            }
+        }
+    }
+    let records = sweep_with(&spec, &SweepOptions::default(), SweepAdversary::new);
 
     let vuln = VulnTable::new(9600);
     let mut table = Table::new(
@@ -104,14 +152,12 @@ fn main() {
         ],
     );
 
-    let panels: &[(u16, u16, u16, &[u16])] = &[(31, 5, 3, &[3, 4, 5]), (71, 5, 2, &[2, 3, 4, 5])];
-    for &(n, r, s, ks) in panels {
+    let mut chunks = records.chunks(sims as usize);
+    for &(n, r, s, ks) in PANELS {
         for &k in ks {
             for &b in b_values {
-                let params = SystemParams::new(n, b, r, s, k).expect("valid");
-                let (w, w_exact) = measure(&params, RandomVariant::LoadBalanced, sims, "fig07w");
-                let (q, q_exact) =
-                    measure(&params, RandomVariant::SequentialUniform, sims, "fig07s");
+                let (w, w_exact) = summarize(chunks.next().expect("weighted chunk"));
+                let (q, q_exact) = summarize(chunks.next().expect("sequential chunk"));
                 let pr = vuln.pr_avail(n, k, r, s, b);
                 let err_w = 100.0 * (pr as f64 - w.mean) / w.mean.max(1.0);
                 let err_q = 100.0 * (pr as f64 - q.mean) / q.mean.max(1.0);
@@ -144,6 +190,7 @@ fn main() {
             }
         }
     }
+    assert!(chunks.next().is_none(), "every record chunk consumed");
     println!("{}", table.render());
     csv.write().expect("write CSV");
     println!("wrote {}", csv.path().display());

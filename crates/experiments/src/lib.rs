@@ -7,6 +7,8 @@
 //! `lbAvail_co − prAvail^rnd` as a percentage of the maximum possible
 //! improvement `b − prAvail^rnd`, with win/tie/loss classification.
 
+pub mod spec;
+
 use wcp_analysis::theorem2::VulnTable;
 use wcp_core::{combo_plan, lb_avail_co, PackingProfile, SystemParams};
 

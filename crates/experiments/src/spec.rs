@@ -1,0 +1,195 @@
+//! Sweep-spec files: the JSON surface of the `sweep` binary.
+//!
+//! A spec file is one JSON object whose fields mirror
+//! [`wcp_core::SweepSpec`]: value lists for the parameter grid, compact
+//! strategy spec strings (see [`StrategyKind::parse_spec`]) and
+//! adversary objects. Everything is optional except that the resulting
+//! sweep must name at least one strategy:
+//!
+//! ```json
+//! {
+//!   "label": "scale-study",
+//!   "n": [31, 71], "b": [600, 1200], "r": [3], "s": [2], "k": [3, 4],
+//!   "strategies": ["combo", "ring", "simple:1", "random:7"],
+//!   "adversaries": [{"kind": "auto", "exact_budget": 1000000}]
+//! }
+//! ```
+
+use wcp_core::sweep::{AdversarySpec, SweepSpec};
+use wcp_core::StrategyKind;
+use wcp_sim::json::Value;
+
+/// Parses a sweep spec document.
+///
+/// # Errors
+///
+/// A human-readable message on JSON syntax errors, unknown strategy or
+/// adversary specs, or out-of-range numbers.
+pub fn parse_sweep_spec(text: &str) -> Result<SweepSpec, String> {
+    let doc = Value::parse(text).map_err(|e| e.to_string())?;
+    if doc.get("label").is_none() && doc.as_array().is_some() {
+        return Err("spec must be a JSON object, not an array".into());
+    }
+    let label = doc.get("label").map_or(Ok("sweep".to_string()), |v| {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| "\"label\" must be a string".to_string())
+    })?;
+    let mut spec = SweepSpec::new(label);
+    spec.grid.n = num_list(&doc, "n")?;
+    spec.grid.b = num_list(&doc, "b")?;
+    spec.grid.r = num_list(&doc, "r")?;
+    spec.grid.s = num_list(&doc, "s")?;
+    spec.grid.k = num_list(&doc, "k")?;
+    if let Some(v) = doc.get("strategies") {
+        let items = v
+            .as_array()
+            .ok_or_else(|| "\"strategies\" must be an array of spec strings".to_string())?;
+        spec.strategies = items
+            .iter()
+            .map(|item| {
+                let s = item
+                    .as_str()
+                    .ok_or_else(|| "strategy specs must be strings".to_string())?;
+                StrategyKind::parse_spec(s).map_err(|e| e.to_string())
+            })
+            .collect::<Result<_, String>>()?;
+    }
+    if let Some(v) = doc.get("adversaries") {
+        let items = v
+            .as_array()
+            .ok_or_else(|| "\"adversaries\" must be an array of objects".to_string())?;
+        spec.adversaries = items
+            .iter()
+            .map(parse_adversary)
+            .collect::<Result<_, String>>()?;
+    }
+    Ok(spec)
+}
+
+/// Parses one adversary object: `{"kind": "exhaustive", "budget": N}` or
+/// `{"kind": "auto", "exact_budget": N, "restarts": N, "max_steps": N}`
+/// (auto fields defaulting from [`AdversarySpec::default`]).
+fn parse_adversary(v: &Value) -> Result<AdversarySpec, String> {
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "adversary objects need a string \"kind\"".to_string())?;
+    let field = |name: &str, default: u64| -> Result<u64, String> {
+        v.get(name).map_or(Ok(default), |x| {
+            x.as_u64()
+                .ok_or_else(|| format!("adversary field \"{name}\" must be a non-negative integer"))
+        })
+    };
+    match kind {
+        "exhaustive" => Ok(AdversarySpec::Exhaustive {
+            budget: field("budget", 2_000_000)?,
+        }),
+        "auto" => {
+            let AdversarySpec::Auto {
+                exact_budget,
+                restarts,
+                max_steps,
+            } = AdversarySpec::default()
+            else {
+                unreachable!("default is Auto");
+            };
+            Ok(AdversarySpec::Auto {
+                exact_budget: field("exact_budget", exact_budget)?,
+                restarts: u32::try_from(field("restarts", u64::from(restarts))?)
+                    .map_err(|_| "\"restarts\" out of range".to_string())?,
+                max_steps: u32::try_from(field("max_steps", u64::from(max_steps))?)
+                    .map_err(|_| "\"max_steps\" out of range".to_string())?,
+            })
+        }
+        other => Err(format!(
+            "unknown adversary kind '{other}' (expected \"exhaustive\" or \"auto\")"
+        )),
+    }
+}
+
+/// Reads a `"name": [numbers]` list, converting to the target integer
+/// type.
+fn num_list<T: TryFrom<u64>>(doc: &Value, name: &str) -> Result<Vec<T>, String> {
+    let Some(v) = doc.get(name) else {
+        return Ok(Vec::new());
+    };
+    let items = v
+        .as_array()
+        .ok_or_else(|| format!("\"{name}\" must be an array of numbers"))?;
+    items
+        .iter()
+        .map(|item| {
+            let raw = item
+                .as_u64()
+                .ok_or_else(|| format!("\"{name}\" entries must be non-negative integers"))?;
+            T::try_from(raw).map_err(|_| format!("\"{name}\" entry {raw} is out of range"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcp_core::RandomVariant;
+
+    #[test]
+    fn full_spec_parses() {
+        let spec = parse_sweep_spec(
+            r#"{
+                "label": "study",
+                "n": [13, 31], "b": [26], "r": [3], "s": [2], "k": [3, 4],
+                "strategies": ["combo", "simple:1", "random:9"],
+                "adversaries": [
+                    {"kind": "exhaustive", "budget": 1000},
+                    {"kind": "auto", "exact_budget": 500, "restarts": 2}
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.label, "study");
+        assert_eq!(spec.grid.n, vec![13, 31]);
+        assert_eq!(spec.grid.k, vec![3, 4]);
+        assert_eq!(spec.strategies.len(), 3);
+        assert_eq!(
+            spec.strategies[2],
+            StrategyKind::Random {
+                seed: 9,
+                variant: RandomVariant::LoadBalanced
+            }
+        );
+        assert_eq!(
+            spec.adversaries[0],
+            AdversarySpec::Exhaustive { budget: 1000 }
+        );
+        assert_eq!(
+            spec.adversaries[1],
+            AdversarySpec::Auto {
+                exact_budget: 500,
+                restarts: 2,
+                max_steps: 200
+            }
+        );
+        // 2 n-values × 1 b × 1 r × 1 s × 2 k × 3 strategies × 2 adversaries.
+        assert_eq!(spec.cells().len(), 24);
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let spec = parse_sweep_spec(r#"{"strategies": ["ring"]}"#).unwrap();
+        assert_eq!(spec.label, "sweep");
+        assert!(spec.grid.n.is_empty());
+        assert_eq!(spec.adversaries, vec![AdversarySpec::default()]);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(parse_sweep_spec("not json").is_err());
+        assert!(parse_sweep_spec(r#"{"n": "13"}"#).is_err());
+        assert!(parse_sweep_spec(r#"{"n": [-1]}"#).is_err());
+        assert!(parse_sweep_spec(r#"{"n": [99999999]}"#).is_err());
+        assert!(parse_sweep_spec(r#"{"strategies": ["warp-drive"]}"#).is_err());
+        assert!(parse_sweep_spec(r#"{"adversaries": [{"kind": "psychic"}]}"#).is_err());
+        assert!(parse_sweep_spec(r#"{"adversaries": [{"budget": 5}]}"#).is_err());
+    }
+}

@@ -2,9 +2,13 @@
 //!
 //! Nothing here is specific to replica placement: [`Summary`] aggregates
 //! repeated measurements, [`Table`] renders the paper-style grids as
-//! aligned text, [`Csv`] persists raw series for external plotting, and
-//! [`seed_for`] derives stable per-run RNG seeds so every experiment is
-//! reproducible run-to-run.
+//! aligned text, [`Csv`] and [`JsonLines`] persist raw series for
+//! external plotting, [`json`] parses the hand-rolled JSON the tooling
+//! exchanges (sweep specs, benchmark snapshots), and [`seed_for`]
+//! derives stable per-run RNG seeds so every experiment is reproducible
+//! run-to-run.
+
+pub mod json;
 
 use std::fmt::Write as _;
 use std::fs;
@@ -178,8 +182,22 @@ impl Table {
     }
 }
 
+/// Folds commas out of a CSV cell (the [`Csv`] writer does not quote),
+/// e.g. strategy names like `simple(x=1, λ=10)`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(wcp_sim::csv_safe("simple(x=1, λ=10)"), "simple(x=1; λ=10)");
+/// assert_eq!(wcp_sim::csv_safe("ring"), "ring");
+/// ```
+#[must_use]
+pub fn csv_safe(cell: &str) -> String {
+    cell.replace(',', ";")
+}
+
 /// Line-oriented CSV writer (no quoting — writers must keep commas out of
-/// cells, which all experiment output does).
+/// cells; [`csv_safe`] folds them from free-form labels).
 #[derive(Debug)]
 pub struct Csv {
     path: PathBuf,
@@ -200,6 +218,80 @@ impl Csv {
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
         self.lines.push(cells.join(","));
         self
+    }
+
+    /// Writes the file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from create/write.
+    pub fn write(&self) -> std::io::Result<()> {
+        if let Some(parent) = self.path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = fs::File::create(&self.path)?;
+        for line in &self.lines {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// The output path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Line-oriented JSON writer: one JSON object per line (the `jsonl`
+/// convention), so sweep results stream to disk without an in-memory
+/// document model.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_sim::JsonLines;
+///
+/// let dir = std::env::temp_dir().join("wcp-sim-doc-jsonl");
+/// let mut out = JsonLines::new(dir.join("cells.jsonl"));
+/// out.record("{\"cell\": 0}");
+/// assert_eq!(out.len(), 1);
+/// out.write()?;
+/// # std::fs::remove_dir_all(dir).ok();
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct JsonLines {
+    path: PathBuf,
+    lines: Vec<String>,
+}
+
+impl JsonLines {
+    /// Starts an empty JSON-lines file at `path`.
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Appends one pre-serialized JSON object.
+    pub fn record(&mut self, json: impl Into<String>) -> &mut Self {
+        self.lines.push(json.into());
+        self
+    }
+
+    /// Number of records buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when no record has been appended yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
     }
 
     /// Writes the file, creating parent directories.
