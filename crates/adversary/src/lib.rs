@@ -119,6 +119,70 @@ impl wcp_core::engine::Attacker for AdversaryConfig {
     }
 }
 
+/// An [`wcp_core::engine::Attacker`] that owns its scratch: the full
+/// [`worst_case_failures`] ladder with one [`AdversaryScratch`] reused
+/// across every attack.
+///
+/// This is the attacker to hand `wcp_core::dynamic::DynamicEngine`,
+/// which re-attacks after every membership event — across a long churn
+/// trace the failure-accounting buffers are allocated once instead of
+/// per event. Single-threaded by design (the scratch lives in a
+/// [`RefCell`](std::cell::RefCell)); parallel sweeps use the per-worker
+/// [`SweepAdversary`] instead.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_adversary::ScratchAdversary;
+/// use wcp_core::dynamic::{ClusterEvent, DynamicConfig, DynamicEngine};
+/// use wcp_core::{StrategyKind, SystemParams};
+///
+/// let params = SystemParams::new(13, 26, 3, 2, 3)?;
+/// let mut engine = DynamicEngine::with_attacker(
+///     params,
+///     StrategyKind::Ring,
+///     16,
+///     DynamicConfig::default(),
+///     ScratchAdversary::default(),
+/// )?;
+/// let step = engine.apply(ClusterEvent::Fail { node: 2 })?;
+/// assert!(step.exact && step.oracle_exact);
+/// # Ok::<(), wcp_core::dynamic::DynamicError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ScratchAdversary {
+    config: AdversaryConfig,
+    scratch: std::cell::RefCell<AdversaryScratch>,
+}
+
+impl ScratchAdversary {
+    /// A scratch-reusing attacker with the given ladder tuning.
+    #[must_use]
+    pub fn new(config: AdversaryConfig) -> Self {
+        Self {
+            config,
+            scratch: std::cell::RefCell::new(AdversaryScratch::new()),
+        }
+    }
+}
+
+impl wcp_core::engine::Attacker for ScratchAdversary {
+    fn attack(&self, placement: &Placement, s: u16, k: u16) -> wcp_core::engine::AttackOutcome {
+        let wc = worst_case_failures_with(
+            placement,
+            s,
+            k,
+            &self.config,
+            &mut self.scratch.borrow_mut(),
+        );
+        wcp_core::engine::AttackOutcome {
+            failed: wc.failed,
+            nodes: wc.nodes,
+            exact: wc.exact,
+        }
+    }
+}
+
 /// The outcome of an adversary run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorstCase {

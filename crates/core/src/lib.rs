@@ -48,6 +48,7 @@ pub mod baselines;
 mod bounds;
 mod combo;
 pub mod domains;
+pub mod dynamic;
 pub mod engine;
 mod error;
 pub mod io;
@@ -63,6 +64,10 @@ pub use adaptive::AdaptiveSnapshot;
 pub use baselines::{GroupStrategy, RingStrategy};
 pub use bounds::{lb_avail_co, lb_avail_si, simple_capacity};
 pub use combo::{combo_plan, ComboPlan, ComboStrategy};
+pub use dynamic::{
+    movement_between, ClusterEvent, DynamicConfig, DynamicEngine, DynamicError, MovementReport,
+    RepairAction, StepReport,
+};
 pub use engine::{
     AttackOutcome, Attacker, Engine, EvaluationReport, ExhaustiveAttacker, LoadStats, Timings,
 };

@@ -1,18 +1,36 @@
-//! Runs every figure reproduction in sequence (`fig02` … `fig11`).
+//! Runs every experiment binary in sequence (`fig02` … `fig11`, the
+//! baselines/optimality studies, and the `churn` dynamic-membership
+//! sweep).
 //!
 //! Pass `--quick` to forward the fast mode to the simulation-heavy
-//! figures (Fig. 2 and Fig. 7 are the only ones that run adversaries;
-//! everything else is closed-form arithmetic and fast regardless).
+//! binaries (Fig. 2, Fig. 7 and `churn` are the ones that run
+//! adversaries; everything else is closed-form arithmetic and fast
+//! regardless).
+//!
+//! A binary that fails to launch or exits non-zero stops the run and is
+//! reported with context on stderr; the process exits non-zero so CI
+//! and shell pipelines see the failure.
 
-use std::process::Command;
+use std::process::{Command, ExitCode};
 
-fn main() {
+fn main() -> ExitCode {
     let quick = std::env::args().any(|a| a == "--quick");
-    let exe_dir = std::env::current_exe()
-        .expect("own path")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
+    let exe_dir = match std::env::current_exe() {
+        Ok(path) => match path.parent() {
+            Some(dir) => dir.to_path_buf(),
+            None => {
+                eprintln!(
+                    "all: cannot determine binary directory from {}",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("all: cannot determine own path: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let figures = [
         "fig02",
         "fig03",
@@ -27,6 +45,7 @@ fn main() {
         "appendix_s1",
         "optimality",
         "baselines",
+        "churn",
     ];
     for fig in figures {
         println!("\n================ {fig} ================\n");
@@ -46,13 +65,21 @@ fn main() {
         if quick {
             cmd.arg("--quick");
         }
-        let status = cmd
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
-        assert!(status.success(), "{fig} exited with {status}");
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("all: {fig} exited with {status}; aborting the remaining figures");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("all: failed to launch {fig}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     println!(
         "\nAll figures regenerated; CSVs in {}",
         wcp_sim::results_dir().display()
     );
+    ExitCode::SUCCESS
 }

@@ -1,13 +1,21 @@
-//! A minimal JSON reader for the formats this workspace itself emits.
+//! A minimal JSON reader/writer for the formats this workspace emits.
 //!
 //! The build environment cannot fetch serde, and the tooling only needs
-//! to read back its own hand-rolled output (sweep spec files, the
-//! `BENCH_*.json` snapshots), so this is a small recursive-descent
-//! parser into a dynamic [`Value`]. Numbers are stored as `f64`; that is
+//! to read back its own hand-rolled output (sweep spec files, churn
+//! traces, the `BENCH_*.json` snapshots), so this is a small
+//! recursive-descent parser into a dynamic [`Value`], plus the matching
+//! serializer [`Value::to_json`]. Numbers are stored as `f64`; that is
 //! exact for every magnitude the tooling writes (counts, nanoseconds,
-//! bounds — all well below 2^53).
+//! bounds — all well below 2^53). Nesting is bounded by [`MAX_DEPTH`] so
+//! adversarial inputs (`[[[[…`) fail with a [`ParseError`] instead of
+//! exhausting the stack.
 
 use std::fmt;
+
+/// Maximum container nesting the parser accepts. Everything the
+/// workspace writes is < 10 levels deep; the cap exists so malformed or
+/// hostile input errors out instead of overflowing the stack.
+pub const MAX_DEPTH: usize = 512;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +44,7 @@ impl Value {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -98,6 +107,94 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Renders the value as compact JSON that [`Value::parse`] reads back
+    /// to an equal value.
+    ///
+    /// Integral numbers within `±2^53` print without a fractional part;
+    /// other finite numbers use Rust's shortest round-trip `f64`
+    /// rendering. Non-finite numbers (which no parser output can contain)
+    /// degrade to `null`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wcp_sim::json::Value;
+    ///
+    /// let v = Value::parse(r#"{"a": [1, 2.5, "x\ny"], "b": null}"#)?;
+    /// assert_eq!(v.to_json(), "{\"a\": [1, 2.5, \"x\\ny\"], \"b\": null}");
+    /// assert_eq!(Value::parse(&v.to_json())?, v);
+    /// # Ok::<(), wcp_sim::json::ParseError>(())
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(x) => write_number(f, *x),
+            Value::Str(s) => write_string(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(members) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write_string(f, key)?;
+                    write!(f, ": {value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Writes a number so that parsing it back yields the same `f64`:
+/// integral magnitudes below 2^53 as integers, everything else through
+/// Rust's shortest round-trip rendering.
+fn write_number(f: &mut fmt::Formatter<'_>, x: f64) -> fmt::Result {
+    if !x.is_finite() {
+        // Unreachable through parse(); kept total for hand-built values.
+        return f.write_str("null");
+    }
+    if x == x.trunc() && x.abs() < 9_007_199_254_740_992.0 {
+        return write!(f, "{}", x as i64);
+    }
+    write!(f, "{x}")
+}
+
+/// Writes a quoted, escaped JSON string.
+fn write_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for ch in s.chars() {
+        match ch {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\t' => f.write_str("\\t")?,
+            '\r' => f.write_str("\\r")?,
+            '\u{8}' => f.write_str("\\b")?,
+            '\u{c}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_fmt(format_args!("{c}"))?,
+        }
+    }
+    f.write_str("\"")
 }
 
 /// A parse failure with its byte offset.
@@ -124,6 +221,7 @@ impl std::error::Error for ParseError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -175,12 +273,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Value, ParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(members));
         }
         loop {
@@ -195,6 +303,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(members));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -204,10 +313,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Value, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -218,6 +329,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -351,6 +463,52 @@ mod tests {
     #[test]
     fn unicode_escapes_decode() {
         assert_eq!(Value::parse("\"\\u03bb\"").unwrap(), Value::Str("λ".into()));
+    }
+
+    #[test]
+    fn serializer_round_trips() {
+        for text in [
+            "null",
+            "true",
+            "-12.5",
+            "42",
+            "\"a\\nb\\\"c\\\\d\"",
+            "[1, [2, {\"x\": null}], \"λ\"]",
+            "{\"a\": 1, \"a\": 2}",
+        ] {
+            let v = Value::parse(text).unwrap();
+            assert_eq!(Value::parse(&v.to_json()).unwrap(), v, "{text}");
+            // Canonical output is a fixed point of serialize ∘ parse.
+            let canon = v.to_json();
+            assert_eq!(Value::parse(&canon).unwrap().to_json(), canon);
+        }
+    }
+
+    #[test]
+    fn serializer_escapes_control_characters() {
+        let v = Value::Str("\u{1}\u{8}\u{c}".into());
+        assert_eq!(v.to_json(), "\"\\u0001\\b\\f\"");
+        assert_eq!(Value::parse(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn serializer_keeps_large_integers_exact() {
+        let v = Value::Num(9_007_199_254_740_991.0); // 2^53 − 1
+        assert_eq!(v.to_json(), "9007199254740991");
+        let v = Value::Num(9_007_199_254_740_992.0); // 2^53: float path
+        assert_eq!(Value::parse(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let deep = "[".repeat(100_000);
+        let err = Value::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Exactly at the cap still parses.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Value::parse(&ok).is_ok());
+        let over = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(Value::parse(&over).is_err());
     }
 
     #[test]

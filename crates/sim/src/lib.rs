@@ -3,11 +3,13 @@
 //! Nothing here is specific to replica placement: [`Summary`] aggregates
 //! repeated measurements, [`Table`] renders the paper-style grids as
 //! aligned text, [`Csv`] and [`JsonLines`] persist raw series for
-//! external plotting, [`json`] parses the hand-rolled JSON the tooling
-//! exchanges (sweep specs, benchmark snapshots), and [`seed_for`]
-//! derives stable per-run RNG seeds so every experiment is reproducible
-//! run-to-run.
+//! external plotting, [`json`] parses and writes the hand-rolled JSON
+//! the tooling exchanges (sweep specs, churn traces, benchmark
+//! snapshots), [`churn`] generates seeded cluster-membership event
+//! traces for the dynamic experiments, and [`seed_for`] derives stable
+//! per-run RNG seeds so every experiment is reproducible run-to-run.
 
+pub mod churn;
 pub mod json;
 
 use std::fmt::Write as _;

@@ -1,0 +1,155 @@
+//! Proptest fuzz coverage for the hand-rolled JSON layer.
+//!
+//! Two directions: (1) *round-trip* — any generated [`Value`]
+//! serializes to text that parses back to an equal value, and the
+//! serialized form is a fixed point of parse ∘ serialize; (2)
+//! *robustness* — arbitrary and mutated inputs may fail to parse but
+//! must never panic (the parser is the trust boundary for every spec,
+//! trace and snapshot file the tooling reads back).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wcp_sim::json::Value;
+
+/// Characters exercising every escape path of the writer and reader.
+const STRING_POOL: &[char] = &[
+    'a', 'Z', '0', ' ', 'λ', '∞', '"', '\\', '/', '\n', '\t', '\r', '\u{8}', '\u{c}', '\u{1}',
+    '\u{7f}', '貓',
+];
+
+fn arb_string(rng: &mut StdRng) -> String {
+    (0..rng.gen_range(0usize..8))
+        .map(|_| STRING_POOL[rng.gen_range(0..STRING_POOL.len())])
+        .collect()
+}
+
+fn arb_number(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0u32..5) {
+        0 => rng.gen_range(-1000i64..1000) as f64,
+        // Integral magnitudes near the 2^53 exactness boundary.
+        1 => (rng.gen_range(0u64..9_007_199_254_740_992) / 3) as f64,
+        2 => -((rng.gen_range(0u64..9_007_199_254_740_992) / 7) as f64),
+        3 => rng.gen_range(-1e9..1e9),
+        _ => rng.gen_range(-1.0..1.0) / 1e6,
+    }
+}
+
+/// A random [`Value`] tree, container arity and depth bounded.
+fn arb_value(rng: &mut StdRng, depth: usize) -> Value {
+    let top = if depth == 0 { 4 } else { 6 };
+    match rng.gen_range(0u32..top) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Num(arb_number(rng)),
+        3 => Value::Str(arb_string(rng)),
+        4 => Value::Array(
+            (0..rng.gen_range(0usize..5))
+                .map(|_| arb_value(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Value::Object(
+            (0..rng.gen_range(0usize..5))
+                .map(|_| (arb_string(rng), arb_value(rng, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// serialize → parse is the identity, and the canonical form is a
+    /// fixed point of parse → serialize.
+    #[test]
+    fn value_round_trips(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = arb_value(&mut rng, 4);
+        let text = value.to_json();
+        let parsed = Value::parse(&text)
+            .unwrap_or_else(|e| panic!("own output rejected: {e}\n{text}"));
+        prop_assert_eq!(&parsed, &value);
+        prop_assert_eq!(parsed.to_json(), text);
+    }
+
+    /// Truncating a valid document anywhere never panics the parser
+    /// (and, except at full length, never yields a sneaky success of the
+    /// same value with trailing garbage).
+    #[test]
+    fn truncated_documents_error_without_panicking(
+        seed in any::<u64>(),
+        cut in 0.0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let text = arb_value(&mut rng, 3).to_json();
+        let boundary = (text.len() as f64 * cut) as usize;
+        let boundary = (0..=boundary).rev().find(|&i| text.is_char_boundary(i)).unwrap_or(0);
+        let _ = Value::parse(&text[..boundary]); // must return, not panic
+    }
+
+    /// Flipping one character of a valid document to arbitrary ASCII
+    /// never panics the parser.
+    #[test]
+    fn mutated_documents_never_panic(
+        seed in any::<u64>(),
+        pos in 0.0f64..1.0,
+        replacement in 0u8..127,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let text = arb_value(&mut rng, 3).to_json();
+        let mut chars: Vec<char> = text.chars().collect();
+        if !chars.is_empty() {
+            let i = ((chars.len() - 1) as f64 * pos) as usize;
+            chars[i] = char::from(replacement);
+        }
+        let mutated: String = chars.into_iter().collect();
+        let _ = Value::parse(&mutated); // must return, not panic
+    }
+
+    /// Arbitrary ASCII soup never panics the parser.
+    #[test]
+    fn random_input_never_panics(seed in any::<u64>(), len in 0usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Bias toward JSON punctuation so the soup reaches deep parser paths.
+        const POOL: &[u8] = b"{}[]\",:.-+eE0123456789 \t\n\\utrlfans\"";
+        let soup: String = (0..len)
+            .map(|_| char::from(POOL[rng.gen_range(0..POOL.len())]))
+            .collect();
+        let _ = Value::parse(&soup); // must return, not panic
+    }
+}
+
+/// Deterministic regression cases the fuzzers once had to find.
+#[test]
+fn malformed_corpus_errors_cleanly() {
+    for text in [
+        "",
+        "{",
+        "}",
+        "[",
+        "[1,",
+        "[1,]",
+        "{\"a\":}",
+        "{\"a\" 1}",
+        "{\"a\": 1,}",
+        "\"unterminated",
+        "\"\\",
+        "\"\\u12\"",
+        "\"\\ud800\"", // lone surrogate code point
+        "\"\\q\"",
+        "01x",
+        "-",
+        "1e",
+        "truely",
+        "nul",
+        "12 34",
+        "\u{7f}",
+        &"[".repeat(100_000), // must not overflow the stack
+        &format!("{}1{}", "[".repeat(600), "]".repeat(600)),
+    ] {
+        assert!(
+            Value::parse(text).is_err(),
+            "expected parse error for {text:?}"
+        );
+    }
+}

@@ -14,8 +14,10 @@
 //! * [`core`] — the `Simple(x, λ)` and `Combo(⟨λ_x⟩)` strategies, the
 //!   availability-maximizing dynamic program, load-balanced random
 //!   placement, the Lemma-1/2/3 capacity and availability bounds, the
-//!   unified `PlacementStrategy` trait every family implements, and the
-//!   `Engine` facade running plan → build → attack → report in one call;
+//!   unified `PlacementStrategy` trait every family implements, the
+//!   `Engine` facade running plan → build → attack → report in one call,
+//!   and the `dynamic` subsystem maintaining a live placement across
+//!   cluster churn by incremental repair;
 //! * [`designs`] — every design family the strategies need, built from
 //!   scratch (Steiner triple systems, finite-geometry line designs,
 //!   Hermitian unitals, Boolean/doubled quadruple systems, Möbius subline
@@ -76,14 +78,18 @@ pub use wcp_sim as sim;
 
 /// The names most programs need, in one import.
 pub mod prelude {
-    pub use wcp_adversary::{availability, worst_case_failures, AdversaryConfig, WorstCase};
+    pub use wcp_adversary::{
+        availability, worst_case_failures, AdversaryConfig, ScratchAdversary, WorstCase,
+    };
     pub use wcp_analysis::{competitive_constants, pr_avail, pr_avail_fraction};
     pub use wcp_core::{
-        combo_plan, lb_avail_co, lb_avail_si, AdaptiveSnapshot, AttackOutcome, Attacker,
-        ComboStrategy, Engine, EvaluationReport, ExhaustiveAttacker, GroupStrategy, LoadStats,
+        combo_plan, lb_avail_co, lb_avail_si, movement_between, AdaptiveSnapshot, AttackOutcome,
+        Attacker, ClusterEvent, ComboStrategy, DynamicConfig, DynamicEngine, DynamicError, Engine,
+        EvaluationReport, ExhaustiveAttacker, GroupStrategy, LoadStats, MovementReport,
         PackingProfile, Placement, PlacementError, PlacementStrategy, PlannerContext,
-        RandomStrategy, RandomVariant, RingStrategy, SimpleStrategy, StrategyKind, SystemParams,
-        Timings,
+        RandomStrategy, RandomVariant, RepairAction, RingStrategy, SimpleStrategy, StepReport,
+        StrategyKind, SystemParams, Timings,
     };
     pub use wcp_designs::registry::RegistryConfig;
+    pub use wcp_sim::churn::{ChurnEvent, ChurnEventKind, ChurnSpec, ChurnTrace};
 }

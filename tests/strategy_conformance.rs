@@ -159,6 +159,59 @@ fn baseline_bounds_are_tight_when_nonvacuous() {
     }
 }
 
+/// Dynamic conformance: every registered family also survives a short
+/// churn trace through the `DynamicEngine` — after every event the live
+/// placement validates, the attack is exact, and availability stays
+/// within the configured threshold of the engine's from-scratch oracle.
+#[test]
+fn every_family_survives_churn_through_the_dynamic_engine() {
+    let params = SystemParams::new(13, 26, 3, 2, 3).expect("valid");
+    let trace = ChurnSpec::new("conformance-dyn", 16, 13, 8).generate();
+    let config = DynamicConfig {
+        threshold: 0.05,
+        ..DynamicConfig::default()
+    };
+    let slack = config.threshold * params.b() as f64;
+    for kind in StrategyKind::all(&params) {
+        let mut engine = match DynamicEngine::with_attacker(
+            params,
+            kind.clone(),
+            trace.capacity,
+            config.clone(),
+            AdversaryConfig::default(),
+        ) {
+            Ok(engine) => engine,
+            // Not every x-slot is constructible at the initial size.
+            Err(DynamicError::Placement(PlacementError::Design(_))) => continue,
+            Err(e) => panic!("{}: unexpected error {e}", kind.label()),
+        };
+        for (i, event) in trace.events.iter().enumerate() {
+            let step = engine
+                .apply(event.into())
+                .unwrap_or_else(|e| panic!("{}: event {i} failed: {e}", kind.label()));
+            engine
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: invalid after event {i}: {e}", kind.label()));
+            assert!(
+                step.exact && step.oracle_exact,
+                "{}: event {i} must be exactly attackable",
+                kind.label()
+            );
+            assert!(
+                step.availability as f64 >= step.oracle_availability as f64 - slack - 1e-9,
+                "{}: event {i} degrades past threshold: {step:?}",
+                kind.label()
+            );
+        }
+        assert_eq!(
+            engine.movement().events,
+            trace.len() as u64,
+            "{}",
+            kind.label()
+        );
+    }
+}
+
 /// Reports serialize to JSON for every family (the serving-layer
 /// contract of `EvaluationReport`).
 #[test]

@@ -71,9 +71,11 @@ macro_rules! impl_sample_range_int {
             type Output = $t;
             fn sample<R: RngCore>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
-                let span = (self.end as u128) - (self.start as u128);
+                // Widen through i128 so negative signed bounds don't wrap
+                // (every sampled type fits i128 losslessly).
+                let span = ((self.end as i128) - (self.start as i128)) as u128;
                 let v = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
-                self.start + v as $t
+                ((self.start as i128) + v as i128) as $t
             }
         }
         impl SampleRange for core::ops::RangeInclusive<$t> {
@@ -81,9 +83,9 @@ macro_rules! impl_sample_range_int {
             fn sample<R: RngCore>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
-                let span = (hi as u128) - (lo as u128) + 1;
+                let span = ((hi as i128) - (lo as i128)) as u128 + 1;
                 let v = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
-                lo + v as $t
+                ((lo as i128) + v as i128) as $t
             }
         }
     )*};
@@ -163,6 +165,24 @@ mod tests {
         let vc: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1000)).collect();
         assert_eq!(va, vb);
         assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn negative_signed_ranges_sample_correctly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen_neg = false;
+        let mut seen_pos = false;
+        for _ in 0..200 {
+            let v = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            seen_neg |= v < 0;
+            seen_pos |= v >= 0;
+            let w = rng.gen_range(i8::MIN..=i8::MAX); // full-domain inclusive
+            let _ = w;
+            let x = rng.gen_range(-3i32..=-1);
+            assert!((-3..=-1).contains(&x));
+        }
+        assert!(seen_neg && seen_pos, "both signs should occur");
     }
 
     #[test]
