@@ -1,5 +1,10 @@
-//! Incremental failure accounting shared by all adversaries.
+//! Incremental failure accounting shared by all adversaries: the scalar
+//! reference backend ([`FailureCounts`]) and the word-parallel
+//! bit-packed kernel ([`PackedCounts`]) the production ladder runs on.
 
+use crate::bitmap::{
+    and_popcount, eq_word, ge_word, tail_mask, words_for, BitIter, BitMatrix, NodeSet, WORD_BITS,
+};
 use wcp_core::Placement;
 
 /// Tracks, for a mutable set of failed nodes, how many replicas of each
@@ -173,6 +178,484 @@ impl FailureCounts {
     }
 }
 
+/// The word-parallel failure-accounting kernel.
+///
+/// Observationally identical to [`FailureCounts`] (the scalar backend
+/// stays as the differential-test oracle) but organised for streaming
+/// word operations instead of per-object scalar updates:
+///
+/// * the inverted index is stored in **CSR form** — one flat object-id
+///   array plus an `n + 1` offset array, the same layout
+///   [`Placement::objects_by_node_flat_into`] exposes publicly (rebind
+///   fuses that construction with the bitmap and forward-map fills so
+///   the nested replica sets are walked only once) — so a node's row is
+///   one contiguous cache-friendly slice, and per-node loads fall out
+///   of the offsets for free;
+/// * every node additionally carries a **dense object bitmap**
+///   (`⌈b/64⌉` words), and per-object hit counters are **bit-sliced**
+///   across `u64` planes (plane `j` holds bit `j` of every object's
+///   counter), so [`PackedCounts::add_node`] / `remove_node` are a
+///   ripple-carry add / borrow-subtract of the node bitmap across the
+///   planes — 64 objects per instruction;
+/// * the derived sets `hits ≥ s` (failed) and `hits = s − 1` (one hit
+///   from failing) are maintained as bitmaps on every update, so
+///   [`PackedCounts::failed`] is a counter read and
+///   [`PackedCounts::gain`] is an AND + popcount over the node's bitmap
+///   — `O(b/64)` instead of the scalar `O(ℓ)` with its random accesses.
+///
+/// The regimes the paper's figures live in get dedicated fast paths:
+/// at `s = 1` the failed set is simply the OR of the planes and at
+/// `s = 2` it is the OR of the planes above bit 0, with the matching
+/// one-term `hits = s − 1` masks; general `s` uses the magnitude
+/// comparator circuit.
+///
+/// # Examples
+///
+/// ```
+/// use wcp_adversary::PackedCounts;
+/// use wcp_core::Placement;
+///
+/// let p = Placement::new(6, 3, vec![vec![0, 1, 2], vec![0, 1, 3]])?;
+/// let mut pc = PackedCounts::new(&p, 2);
+/// pc.add_node(0);
+/// assert_eq!(pc.failed(), 0);
+/// assert_eq!(pc.gain(1), 2); // node 1 completes both objects
+/// pc.add_node(1);
+/// assert_eq!(pc.failed(), 2);
+/// assert_eq!(pc.nodes(), vec![0, 1]);
+/// # Ok::<(), wcp_core::PlacementError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct PackedCounts {
+    s: u16,
+    r: u16,
+    /// Objects.
+    b: usize,
+    /// Words per object bitmap (`⌈b/64⌉`).
+    words: usize,
+    /// Bit planes of the hit counters (`p × words`, plane-major).
+    planes: Vec<u64>,
+    /// Plane count: bits needed to represent counts up to `r`.
+    p: usize,
+    /// Maintained `hits ≥ s` bitmap.
+    ge_s: Vec<u64>,
+    /// Maintained `hits = s − 1` bitmap.
+    eq_sm1: Vec<u64>,
+    /// Popcount of `ge_s`, maintained incrementally.
+    failed: u64,
+    /// Popcount of `eq_sm1`, maintained incrementally (gives the
+    /// `failable_within(1)` histogram bound in O(1)).
+    eq_count: u64,
+    /// Per-node object bitmaps.
+    node_bits: BitMatrix,
+    /// CSR inverted index: offsets (`n + 1`) and flat object ids.
+    csr_off: Vec<u32>,
+    csr_obj: Vec<u32>,
+    /// Flat object → hosting-nodes table (stride `r`): the forward map
+    /// without `Vec<Vec<u16>>` pointer chasing, for delta walks.
+    obj_nodes: Vec<u16>,
+    /// Failed-node membership.
+    members: NodeSet,
+    /// Valid-bit mask for the last word.
+    tail: u64,
+}
+
+impl PackedCounts {
+    /// Builds the kernel for a placement at threshold `s`.
+    #[must_use]
+    pub fn new(placement: &Placement, s: u16) -> Self {
+        let mut pc = Self::default();
+        pc.rebind(placement, s);
+        pc
+    }
+
+    /// Rebinds to another placement/threshold, reusing every allocation
+    /// (CSR arrays, bitmaps, planes). The packed analogue of
+    /// [`FailureCounts::rebind`].
+    pub fn rebind(&mut self, placement: &Placement, s: u16) {
+        let n = usize::from(placement.num_nodes());
+        let b = placement.num_objects();
+        let r = placement.replicas_per_object();
+        self.s = s;
+        self.r = r;
+        self.b = b;
+        self.words = words_for(b);
+        self.p = usize::from(u16::BITS as u16 - r.leading_zeros() as u16);
+        self.tail = tail_mask(b);
+        // The placement's nested replica sets are walked exactly once
+        // (pass 1); everything else streams over flat arrays. This is
+        // the CSR construction of `Placement::objects_by_node_flat_into`
+        // fused with the forward-map and bitmap fills — a fix to either
+        // copy of the offset/cursor dance belongs in both.
+        let sets = placement.replica_sets();
+        // Pass 1: flat forward map (object → hosts) + per-node counts.
+        self.obj_nodes.clear();
+        self.obj_nodes.reserve(b * usize::from(r));
+        self.csr_off.clear();
+        self.csr_off.resize(n + 1, 0);
+        for set in sets {
+            for &nd in set {
+                self.obj_nodes.push(nd);
+                self.csr_off[usize::from(nd) + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            self.csr_off[i + 1] += self.csr_off[i];
+        }
+        // Pass 2 (flat, fused): CSR fill — csr_off[nd] doubling as the
+        // cursor (rows come out ascending because objects are visited
+        // in order) — plus node bitmaps, with the object's word/mask
+        // amortized over its r hosts.
+        self.csr_obj.clear();
+        self.csr_obj.resize(self.csr_off[n] as usize, 0);
+        self.node_bits.reset(n, b);
+        for obj in 0..b {
+            let word = obj / WORD_BITS;
+            let mask = 1u64 << (obj % WORD_BITS);
+            let base = obj * usize::from(r);
+            for i in 0..usize::from(r) {
+                let nd = usize::from(self.obj_nodes[base + i]);
+                let cursor = &mut self.csr_off[nd];
+                self.csr_obj[*cursor as usize] = obj as u32;
+                *cursor += 1;
+                self.node_bits.or_word(nd, word, mask);
+            }
+        }
+        for i in (1..=n).rev() {
+            self.csr_off[i] = self.csr_off[i - 1];
+        }
+        self.csr_off[0] = 0;
+        self.planes.clear();
+        self.planes.resize(self.p * self.words, 0);
+        self.ge_s.clear();
+        self.ge_s.resize(self.words, 0);
+        self.members.reset(n);
+        self.failed = 0;
+        self.reset_eq_sm1();
+    }
+
+    /// Empties the failed set without touching the placement binding
+    /// (`O(b/64)`).
+    pub fn clear(&mut self) {
+        self.planes.fill(0);
+        self.ge_s.fill(0);
+        self.members.clear();
+        self.failed = 0;
+        self.reset_eq_sm1();
+    }
+
+    /// Initializes the `hits = s − 1` bitmap for all-zero counters.
+    fn reset_eq_sm1(&mut self) {
+        self.eq_sm1.clear();
+        if self.s == 1 {
+            // Every object has 0 = s − 1 hits.
+            self.eq_sm1.resize(self.words, !0u64);
+            if let Some(last) = self.eq_sm1.last_mut() {
+                *last &= self.tail;
+            }
+            self.eq_count = self.b as u64;
+        } else {
+            self.eq_sm1.resize(self.words, 0);
+            self.eq_count = 0;
+        }
+    }
+
+    /// Number of currently failed objects.
+    #[must_use]
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// The accounting threshold `s`.
+    #[must_use]
+    pub fn threshold(&self) -> u16 {
+        self.s
+    }
+
+    /// Objects in the bound placement.
+    #[must_use]
+    pub fn num_objects(&self) -> usize {
+        self.b
+    }
+
+    /// Nodes in the bound placement.
+    #[must_use]
+    pub fn num_nodes(&self) -> u16 {
+        (self.csr_off.len().saturating_sub(1)) as u16
+    }
+
+    /// Load of `node` (CSR row length — no allocation, no scan).
+    #[must_use]
+    pub fn load(&self, node: u16) -> u32 {
+        self.csr_off[usize::from(node) + 1] - self.csr_off[usize::from(node)]
+    }
+
+    /// True if the node is currently in the failed set.
+    #[must_use]
+    pub fn contains(&self, node: u16) -> bool {
+        self.members.contains(node)
+    }
+
+    /// The node's CSR row: ids of objects with a replica there
+    /// (sorted ascending), as one contiguous slice of the flat index.
+    #[must_use]
+    pub fn row_objects(&self, node: u16) -> &[u32] {
+        let (lo, hi) = (
+            self.csr_off[usize::from(node)] as usize,
+            self.csr_off[usize::from(node) + 1] as usize,
+        );
+        &self.csr_obj[lo..hi]
+    }
+
+    /// Whether `obj` has a replica on `node` (bitmap probe, `O(1)`).
+    #[must_use]
+    pub fn node_hosts(&self, node: u16, obj: usize) -> bool {
+        self.node_bits.get(usize::from(node), obj)
+    }
+
+    /// The nodes hosting `obj` (flat forward map, stride `r`).
+    pub(crate) fn hosts_of(&self, obj: usize) -> &[u16] {
+        let start = obj * usize::from(self.r);
+        &self.obj_nodes[start..start + usize::from(self.r)]
+    }
+
+    /// The node's object bitmap as a word slice.
+    pub(crate) fn row_words(&self, node: u16) -> &[u64] {
+        self.node_bits.row(usize::from(node))
+    }
+
+    /// Current hit count of one object, gathered from the bit planes.
+    #[must_use]
+    pub fn hit_count(&self, obj: usize) -> u16 {
+        let (w, sh) = (obj / WORD_BITS, obj % WORD_BITS);
+        let mut v = 0u16;
+        for j in 0..self.p {
+            v |= (((self.planes[j * self.words + w] >> sh) & 1) as u16) << j;
+        }
+        v
+    }
+
+    /// The maintained `hits = s − 1` bitmap (the gain mask).
+    pub(crate) fn eq_sm1_words(&self) -> &[u64] {
+        &self.eq_sm1
+    }
+
+    /// Writes the `hits = s` bitmap (objects that unfail if one of
+    /// their failed hosts recovers) into `out`.
+    pub(crate) fn eq_s_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.words, 0);
+        if self.s > self.r {
+            return; // no object can reach s hits
+        }
+        for (w, slot) in out.iter_mut().enumerate() {
+            let mut eq = eq_word(&self.planes, self.words, w, u64::from(self.s));
+            if w + 1 == self.words {
+                eq &= self.tail;
+            }
+            *slot = eq;
+        }
+    }
+
+    /// Writes the "failable within `m` more failures" mask — objects
+    /// with `s − m ≤ hits < s` — into `out`.
+    pub(crate) fn failable_mask_into(&self, m: u16, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.words, 0);
+        if m == 0 {
+            return;
+        }
+        let lo = self.s.saturating_sub(m);
+        for (w, slot) in out.iter_mut().enumerate() {
+            let reachable = if lo == 0 {
+                self.tail_masked(!0, w)
+            } else if lo > self.r {
+                0
+            } else {
+                ge_word(&self.planes, self.words, w, u64::from(lo))
+            };
+            *slot = reachable & !self.ge_s[w];
+        }
+    }
+
+    /// Popcount of `row(node) ∩ mask` — the workhorse of gain and loss
+    /// queries (`O(b/64)`).
+    pub(crate) fn and_popcount_row(&self, node: u16, mask: &[u64]) -> u64 {
+        and_popcount(self.node_bits.row(usize::from(node)), mask)
+    }
+
+    /// Nodes outside the failed set, ascending — lets scans skip the
+    /// per-node `contains` branch entirely.
+    pub(crate) fn iter_absent(&self) -> BitIter<'_> {
+        self.members.iter_absent()
+    }
+
+    /// Raw membership words plus the valid-bit mask of the last word,
+    /// for fully inlined complement scans in the hot search loops.
+    pub(crate) fn member_words(&self) -> (&[u64], u64) {
+        (self.members.words(), self.members.limit_mask())
+    }
+
+    /// Applies the tail mask when `w` is the last word.
+    fn tail_masked(&self, word: u64, w: usize) -> u64 {
+        if w + 1 == self.words {
+            word & self.tail
+        } else {
+            word
+        }
+    }
+
+    /// Derives `(hits ≥ s, hits = s − 1)` for word `w` from the planes,
+    /// with dedicated `s = 1` / `s = 2` fast paths.
+    #[inline]
+    fn derive(&self, w: usize) -> (u64, u64) {
+        let stride = self.words;
+        let (ge, eq) = match self.s {
+            1 => {
+                let mut any = 0u64;
+                for j in 0..self.p {
+                    any |= self.planes[j * stride + w];
+                }
+                (any, self.tail_masked(!any, w))
+            }
+            2 => {
+                let x0 = self.planes[w];
+                let mut hi = 0u64;
+                for j in 1..self.p {
+                    hi |= self.planes[j * stride + w];
+                }
+                (hi, x0 & !hi)
+            }
+            s => {
+                let s = u64::from(s);
+                let ge = if u64::from(self.r) < s {
+                    0
+                } else {
+                    ge_word(&self.planes, stride, w, s)
+                };
+                let eq = if u64::from(self.r) < s - 1 {
+                    0
+                } else {
+                    eq_word(&self.planes, stride, w, s - 1)
+                };
+                (ge, eq)
+            }
+        };
+        (self.tail_masked(ge, w), self.tail_masked(eq, w))
+    }
+
+    /// Marks `node` failed: a ripple-carry add of its object bitmap
+    /// into the counter planes, refreshing the derived masks word by
+    /// word.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the node is already failed.
+    pub fn add_node(&mut self, node: u16) {
+        debug_assert!(!self.members.contains(node), "node already failed");
+        self.members.insert(node);
+        for w in 0..self.words {
+            let bw = self.node_bits.row(usize::from(node))[w];
+            if bw == 0 {
+                continue;
+            }
+            let mut carry = bw;
+            for j in 0..self.p {
+                let idx = j * self.words + w;
+                let t = self.planes[idx];
+                self.planes[idx] = t ^ carry;
+                carry &= t;
+            }
+            debug_assert_eq!(carry, 0, "hit counter overflow past r");
+            let (ge, eq) = self.derive(w);
+            self.failed =
+                self.failed - u64::from(self.ge_s[w].count_ones()) + u64::from(ge.count_ones());
+            self.eq_count =
+                self.eq_count - u64::from(self.eq_sm1[w].count_ones()) + u64::from(eq.count_ones());
+            self.ge_s[w] = ge;
+            self.eq_sm1[w] = eq;
+        }
+    }
+
+    /// Unmarks `node`: a ripple-borrow subtract of its object bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the node is not currently failed.
+    pub fn remove_node(&mut self, node: u16) {
+        debug_assert!(self.members.contains(node), "node not failed");
+        self.members.remove(node);
+        for w in 0..self.words {
+            let bw = self.node_bits.row(usize::from(node))[w];
+            if bw == 0 {
+                continue;
+            }
+            let mut borrow = bw;
+            for j in 0..self.p {
+                let idx = j * self.words + w;
+                let t = self.planes[idx];
+                self.planes[idx] = t ^ borrow;
+                borrow &= !t;
+            }
+            debug_assert_eq!(borrow, 0, "hit counter underflow below 0");
+            let (ge, eq) = self.derive(w);
+            self.failed =
+                self.failed - u64::from(self.ge_s[w].count_ones()) + u64::from(ge.count_ones());
+            self.eq_count =
+                self.eq_count - u64::from(self.eq_sm1[w].count_ones()) + u64::from(eq.count_ones());
+            self.ge_s[w] = ge;
+            self.eq_sm1[w] = eq;
+        }
+    }
+
+    /// Failed objects if `node` were added, without mutating: one AND +
+    /// popcount pass over the maintained `hits = s − 1` mask.
+    #[must_use]
+    pub fn gain(&self, node: u16) -> u64 {
+        debug_assert!(!self.members.contains(node));
+        self.and_popcount_row(node, &self.eq_sm1)
+    }
+
+    /// Admissible upper bound on the number of *additional* objects
+    /// that could fail if `m` more nodes fail: objects needing at most
+    /// `m` more replica hits (a comparator sweep over the planes).
+    #[must_use]
+    pub fn failable_within(&self, m: u16) -> u64 {
+        if m == 0 {
+            return 0;
+        }
+        let lo = self.s.saturating_sub(m);
+        if lo == 0 {
+            return self.b as u64 - self.failed;
+        }
+        if m == 1 {
+            // hist[s − 1] is the maintained eq-count: O(1), the case
+            // the exact DFS hits on every expansion.
+            return self.eq_count;
+        }
+        if lo > self.r {
+            return 0;
+        }
+        let mut reach = 0u64;
+        for w in 0..self.words {
+            reach += u64::from(ge_word(&self.planes, self.words, w, u64::from(lo)).count_ones());
+        }
+        reach - self.failed
+    }
+
+    /// The current failed-node set (sorted).
+    #[must_use]
+    pub fn nodes(&self) -> Vec<u16> {
+        self.members.iter_present().collect()
+    }
+
+    /// [`PackedCounts::nodes`] into a reusable buffer.
+    pub(crate) fn collect_nodes(&self, out: &mut Vec<u16>) {
+        out.clear();
+        out.extend(self.members.iter_present());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,5 +776,120 @@ mod tests {
         fc.add_node(0); // objects 0,1,3 now at 1 hit
         assert_eq!(fc.failable_within(2), 3);
         assert_eq!(fc.failable_within(1), 0);
+    }
+
+    /// Exhaustively mirrors every scalar observable on the packed
+    /// kernel over all add/remove walks of the sample placement.
+    fn assert_backends_agree(fc: &FailureCounts, pc: &PackedCounts, p: &Placement, ctx: &str) {
+        assert_eq!(pc.failed(), fc.failed(), "{ctx}: failed");
+        assert_eq!(pc.nodes(), fc.nodes(), "{ctx}: nodes");
+        for m in 0..=4u16 {
+            assert_eq!(
+                pc.failable_within(m),
+                fc.failable_within(m),
+                "{ctx}: failable_within({m})"
+            );
+        }
+        for nd in 0..p.num_nodes() {
+            assert_eq!(pc.contains(nd), fc.contains(nd), "{ctx}: contains({nd})");
+            if !fc.contains(nd) {
+                assert_eq!(pc.gain(nd), fc.gain(nd), "{ctx}: gain({nd})");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matches_scalar_on_every_walk() {
+        let p = sample();
+        for s in 1..=4u16 {
+            let mut fc = FailureCounts::new(&p, s);
+            let mut pc = PackedCounts::new(&p, s);
+            assert_backends_agree(&fc, &pc, &p, &format!("s={s} empty"));
+            // Grow 0..=5 then shrink back, checking at every step.
+            for nd in 0..6u16 {
+                fc.add_node(nd);
+                pc.add_node(nd);
+                assert_backends_agree(&fc, &pc, &p, &format!("s={s} add {nd}"));
+            }
+            for nd in (0..6u16).rev() {
+                fc.remove_node(nd);
+                pc.remove_node(nd);
+                assert_backends_agree(&fc, &pc, &p, &format!("s={s} remove {nd}"));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_rebind_and_clear_match_scalar() {
+        let p = sample();
+        let mut fc = FailureCounts::new(&p, 2);
+        let mut pc = PackedCounts::new(&p, 2);
+        fc.add_node(0);
+        pc.add_node(0);
+        fc.clear();
+        pc.clear();
+        assert_backends_agree(&fc, &pc, &p, "after clear");
+        let q = Placement::new(4, 2, vec![vec![0, 1], vec![1, 2], vec![2, 3]]).unwrap();
+        fc.rebind(&q, 1);
+        pc.rebind(&q, 1);
+        fc.add_node(1);
+        pc.add_node(1);
+        assert_backends_agree(&fc, &pc, &q, "after rebind");
+        assert_eq!(pc.failed(), q.failed_objects(&[1], 1));
+    }
+
+    #[test]
+    fn packed_csr_and_loads_mirror_placement() {
+        let p = sample();
+        let pc = PackedCounts::new(&p, 2);
+        assert_eq!(pc.num_nodes(), 6);
+        assert_eq!(pc.num_objects(), 4);
+        assert_eq!(pc.threshold(), 2);
+        let loads = p.cached_loads();
+        for nd in 0..6u16 {
+            assert_eq!(pc.load(nd), loads[usize::from(nd)], "load({nd})");
+            let nested = p.objects_by_node();
+            assert_eq!(
+                pc.row_objects(nd),
+                nested[usize::from(nd)].as_slice(),
+                "row({nd})"
+            );
+            for obj in 0..4 {
+                assert_eq!(
+                    pc.node_hosts(nd, obj),
+                    p.replicas(obj).contains(&nd),
+                    "hosts({nd}, {obj})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_hit_counts_are_exact() {
+        // Spans a word boundary: 70 objects on 7 nodes.
+        let sets: Vec<Vec<u16>> = (0..70u16).map(|o| vec![o % 7, 7 + o % 3]).collect();
+        let sets = sets
+            .into_iter()
+            .map(|mut s| {
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        let p = Placement::new(10, 2, sets).unwrap();
+        let mut pc = PackedCounts::new(&p, 2);
+        let mut fc = FailureCounts::new(&p, 2);
+        for nd in [0u16, 7, 3, 8] {
+            pc.add_node(nd);
+            fc.add_node(nd);
+        }
+        assert_backends_agree(&fc, &pc, &p, "word-boundary");
+        for obj in 0..70usize {
+            let expected = p
+                .replicas(obj)
+                .iter()
+                .filter(|&&nd| pc.contains(nd))
+                .count() as u16;
+            assert_eq!(pc.hit_count(obj), expected, "hit_count({obj})");
+        }
     }
 }

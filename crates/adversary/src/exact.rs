@@ -1,9 +1,46 @@
 //! Exact worst-case search: DFS over node combinations with
-//! branch-and-bound pruning.
+//! branch-and-bound pruning, running on the word-parallel kernel.
+//!
+//! Three upgrades over the scalar reference DFS
+//! ([`crate::reference::exact_worst`]):
+//!
+//! * all accounting (add/remove/bounds) runs on [`PackedCounts`], so a
+//!   node expansion costs `O((b/64)·log r)` word operations;
+//! * alongside the histogram bound (`failable_within`), shallow depths
+//!   apply a **hit-supply bound** built from row/failable-set overlaps:
+//!   every newly failed object needs at least one more replica hit, and
+//!   the `m` remaining failures can supply at most the sum of the `m`
+//!   largest `|row(nd) ∩ failable|` among the live candidates — an
+//!   admissible cap that prunes whole subtrees the histogram bound
+//!   cannot;
+//! * shallow depths **re-sort their candidate children by live gain**
+//!   (then load), so the incumbent-beating sets are explored first and
+//!   the bounds bite sooner. Each frame orders only its own candidate
+//!   slice, which preserves exactly-once subset enumeration.
 
-use crate::counts::FailureCounts;
+use crate::counts::PackedCounts;
 use crate::{AdversaryScratch, WorstCase};
 use wcp_core::Placement;
+
+/// Depths at which the DFS re-sorts children by live gain and applies
+/// the supply bound. Shallow frames dominate the search tree's branch
+/// choices; deeper frames keep the cheap static order.
+const SORT_DEPTH: u16 = 2;
+
+/// Reusable buffers for the exact DFS.
+#[derive(Debug, Default)]
+pub(crate) struct DfsScratch {
+    /// Root candidate ordering.
+    order: Vec<u16>,
+    /// Per-shallow-depth candidate buffers for live re-sorting.
+    sort_bufs: Vec<Vec<u16>>,
+    /// `(gain, load, node)` sort keys.
+    keys: Vec<(u64, u32, u16)>,
+    /// Failable-object mask for the supply bound.
+    failable: Vec<u64>,
+    /// Top-`m` supply accumulator.
+    tops: Vec<u64>,
+}
 
 /// Finds the exact maximum number of failed objects over all `k`-subsets
 /// of nodes, or `None` if the search exceeds `budget` node expansions.
@@ -13,9 +50,9 @@ use wcp_core::Placement;
 /// and `failed == incumbent` when no subset beats the incumbent (the
 /// caller already has a witness).
 ///
-/// Nodes are pre-sorted by decreasing load so that promising branches are
-/// explored first and the admissible bound (`failable_within`) prunes
-/// aggressively.
+/// When `k ≥ n` the search degenerates: the returned node set is all `n`
+/// nodes (`min(k, n)` entries — there are no more distinct nodes to
+/// fail) and `failed` is computed over exactly that returned set.
 ///
 /// # Examples
 ///
@@ -48,7 +85,8 @@ pub fn exact_worst(
 }
 
 /// [`exact_worst`] reusing the caller's scratch buffers (the DFS's
-/// failure accounting is rebuilt in place instead of reallocated).
+/// failure accounting and ordering buffers are rebuilt in place instead
+/// of reallocated).
 #[must_use]
 pub fn exact_worst_with(
     placement: &Placement,
@@ -60,26 +98,80 @@ pub fn exact_worst_with(
 ) -> Option<WorstCase> {
     let n = placement.num_nodes();
     if k >= n {
-        // Degenerate: fail everything possible.
-        let nodes: Vec<u16> = (0..n).collect();
-        let failed = placement.failed_objects(&nodes, s);
-        return Some(WorstCase {
-            failed,
-            nodes: nodes[..usize::from(k.min(n))].to_vec(),
-            exact: true,
-        });
+        return Some(degenerate_all_nodes(placement, s, k));
+    }
+    let b = placement.num_objects() as u64;
+    let (pc, _, ds) = scratch.bind_packed(placement, s);
+    run_dfs(pc, ds, k, budget, incumbent, b)
+}
+
+/// [`exact_worst_with`] for a scratch whose kernel is *already bound*
+/// to `(placement, s)` by a preceding stage (the auto ladder's local
+/// search): skips the index rebuild and just clears the failed set —
+/// half the per-evaluation binding cost on re-attack-heavy paths like
+/// churn.
+#[must_use]
+pub(crate) fn exact_worst_rebound(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    budget: u64,
+    incumbent: u64,
+    scratch: &mut AdversaryScratch,
+) -> Option<WorstCase> {
+    let n = placement.num_nodes();
+    if k >= n {
+        return Some(degenerate_all_nodes(placement, s, k));
+    }
+    let b = placement.num_objects() as u64;
+    let (pc, _, ds) = scratch.parts_packed();
+    debug_assert!(
+        pc.num_nodes() == n && pc.num_objects() == placement.num_objects() && pc.threshold() == s,
+        "scratch not bound to this placement/threshold"
+    );
+    pc.clear();
+    run_dfs(pc, ds, k, budget, incumbent, b)
+}
+
+/// The `k ≥ n` degenerate case: every node fails. The returned set
+/// holds all `n` distinct nodes and `failed` is computed over that same
+/// set.
+fn degenerate_all_nodes(placement: &Placement, s: u16, k: u16) -> WorstCase {
+    let n = placement.num_nodes();
+    let nodes: Vec<u16> = (0..n).collect();
+    let failed = placement.failed_objects(&nodes, s);
+    debug_assert_eq!(nodes.len(), usize::from(k.min(n)));
+    WorstCase {
+        failed,
+        nodes,
+        exact: true,
+    }
+}
+
+/// Runs the branch-and-bound DFS over an empty, bound kernel.
+fn run_dfs(
+    pc: &mut PackedCounts,
+    ds: &mut DfsScratch,
+    k: u16,
+    budget: u64,
+    incumbent: u64,
+    b: u64,
+) -> Option<WorstCase> {
+    debug_assert_eq!(pc.failed(), 0, "DFS requires an empty failed set");
+    let n = pc.num_nodes();
+    // Static fallback order: decreasing load (stable, so equal loads
+    // keep ascending node order).
+    ds.order.clear();
+    ds.order.extend(0..n);
+    ds.order.sort_by_key(|&nd| std::cmp::Reverse(pc.load(nd)));
+    if ds.sort_bufs.len() < usize::from(SORT_DEPTH) {
+        ds.sort_bufs.resize_with(usize::from(SORT_DEPTH), Vec::new);
     }
 
-    // Order nodes by decreasing load.
-    let loads = placement.loads();
-    let mut order: Vec<u16> = (0..n).collect();
-    order.sort_by_key(|&nd| std::cmp::Reverse(loads[usize::from(nd)]));
-
-    let fc = scratch.bind(placement, s);
-    let b = placement.num_objects() as u64;
+    let order = std::mem::take(&mut ds.order);
     let mut search = Search {
-        fc,
-        order: &order,
+        pc,
+        ds,
         k,
         best: incumbent,
         best_nodes: Vec::new(),
@@ -87,8 +179,10 @@ pub fn exact_worst_with(
         budget,
         all_objects: b,
     };
-    if search.dfs(0, 0) {
-        let (best, best_nodes) = (search.best, search.best_nodes);
+    let completed = search.dfs(&order, 0);
+    let (best, best_nodes) = (search.best, search.best_nodes);
+    search.ds.order = order;
+    if completed {
         Some(WorstCase {
             failed: best,
             nodes: best_nodes,
@@ -100,8 +194,8 @@ pub fn exact_worst_with(
 }
 
 struct Search<'a> {
-    fc: &'a mut FailureCounts,
-    order: &'a [u16],
+    pc: &'a mut PackedCounts,
+    ds: &'a mut DfsScratch,
     k: u16,
     best: u64,
     best_nodes: Vec<u16>,
@@ -111,37 +205,122 @@ struct Search<'a> {
 }
 
 impl Search<'_> {
-    /// Returns `false` on budget exhaustion.
-    fn dfs(&mut self, from: usize, depth: u16) -> bool {
+    /// Returns `false` on budget exhaustion. `cands` is this frame's
+    /// candidate suffix; children recurse on strictly later candidates,
+    /// so every `k`-subset is visited exactly once.
+    fn dfs(&mut self, cands: &[u16], depth: u16) -> bool {
         if depth == self.k {
-            if self.fc.failed() > self.best {
-                self.best = self.fc.failed();
-                self.best_nodes = self.fc.nodes();
+            // Only reachable for k = 0; positive k closes at
+            // `remaining == 1` below.
+            if self.pc.failed() > self.best {
+                self.best = self.pc.failed();
+                self.pc.collect_nodes(&mut self.best_nodes);
             }
             return true;
         }
         let remaining = self.k - depth;
-        // Admissible bound: everything failed plus everything failable
+        let failed = self.pc.failed();
+        if remaining == 1 {
+            // Closed-form last level: adding one more node fails
+            // exactly `gain(nd) = |row(nd) ∩ {hits = s − 1}|` more
+            // objects, so the best completion is a masked-popcount
+            // sweep over the candidates — no add/remove churn, and the
+            // bottom level is the bulk of the combination tree.
+            if self.best >= self.all_objects {
+                return true;
+            }
+            for &nd in cands {
+                self.expansions += 1;
+                if self.expansions > self.budget {
+                    return false;
+                }
+                let total = failed + self.pc.gain(nd);
+                if total > self.best {
+                    self.best = total;
+                    self.pc.collect_nodes(&mut self.best_nodes);
+                    self.best_nodes.push(nd);
+                    self.best_nodes.sort_unstable();
+                }
+            }
+            return true;
+        }
+        // Histogram bound: everything failed plus everything failable
         // within the remaining failures.
-        let bound = self.fc.failed() + self.fc.failable_within(remaining);
+        let bound = failed + self.pc.failable_within(remaining);
         if bound <= self.best || self.best >= self.all_objects {
             return true; // pruned (or already optimal)
         }
-        let last = self.order.len() - usize::from(remaining) + 1;
-        for pos in from..last {
+        if depth < SORT_DEPTH {
+            // Supply bound: the remaining failures can add at most one
+            // hit per (node, hosted failable object) pair, and each new
+            // failure needs at least one such hit.
+            let supply = self.supply_bound(cands, remaining);
+            if failed + supply <= self.best {
+                return true;
+            }
+            let mut buf = std::mem::take(&mut self.ds.sort_bufs[usize::from(depth)]);
+            self.order_by_live_gain(cands, &mut buf);
+            let ok = self.expand(&buf, depth, remaining);
+            self.ds.sort_bufs[usize::from(depth)] = buf;
+            ok
+        } else {
+            self.expand(cands, depth, remaining)
+        }
+    }
+
+    /// Iterates this frame's children in `cands` order.
+    fn expand(&mut self, cands: &[u16], depth: u16, remaining: u16) -> bool {
+        let last = cands.len() - usize::from(remaining) + 1;
+        for (pos, &nd) in cands.iter().enumerate().take(last) {
             self.expansions += 1;
             if self.expansions > self.budget {
                 return false;
             }
-            let nd = self.order[pos];
-            self.fc.add_node(nd);
-            let ok = self.dfs(pos + 1, depth + 1);
-            self.fc.remove_node(nd);
+            self.pc.add_node(nd);
+            let ok = self.dfs(&cands[pos + 1..], depth + 1);
+            self.pc.remove_node(nd);
             if !ok {
                 return false;
             }
         }
         true
+    }
+
+    /// Sorts `cands` into `buf` by decreasing `(gain, load, node)` under
+    /// the current partial failure set.
+    fn order_by_live_gain(&mut self, cands: &[u16], buf: &mut Vec<u16>) {
+        let pc = &*self.pc;
+        self.ds.keys.clear();
+        self.ds
+            .keys
+            .extend(cands.iter().map(|&nd| (pc.gain(nd), pc.load(nd), nd)));
+        self.ds.keys.sort_unstable_by(|a, b| b.cmp(a));
+        buf.clear();
+        buf.extend(self.ds.keys.iter().map(|&(_, _, nd)| nd));
+    }
+
+    /// Admissible hit-supply bound: at most the sum of the `remaining`
+    /// largest `|row(nd) ∩ failable|` overlaps among the candidates.
+    fn supply_bound(&mut self, cands: &[u16], remaining: u16) -> u64 {
+        let m = usize::from(remaining);
+        self.pc.failable_mask_into(remaining, &mut self.ds.failable);
+        self.ds.tops.clear();
+        for &nd in cands {
+            let supply = self.pc.and_popcount_row(nd, &self.ds.failable);
+            // Keep the m largest supplies (ascending insertion into a
+            // tiny buffer; m ≤ k).
+            if self.ds.tops.len() < m {
+                let at = self.ds.tops.partition_point(|&t| t < supply);
+                self.ds.tops.insert(at, supply);
+            } else if let Some(&min) = self.ds.tops.first() {
+                if supply > min {
+                    self.ds.tops.remove(0);
+                    let at = self.ds.tops.partition_point(|&t| t < supply);
+                    self.ds.tops.insert(at, supply);
+                }
+            }
+        }
+        self.ds.tops.iter().sum()
     }
 }
 
@@ -169,6 +348,7 @@ mod tests {
                 for k in s..=6u16 {
                     let wc = exact_worst(&p, s, k, u64::MAX, 0).unwrap();
                     assert_eq!(wc.failed, brute_force(&p, s, k), "seed={seed} s={s} k={k}");
+                    assert_eq!(p.failed_objects(&wc.nodes, s), wc.failed, "witness");
                 }
             }
         }
@@ -218,5 +398,25 @@ mod tests {
             .unwrap();
         let wc = exact_worst(&p, 1, 19, 100_000, 0).unwrap();
         assert_eq!(wc.failed, 100);
+    }
+
+    #[test]
+    fn degenerate_k_at_least_n_failed_matches_returned_nodes() {
+        // Regression: the k ≥ n branch must compute `failed` over the
+        // node set it actually returns (all n nodes), for every k ≥ n.
+        let params = SystemParams::new(8, 20, 3, 1, 1).unwrap();
+        let p = RandomStrategy::new(1, RandomVariant::LoadBalanced)
+            .place(&params)
+            .unwrap();
+        for (s, k) in [(1u16, 8u16), (2, 9), (3, 200)] {
+            let wc = exact_worst(&p, s, k, u64::MAX, 0).unwrap();
+            assert!(wc.exact);
+            assert_eq!(wc.nodes.len(), usize::from(k.min(8)), "k={k}");
+            assert_eq!(
+                wc.failed,
+                p.failed_objects(&wc.nodes, s),
+                "failed must be over the returned set (s={s}, k={k})"
+            );
+        }
     }
 }

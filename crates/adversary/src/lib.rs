@@ -24,27 +24,43 @@
 //! [`AdversaryScratch`] so batch callers reuse the failure-accounting
 //! buffers across evaluations; [`SweepAdversary`] packages that as the
 //! per-worker attacker of `wcp_core`'s parallel sweep subsystem.
+//!
+//! The whole ladder runs on the word-parallel [`PackedCounts`] kernel —
+//! a CSR inverted index plus bit-sliced hit counters updated 64 objects
+//! per instruction (see the type's docs for the design). The scalar
+//! [`FailureCounts`] backend remains as the reference oracle, and the
+//! pre-kernel ladder survives in [`mod@reference`] for differential testing
+//! and as the benchmark baseline.
 
+mod bitmap;
 mod counts;
 mod exact;
+pub mod reference;
 mod search;
 
-pub use counts::FailureCounts;
+pub use counts::{FailureCounts, PackedCounts};
 pub use exact::{exact_worst, exact_worst_with};
 pub use search::{greedy_worst, greedy_worst_with, local_search_worst, local_search_worst_with};
 
 use wcp_core::sweep::{AdversarySpec, CellAttacker, SweepCell};
 use wcp_core::Placement;
 
-/// Reusable adversary working memory: one [`FailureCounts`] whose
-/// allocations (hit counters, histogram, inverted index) survive across
-/// evaluations. The `_with` adversary entry points rebind it to each new
-/// placement in place, so a sweep over thousands of cells of the same
-/// `(n, b, r)` shape performs no per-cell allocation beyond the
-/// placement itself.
+/// Reusable adversary working memory: the word-parallel
+/// [`PackedCounts`] kernel plus the search/DFS side buffers (gain
+/// tables, swap deltas, candidate orderings), all of whose allocations
+/// survive across evaluations. The `_with` adversary entry points
+/// rebind it to each new placement in place, so a sweep over thousands
+/// of cells of the same `(n, b, r)` shape performs no per-cell
+/// allocation beyond the placement itself.
+///
+/// The scalar [`FailureCounts`] oracle binding ([`AdversaryScratch::bind`])
+/// is kept alongside for the [`mod@reference`] ladder.
 #[derive(Debug, Default)]
 pub struct AdversaryScratch {
     fc: Option<FailureCounts>,
+    packed: Option<PackedCounts>,
+    climb: search::ClimbScratch,
+    dfs: exact::DfsScratch,
 }
 
 impl AdversaryScratch {
@@ -54,14 +70,60 @@ impl AdversaryScratch {
         Self::default()
     }
 
-    /// Binds the scratch to a placement/threshold, reusing previous
-    /// allocations when present.
+    /// Binds the scalar reference backend to a placement/threshold,
+    /// reusing previous allocations when present.
     pub fn bind(&mut self, placement: &Placement, s: u16) -> &mut FailureCounts {
         match &mut self.fc {
             Some(fc) => fc.rebind(placement, s),
             None => self.fc = Some(FailureCounts::new(placement, s)),
         }
         self.fc.as_mut().expect("bound above")
+    }
+
+    /// Binds the word-parallel kernel to a placement/threshold and
+    /// hands back the kernel plus the search side buffers.
+    pub(crate) fn bind_packed(
+        &mut self,
+        placement: &Placement,
+        s: u16,
+    ) -> (
+        &mut PackedCounts,
+        &mut search::ClimbScratch,
+        &mut exact::DfsScratch,
+    ) {
+        match &mut self.packed {
+            Some(pc) => pc.rebind(placement, s),
+            None => self.packed = Some(PackedCounts::new(placement, s)),
+        }
+        (
+            self.packed.as_mut().expect("bound above"),
+            &mut self.climb,
+            &mut self.dfs,
+        )
+    }
+
+    /// The already-bound kernel and side buffers, without rebinding.
+    /// Callers must guarantee a preceding [`AdversaryScratch::bind_packed`]
+    /// for the same `(placement, s)` (the auto ladder's exact stage
+    /// reuses the local-search stage's binding this way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has never been bound.
+    pub(crate) fn parts_packed(
+        &mut self,
+    ) -> (
+        &mut PackedCounts,
+        &mut search::ClimbScratch,
+        &mut exact::DfsScratch,
+    ) {
+        (
+            self.packed
+                .as_mut()
+                .expect("kernel bound by an earlier stage"),
+            &mut self.climb,
+            &mut self.dfs,
+        )
     }
 }
 
@@ -240,9 +302,12 @@ pub fn worst_case_failures_with(
     assert!(k <= placement.num_nodes(), "k must be ≤ n");
     assert!(s <= placement.replicas_per_object(), "s must be ≤ r");
     // Seed the exact search with the local-search incumbent: a strong lower
-    // bound tightens pruning dramatically.
+    // bound tightens pruning dramatically. The exact stage reuses the
+    // local-search stage's kernel binding (one index build per
+    // evaluation, not two); at k = n both stages take their degenerate
+    // path and never bind.
     let heuristic = local_search_worst_with(placement, s, k, config, scratch);
-    if let Some(exact) = exact_worst_with(
+    if let Some(exact) = exact::exact_worst_rebound(
         placement,
         s,
         k,

@@ -1,49 +1,233 @@
-//! Worst-case adversary cost: the greedy / local-search / exact ladder on
-//! a Fig. 7-scale instance, plus the quality ablation DESIGN.md calls out
-//! (how close the heuristics get to exact).
+//! Adversary-evaluation throughput: the word-parallel kernel ladder vs
+//! the scalar reference ladder on the churn acceptance shape
+//! (n=71, b=1200, r=3, s=2, k=3), plus the historical Fig. 7-scale
+//! ladder group and the quality ablation.
+//!
+//! Besides the criterion measurements, the run writes a
+//! `BENCH_adversary.json` snapshot (override the path with the
+//! `BENCH_ADVERSARY_OUT` environment variable) recording median
+//! evaluation times for both the scalar and packed series — so the
+//! kernel's speedup is committed alongside the code and CI's
+//! `bench_regression` gate can hold the line on it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use wcp_adversary::{exact_worst, greedy_worst, local_search_worst, AdversaryConfig};
+use std::time::Instant;
+use wcp_adversary::{
+    exact_worst_with, greedy_worst_with, local_search_worst_with, reference,
+    worst_case_failures_with, AdversaryConfig, AdversaryScratch,
+};
 use wcp_bench::fixture_placement;
+use wcp_core::Placement;
 
-fn bench_adversary(c: &mut Criterion) {
+/// The churn acceptance shape from ROADMAP/PR 3: n=71, b=1200, r=3.
+fn acceptance_placement() -> Placement {
+    fixture_placement(71, 1200, 3)
+}
+
+/// The scalar baseline for the full auto evaluation: reference local
+/// search seeding the reference exact DFS (what `worst_case_failures`
+/// did before the kernel).
+fn scalar_ladder(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    cfg: &AdversaryConfig,
+    scratch: &mut AdversaryScratch,
+) -> u64 {
+    let seed = reference::local_search_worst_with(placement, s, k, cfg, scratch);
+    reference::exact_worst(placement, s, k, u64::MAX, seed.failed)
+        .expect("completes within budget")
+        .failed
+        .max(seed.failed)
+}
+
+fn bench_kernel_vs_scalar(c: &mut Criterion) {
+    let placement = acceptance_placement();
+    let (s, k) = (2u16, 3u16);
+    let cfg = AdversaryConfig::default();
+    let mut scratch = AdversaryScratch::new();
+
+    let mut group = c.benchmark_group("adversary_n71_b1200_s2_k3");
+    group.sample_size(20);
+    group.bench_function("scalar_greedy", |b| {
+        b.iter(|| reference::greedy_worst_with(black_box(&placement), s, k, &mut scratch).failed);
+    });
+    group.bench_function("packed_greedy", |b| {
+        b.iter(|| greedy_worst_with(black_box(&placement), s, k, &mut scratch).failed);
+    });
+    group.bench_function("scalar_local_search", |b| {
+        b.iter(|| {
+            reference::local_search_worst_with(black_box(&placement), s, k, &cfg, &mut scratch)
+                .failed
+        });
+    });
+    group.bench_function("packed_local_search", |b| {
+        b.iter(|| local_search_worst_with(black_box(&placement), s, k, &cfg, &mut scratch).failed);
+    });
+    group.bench_function("scalar_ladder", |b| {
+        b.iter(|| scalar_ladder(black_box(&placement), s, k, &cfg, &mut scratch));
+    });
+    group.bench_function("packed_ladder", |b| {
+        b.iter(|| worst_case_failures_with(black_box(&placement), s, k, &cfg, &mut scratch).failed);
+    });
+    group.finish();
+
+    write_snapshot(&placement, s, k, &cfg);
+}
+
+fn bench_fig7_scale_ladder(c: &mut Criterion) {
+    // The historical mid-size group kept for continuity with earlier
+    // PRs' bench output.
     let placement = fixture_placement(31, 2400, 5);
     let (s, k) = (3u16, 4u16);
+    let cfg = AdversaryConfig::default();
+    let mut scratch = AdversaryScratch::new();
 
     let mut group = c.benchmark_group("adversary_n31_b2400");
     group.sample_size(10);
     group.bench_function("greedy", |b| {
-        b.iter(|| greedy_worst(black_box(&placement), s, k).failed);
+        b.iter(|| greedy_worst_with(black_box(&placement), s, k, &mut scratch).failed);
     });
     group.bench_function("local_search", |b| {
-        b.iter(|| {
-            local_search_worst(black_box(&placement), s, k, &AdversaryConfig::default()).failed
-        });
+        b.iter(|| local_search_worst_with(black_box(&placement), s, k, &cfg, &mut scratch).failed);
     });
     group.bench_function("exact_seeded", |b| {
         b.iter(|| {
-            let seed = local_search_worst(&placement, s, k, &AdversaryConfig::default());
-            exact_worst(black_box(&placement), s, k, u64::MAX, seed.failed)
-                .expect("completes")
-                .failed
-                .max(seed.failed)
+            let seed = local_search_worst_with(&placement, s, k, &cfg, &mut scratch);
+            exact_worst_with(
+                black_box(&placement),
+                s,
+                k,
+                u64::MAX,
+                seed.failed,
+                &mut scratch,
+            )
+            .expect("completes")
+            .failed
+            .max(seed.failed)
         });
     });
     group.finish();
 
     // Quality ablation printed once: greedy and LS vs exact.
     let exact = {
-        let seed = local_search_worst(&placement, s, k, &AdversaryConfig::default());
-        exact_worst(&placement, s, k, u64::MAX, seed.failed)
+        let seed = local_search_worst_with(&placement, s, k, &cfg, &mut scratch);
+        exact_worst_with(&placement, s, k, u64::MAX, seed.failed, &mut scratch)
             .expect("completes")
             .failed
             .max(seed.failed)
     };
-    let g = greedy_worst(&placement, s, k).failed;
-    let ls = local_search_worst(&placement, s, k, &AdversaryConfig::default()).failed;
+    let g = greedy_worst_with(&placement, s, k, &mut scratch).failed;
+    let ls = local_search_worst_with(&placement, s, k, &cfg, &mut scratch).failed;
     println!("adversary quality (n=31, b=2400, s=3, k=4): greedy={g} local={ls} exact={exact}");
 }
 
-criterion_group!(benches, bench_adversary);
+/// Measures one evaluation series: the median over batched samples,
+/// each batch long enough (~400 µs) to amortize timer and scheduler
+/// noise — run-to-run stability is what the CI regression gate needs.
+fn median_ns(mut one: impl FnMut() -> u64) -> u128 {
+    const SAMPLES: usize = 9;
+    const TARGET_SAMPLE_NS: u128 = 400_000;
+    // Warmup + calibration.
+    let est = {
+        let t = Instant::now();
+        black_box(one());
+        t.elapsed().as_nanos().max(1)
+    };
+    let iters = (TARGET_SAMPLE_NS / est).clamp(1, 10_000) as u32;
+    let mut samples: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(one());
+            }
+            t.elapsed().as_nanos() / u128::from(iters)
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[SAMPLES / 2]
+}
+
+/// Records median scalar vs packed evaluation times into the JSON
+/// snapshot the CI regression gate consumes.
+fn write_snapshot(placement: &Placement, s: u16, k: u16, cfg: &AdversaryConfig) {
+    let mut scratch = AdversaryScratch::new();
+    let series: Vec<(&str, u128)> = vec![
+        (
+            "scalar_greedy",
+            median_ns(|| reference::greedy_worst_with(placement, s, k, &mut scratch).failed),
+        ),
+        (
+            "packed_greedy",
+            median_ns(|| greedy_worst_with(placement, s, k, &mut scratch).failed),
+        ),
+        (
+            "scalar_local_search",
+            median_ns(|| {
+                reference::local_search_worst_with(placement, s, k, cfg, &mut scratch).failed
+            }),
+        ),
+        (
+            "packed_local_search",
+            median_ns(|| local_search_worst_with(placement, s, k, cfg, &mut scratch).failed),
+        ),
+        (
+            "scalar_ladder",
+            median_ns(|| scalar_ladder(placement, s, k, cfg, &mut scratch)),
+        ),
+        (
+            "packed_ladder",
+            median_ns(|| worst_case_failures_with(placement, s, k, cfg, &mut scratch).failed),
+        ),
+    ];
+    let lookup = |name: &str| {
+        series
+            .iter()
+            .find(|(nm, _)| *nm == name)
+            .map(|&(_, ns)| ns as f64)
+            .expect("series present")
+    };
+    let speedup_ladder = lookup("scalar_ladder") / lookup("packed_ladder").max(1.0);
+    let speedup_local = lookup("scalar_local_search") / lookup("packed_local_search").max(1.0);
+    let speedup_greedy = lookup("scalar_greedy") / lookup("packed_greedy").max(1.0);
+    let entries: Vec<String> = series
+        .iter()
+        .map(|(name, ns)| {
+            format!(
+                "  {{\"name\": {name:?}, \"median_ns\": {ns}, \"evals_per_second\": {:.1}}}",
+                1e9 / (*ns as f64).max(1.0)
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n\"shape\": {{\"n\": {}, \"b\": {}, \"r\": {}, \"s\": {s}, \"k\": {k}}},\n",
+            "\"series\": [\n{}\n],\n",
+            "\"speedup_ladder\": {:.2},\n",
+            "\"speedup_local_search\": {:.2},\n",
+            "\"speedup_greedy\": {:.2}\n}}\n"
+        ),
+        placement.num_nodes(),
+        placement.num_objects(),
+        placement.replicas_per_object(),
+        entries.join(",\n"),
+        speedup_ladder,
+        speedup_local,
+        speedup_greedy,
+        s = s,
+        k = k,
+    );
+    let path =
+        std::env::var("BENCH_ADVERSARY_OUT").unwrap_or_else(|_| "BENCH_adversary.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!(
+            "wrote {path} (ladder speedup {speedup_ladder:.2}x, \
+             local-search {speedup_local:.2}x, greedy {speedup_greedy:.2}x)"
+        ),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_kernel_vs_scalar, bench_fig7_scale_ladder);
 criterion_main!(benches);

@@ -1,12 +1,14 @@
 //! `bench_regression` — the CI gate over benchmark snapshots.
 //!
-//! Compares a fresh `BENCH_strategies.json` against the committed
-//! baseline and exits non-zero when any strategy family's mean pipeline
-//! time regressed beyond the threshold (default 25%), or when a family
+//! Compares a fresh snapshot (`BENCH_strategies.json` or
+//! `BENCH_adversary.json` — both schemas are understood) against the
+//! committed baseline and exits non-zero when any family's mean time
+//! regressed beyond the threshold (default 25%), or when a family
 //! vanished from the fresh snapshot:
 //!
 //! ```text
 //! bench_regression crates/bench/BENCH_strategies.json fresh.json --threshold 25
+//! bench_regression crates/bench/BENCH_adversary.json fresh-adv.json --threshold 25
 //! ```
 
 use std::process::ExitCode;

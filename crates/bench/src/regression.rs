@@ -1,10 +1,14 @@
 //! Benchmark-snapshot regression analysis.
 //!
-//! CI records a fresh `BENCH_strategies.json` on every run and compares
-//! it against the committed baseline with [`compare`]: per *strategy
-//! family* (the name up to its parameter list — `simple(x=0, λ=60)` and
-//! `simple(x=1, λ=10)` are both family `simple`), the mean of the
-//! median pipeline times must not regress by more than the threshold.
+//! CI records fresh `BENCH_strategies.json` / `BENCH_adversary.json`
+//! snapshots on every run and compares each against its committed
+//! baseline with [`compare`]: per *family* (the name up to its
+//! parameter list — `simple(x=0, λ=60)` and `simple(x=1, λ=10)` are
+//! both family `simple`; adversary series names are their own
+//! families), the mean of the median times must not regress by more
+//! than the threshold. Two snapshot schemas are accepted:
+//! `strategies[].{strategy, median_pipeline_ns}` (the engine sweep) and
+//! `series[].{name, median_ns}` (the adversary kernel-vs-scalar bench).
 //! The `bench_regression` binary wraps this as a CI-friendly exit code.
 
 use wcp_sim::json::Value;
@@ -26,29 +30,34 @@ pub fn family_of(strategy: &str) -> &str {
     strategy.split('(').next().unwrap_or(strategy).trim()
 }
 
-/// Parses a `BENCH_strategies.json` snapshot into per-family mean
-/// times, preserving first-appearance order.
+/// Parses a benchmark snapshot (either schema, see the module docs)
+/// into per-family mean times, preserving first-appearance order.
 ///
 /// # Errors
 ///
-/// A message when the document is not JSON or lacks the
-/// `strategies[].{strategy, median_pipeline_ns}` shape.
+/// A message when the document is not JSON or matches neither the
+/// `strategies[].{strategy, median_pipeline_ns}` nor the
+/// `series[].{name, median_ns}` shape.
 pub fn family_means(snapshot: &str) -> Result<Vec<FamilyTime>, String> {
     let doc = Value::parse(snapshot).map_err(|e| e.to_string())?;
-    let strategies = doc
-        .get("strategies")
-        .and_then(Value::as_array)
-        .ok_or_else(|| "snapshot has no \"strategies\" array".to_string())?;
+    let (entries, name_key, ns_key) =
+        if let Some(arr) = doc.get("strategies").and_then(Value::as_array) {
+            (arr, "strategy", "median_pipeline_ns")
+        } else if let Some(arr) = doc.get("series").and_then(Value::as_array) {
+            (arr, "name", "median_ns")
+        } else {
+            return Err("snapshot has neither a \"strategies\" nor a \"series\" array".to_string());
+        };
     let mut families: Vec<FamilyTime> = Vec::new();
-    for entry in strategies {
+    for entry in entries {
         let name = entry
-            .get("strategy")
+            .get(name_key)
             .and_then(Value::as_str)
-            .ok_or_else(|| "strategy entry without a \"strategy\" name".to_string())?;
+            .ok_or_else(|| format!("snapshot entry without a \"{name_key}\" name"))?;
         let ns = entry
-            .get("median_pipeline_ns")
+            .get(ns_key)
             .and_then(Value::as_f64)
-            .ok_or_else(|| format!("strategy '{name}' lacks \"median_pipeline_ns\""))?;
+            .ok_or_else(|| format!("entry '{name}' lacks \"{ns_key}\""))?;
         let family = family_of(name);
         match families.iter_mut().find(|f| f.family == family) {
             Some(f) => {
@@ -64,7 +73,7 @@ pub fn family_means(snapshot: &str) -> Result<Vec<FamilyTime>, String> {
         }
     }
     if families.is_empty() {
-        return Err("snapshot contains no strategies".to_string());
+        return Err("snapshot contains no entries".to_string());
     }
     Ok(families)
 }
@@ -220,10 +229,63 @@ mod tests {
     }
 
     #[test]
+    fn series_schema_parses_and_gates() {
+        let snap = concat!(
+            "{\"shape\": {\"n\": 71}, \"series\": [\n",
+            "  {\"name\": \"scalar_ladder\", \"median_ns\": 1000},\n",
+            "  {\"name\": \"packed_ladder\", \"median_ns\": 100}\n",
+            "]}"
+        );
+        let fams = family_means(snap).unwrap();
+        assert_eq!(fams.len(), 2);
+        assert_eq!(fams[0].family, "scalar_ladder");
+        let regressed = concat!(
+            "{\"series\": [\n",
+            "  {\"name\": \"scalar_ladder\", \"median_ns\": 1000},\n",
+            "  {\"name\": \"packed_ladder\", \"median_ns\": 200}\n",
+            "]}"
+        );
+        let deltas = compare(snap, regressed).unwrap();
+        assert!(deltas
+            .iter()
+            .find(|d| d.family == "packed_ladder")
+            .unwrap()
+            .regressed(0.25));
+        assert!(!deltas
+            .iter()
+            .find(|d| d.family == "scalar_ladder")
+            .unwrap()
+            .regressed(0.25));
+    }
+
+    #[test]
+    fn committed_adversary_snapshot_records_the_kernel_speedup() {
+        // The acceptance artifact: both series present, word-parallel
+        // ladder ≥ 5× over the scalar baseline on the acceptance shape.
+        let text = include_str!("../BENCH_adversary.json");
+        let fams = family_means(text).unwrap();
+        let ns_of = |name: &str| {
+            fams.iter()
+                .find(|f| f.family == name)
+                .unwrap_or_else(|| panic!("series {name} missing"))
+                .mean_ns
+        };
+        assert!(ns_of("packed_local_search") > 0.0);
+        assert!(ns_of("scalar_local_search") > 0.0);
+        let speedup = ns_of("scalar_ladder") / ns_of("packed_ladder");
+        assert!(
+            speedup >= 5.0,
+            "committed ladder speedup {speedup:.2}x below the 5x acceptance bar"
+        );
+    }
+
+    #[test]
     fn malformed_snapshots_error() {
         assert!(family_means("{}").is_err());
         assert!(family_means("{\"strategies\": []}").is_err());
+        assert!(family_means("{\"series\": []}").is_err());
         assert!(family_means("{\"strategies\": [{\"strategy\": \"x\"}]}").is_err());
+        assert!(family_means("{\"series\": [{\"name\": \"x\"}]}").is_err());
         assert!(family_means("nope").is_err());
     }
 }

@@ -77,7 +77,7 @@ impl Attacker for ExhaustiveAttacker {
         }
         // Probe ladder: k heaviest-loaded nodes, then every k-arc of
         // consecutive nodes (strong against ring-like placements).
-        let loads = placement.loads();
+        let loads = placement.cached_loads();
         let mut by_load: Vec<u16> = (0..n).collect();
         by_load.sort_by_key(|&nd| std::cmp::Reverse(loads[usize::from(nd)]));
         let mut heavy: Vec<u16> = by_load.into_iter().take(usize::from(k)).collect();
@@ -119,7 +119,7 @@ impl LoadStats {
     /// Computes the statistics of a placement's node loads.
     #[must_use]
     pub fn of(placement: &Placement) -> Self {
-        let loads = placement.loads();
+        let loads = placement.cached_loads();
         let total: u64 = loads.iter().map(|&l| u64::from(l)).sum();
         Self {
             min: loads.iter().copied().min().unwrap_or(0),

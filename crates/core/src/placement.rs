@@ -1,6 +1,7 @@
 //! The placement mapping `π : O → 2^N`.
 
 use crate::PlacementError;
+use std::sync::OnceLock;
 
 /// A replica placement: for each object, the sorted set of `r` distinct
 /// nodes hosting its replicas.
@@ -16,12 +17,24 @@ use crate::PlacementError;
 /// assert_eq!(p.replicas(1), &[2, 4]);
 /// # Ok::<(), wcp_core::PlacementError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Placement {
     n: u16,
     r: u16,
     replica_sets: Vec<Vec<u16>>,
+    /// Lazily computed per-node loads, shared by every
+    /// [`Placement::cached_loads`] caller; reset on mutation.
+    loads_cache: OnceLock<Vec<u32>>,
 }
+
+impl PartialEq for Placement {
+    fn eq(&self, other: &Self) -> bool {
+        // The load cache is derived state and must not affect equality.
+        self.n == other.n && self.r == other.r && self.replica_sets == other.replica_sets
+    }
+}
+
+impl Eq for Placement {}
 
 impl Placement {
     /// Validates and wraps replica sets: each must be sorted, duplicate
@@ -44,7 +57,12 @@ impl Placement {
                 )));
             }
         }
-        Ok(Self { n, r, replica_sets })
+        Ok(Self {
+            n,
+            r,
+            replica_sets,
+            loads_cache: OnceLock::new(),
+        })
     }
 
     /// Number of nodes `n`.
@@ -81,22 +99,34 @@ impl Placement {
         &self.replica_sets
     }
 
-    /// Per-node load (number of replicas hosted).
+    /// Per-node load (number of replicas hosted), as a fresh vector the
+    /// caller may mutate. Hot paths that only read should prefer
+    /// [`Placement::cached_loads`].
     #[must_use]
     pub fn loads(&self) -> Vec<u32> {
-        let mut loads = vec![0u32; self.n as usize];
-        for set in &self.replica_sets {
-            for &nd in set {
-                loads[nd as usize] += 1;
+        self.cached_loads().to_vec()
+    }
+
+    /// Per-node load, computed once per placement and memoized: repeated
+    /// calls (adversary restarts, per-cell evaluations) are free after
+    /// the first.
+    #[must_use]
+    pub fn cached_loads(&self) -> &[u32] {
+        self.loads_cache.get_or_init(|| {
+            let mut loads = vec![0u32; self.n as usize];
+            for set in &self.replica_sets {
+                for &nd in set {
+                    loads[nd as usize] += 1;
+                }
             }
-        }
-        loads
+            loads
+        })
     }
 
     /// Maximum per-node load.
     #[must_use]
     pub fn max_load(&self) -> u32 {
-        self.loads().into_iter().max().unwrap_or(0)
+        self.cached_loads().iter().copied().max().unwrap_or(0)
     }
 
     /// For each node, the list of objects with a replica there (the
@@ -110,6 +140,64 @@ impl Placement {
             }
         }
         idx
+    }
+
+    /// The inverted index in CSR form: `offsets` has `n + 1` entries and
+    /// node `nd`'s objects are `objects[offsets[nd]..offsets[nd + 1]]`,
+    /// sorted ascending. One flat allocation instead of `n` inner
+    /// vectors — the cache-friendly shape the word-parallel adversary
+    /// kernel consumes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wcp_core::Placement;
+    ///
+    /// let p = Placement::new(4, 2, vec![vec![0, 1], vec![1, 3]])?;
+    /// let (offsets, objects) = p.objects_by_node_flat();
+    /// assert_eq!(offsets, vec![0, 1, 3, 3, 4]);
+    /// assert_eq!(objects, vec![0, 0, 1, 1]);
+    /// # Ok::<(), wcp_core::PlacementError>(())
+    /// ```
+    #[must_use]
+    pub fn objects_by_node_flat(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut offsets = Vec::new();
+        let mut objects = Vec::new();
+        self.objects_by_node_flat_into(&mut offsets, &mut objects);
+        (offsets, objects)
+    }
+
+    /// [`Placement::objects_by_node_flat`] writing into caller-owned
+    /// buffers, so batch evaluators rebuild the index without
+    /// reallocating.
+    pub fn objects_by_node_flat_into(&self, offsets: &mut Vec<u32>, objects: &mut Vec<u32>) {
+        let n = self.n as usize;
+        offsets.clear();
+        offsets.resize(n + 1, 0);
+        for set in &self.replica_sets {
+            for &nd in set {
+                offsets[nd as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        objects.clear();
+        objects.resize(offsets[n] as usize, 0);
+        // Fill using offsets[nd] as a running cursor (rows come out
+        // ascending because objects are visited in order), then shift the
+        // offsets back into place.
+        for (obj, set) in self.replica_sets.iter().enumerate() {
+            for &nd in set {
+                let cursor = &mut offsets[nd as usize];
+                objects[*cursor as usize] = obj as u32;
+                *cursor += 1;
+            }
+        }
+        for i in (1..=n).rev() {
+            offsets[i] = offsets[i - 1];
+        }
+        offsets[0] = 0;
     }
 
     /// Counts objects failed by the failure of node set `failed` (sorted or
@@ -146,6 +234,7 @@ impl Placement {
             )));
         }
         self.replica_sets.extend(other.replica_sets);
+        self.loads_cache = OnceLock::new();
         Ok(())
     }
 }
@@ -184,6 +273,43 @@ mod tests {
         let idx = p.objects_by_node();
         assert_eq!(idx[0], vec![0, 1, 3]);
         assert_eq!(idx[2], vec![0]);
+    }
+
+    #[test]
+    fn csr_index_matches_nested_index() {
+        let p = sample();
+        let nested = p.objects_by_node();
+        let (offsets, objects) = p.objects_by_node_flat();
+        assert_eq!(offsets.len(), usize::from(p.num_nodes()) + 1);
+        assert_eq!(
+            objects.len(),
+            p.num_objects() * usize::from(p.replicas_per_object())
+        );
+        for nd in 0..usize::from(p.num_nodes()) {
+            let row = &objects[offsets[nd] as usize..offsets[nd + 1] as usize];
+            assert_eq!(row, nested[nd].as_slice(), "node {nd}");
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {nd} sorted");
+        }
+        // The `_into` variant reuses buffers across differently shaped
+        // placements.
+        let q = Placement::new(3, 2, vec![vec![0, 2], vec![1, 2]]).unwrap();
+        let (mut offsets, mut objects) = (offsets, objects);
+        q.objects_by_node_flat_into(&mut offsets, &mut objects);
+        assert_eq!(offsets, vec![0, 1, 2, 4]);
+        assert_eq!(objects, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn cached_loads_survive_and_reset_on_extend() {
+        let mut p = sample();
+        assert_eq!(p.cached_loads(), &[3, 2, 1, 2, 2, 2]);
+        assert_eq!(p.cached_loads(), p.loads().as_slice());
+        p.extend(Placement::new(6, 3, vec![vec![1, 2, 3]]).unwrap())
+            .unwrap();
+        assert_eq!(p.cached_loads(), &[3, 3, 2, 3, 2, 2]);
+        // Equality ignores the memoized cache.
+        let q = p.clone();
+        assert_eq!(p, q);
     }
 
     #[test]
