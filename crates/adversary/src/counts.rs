@@ -176,6 +176,21 @@ impl FailureCounts {
             .filter_map(|(i, &inside)| inside.then_some(i as u16))
             .collect()
     }
+
+    /// The accounting threshold `s`.
+    pub(crate) fn threshold(&self) -> u16 {
+        self.s
+    }
+
+    /// Ids of the objects with a replica on `node` (ascending).
+    pub(crate) fn objects_on(&self, node: u16) -> &[u32] {
+        &self.by_node[usize::from(node)]
+    }
+
+    /// Current hit count of one object.
+    pub(crate) fn hit_count(&self, obj: usize) -> u16 {
+        self.hits[obj]
+    }
 }
 
 /// The word-parallel failure-accounting kernel.

@@ -31,14 +31,26 @@
 //! [`FailureCounts`] backend remains as the reference oracle, and the
 //! pre-kernel ladder survives in [`mod@reference`] for differential testing
 //! and as the benchmark baseline.
+//!
+//! The [`mod@domain`] module lifts the whole ladder to *hierarchical
+//! failure domains*: [`domain_worst_case_failures`] spends the budget
+//! on tree nodes of a `wcp_core::Topology` (leaves, racks, zones —
+//! failing an internal node fails its whole leaf set), degenerating to
+//! the per-node ladder bit for bit on the flat topology;
+//! [`DomainAttacker`] plugs it into the `Engine` pipeline.
 
 mod bitmap;
 mod counts;
+pub mod domain;
 mod exact;
 pub mod reference;
 mod search;
 
 pub use counts::{FailureCounts, PackedCounts};
+pub use domain::{
+    domain_exact_worst, domain_greedy_worst, domain_local_search_worst, domain_worst_case_failures,
+    DomainAttacker, DomainWorstCase,
+};
 pub use exact::{exact_worst, exact_worst_with};
 pub use search::{greedy_worst, greedy_worst_with, local_search_worst, local_search_worst_with};
 

@@ -1,0 +1,205 @@
+//! Differential property suite for the domain adversary:
+//!
+//! 1. **flat ≡ node**: on the flat topology the domain ladder must
+//!    reproduce the current per-node adversary's [`WorstCase`] *bit for
+//!    bit* — same failed count, same witness node set, same exactness —
+//!    for greedy, local search, the exact DFS and the auto ladder;
+//! 2. **packed ≡ scalar**: across random multi-level topologies and
+//!    placements, the word-parallel domain backend and the scalar
+//!    reference backend must produce identical [`DomainWorstCase`]s;
+//! 3. the exact domain search must match brute-force enumeration over
+//!    all `k`-subsets of failure units.
+
+use proptest::prelude::*;
+use wcp_adversary::domain::scalar;
+use wcp_adversary::{
+    domain_exact_worst, domain_greedy_worst, domain_local_search_worst, domain_worst_case_failures,
+    exact_worst, greedy_worst, local_search_worst, worst_case_failures, AdversaryConfig,
+};
+use wcp_combin::KSubsets;
+use wcp_core::{Placement, RandomStrategy, RandomVariant, SystemParams, Topology};
+
+fn placement(n: u16, b: u64, r: u16, seed: u64) -> Placement {
+    let params = SystemParams::new(n, b, r, 1, 1).expect("valid");
+    RandomStrategy::new(seed, RandomVariant::LoadBalanced)
+        .place(&params)
+        .expect("sample")
+}
+
+/// A seeded two-level topology over `n` nodes: `racks` bottom domains,
+/// optionally grouped into `zones`.
+fn topology(n: u16, racks: u16, zones: u16) -> Topology {
+    if zones > 0 {
+        Topology::split(n, &[racks, zones]).expect("valid split")
+    } else {
+        Topology::split(n, &[racks]).expect("valid split")
+    }
+}
+
+/// Failed objects for an explicit unit subset, from the definition.
+fn failed_by_units(p: &Placement, topo: &Topology, units: &[u16], s: u16) -> u64 {
+    let all = topo.failure_units();
+    let mut nodes: Vec<u16> = units
+        .iter()
+        .flat_map(|&u| all[usize::from(u)].nodes.iter().copied())
+        .collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    p.failed_objects(&nodes, s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Flat topology ≡ the per-node adversary, WorstCase bit for bit,
+    /// across the whole ladder.
+    #[test]
+    fn flat_topology_reproduces_node_adversary(
+        n in 6u16..24,
+        b in 4u64..150,
+        r in 2u16..=4,
+        k in 1u16..=5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(r <= n && k < n);
+        let p = placement(n, b, r, seed);
+        let flat = Topology::flat(n);
+        let cfg = AdversaryConfig::default();
+        for s in 1..=r {
+            let node = greedy_worst(&p, s, k);
+            let dom = domain_greedy_worst(&p, &flat, s, k);
+            prop_assert_eq!(&dom.nodes, &node.nodes, "greedy witness s={} k={}", s, k);
+            prop_assert_eq!(dom.failed, node.failed, "greedy s={} k={}", s, k);
+            let units: Vec<u32> = dom.nodes.iter().map(|&nd| u32::from(nd)).collect();
+            prop_assert_eq!(&dom.units, &units, "flat units are the leaves");
+
+            let node = local_search_worst(&p, s, k, &cfg);
+            let dom = domain_local_search_worst(&p, &flat, s, k, &cfg);
+            prop_assert_eq!(&dom.nodes, &node.nodes, "ls witness s={} k={}", s, k);
+            prop_assert_eq!((dom.failed, dom.exact), (node.failed, node.exact));
+
+            let node = exact_worst(&p, s, k, u64::MAX, 0).expect("no budget");
+            let dom = domain_exact_worst(&p, &flat, s, k, u64::MAX, 0).expect("no budget");
+            prop_assert_eq!(&dom.nodes, &node.nodes, "exact witness s={} k={}", s, k);
+            prop_assert_eq!((dom.failed, dom.exact), (node.failed, node.exact));
+
+            let node = worst_case_failures(&p, s, k, &cfg);
+            let dom = domain_worst_case_failures(&p, &flat, s, k, &cfg);
+            prop_assert_eq!(&dom.nodes, &node.nodes, "ladder witness s={} k={}", s, k);
+            prop_assert_eq!((dom.failed, dom.exact), (node.failed, node.exact));
+        }
+    }
+
+    /// Packed ≡ scalar across random multi-level topologies: full
+    /// `DomainWorstCase` equality for every rung of the ladder.
+    #[test]
+    fn packed_domain_ladder_matches_scalar_reference(
+        n in 6u16..22,
+        b in 4u64..120,
+        r in 2u16..=4,
+        racks in 2u16..=6,
+        zones in 0u16..=2,
+        k in 1u16..=4,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(r <= n && racks <= n && (zones == 0 || zones <= racks));
+        let p = placement(n, b, r, seed);
+        let topo = topology(n, racks, zones);
+        let cfg = AdversaryConfig::default();
+        for s in 1..=r {
+            prop_assert_eq!(
+                domain_greedy_worst(&p, &topo, s, k),
+                scalar::domain_greedy_worst(&p, &topo, s, k),
+                "greedy s={} k={}", s, k
+            );
+            prop_assert_eq!(
+                domain_local_search_worst(&p, &topo, s, k, &cfg),
+                scalar::domain_local_search_worst(&p, &topo, s, k, &cfg),
+                "local search s={} k={}", s, k
+            );
+            prop_assert_eq!(
+                domain_exact_worst(&p, &topo, s, k, u64::MAX, 0),
+                scalar::domain_exact_worst(&p, &topo, s, k, u64::MAX, 0),
+                "exact s={} k={}", s, k
+            );
+            prop_assert_eq!(
+                domain_worst_case_failures(&p, &topo, s, k, &cfg),
+                scalar::domain_worst_case_failures(&p, &topo, s, k, &cfg),
+                "ladder s={} k={}", s, k
+            );
+        }
+    }
+
+    /// The exact domain search equals brute force over unit subsets,
+    /// and its witness achieves the reported damage.
+    #[test]
+    fn exact_domain_search_matches_unit_brute_force(
+        n in 6u16..14,
+        b in 4u64..50,
+        r in 2u16..=3,
+        racks in 2u16..=4,
+        k in 1u16..=3,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(r <= n && racks <= n);
+        let p = placement(n, b, r, seed);
+        let topo = topology(n, racks, 0);
+        let units = topo.failure_units().len() as u16;
+        for s in 1..=r {
+            let expect = KSubsets::new(units, k)
+                .map(|subset| failed_by_units(&p, &topo, &subset, s))
+                .max()
+                .unwrap_or(0);
+            let wc = domain_worst_case_failures(&p, &topo, s, k, &AdversaryConfig::default());
+            prop_assert!(wc.exact, "s={} k={}", s, k);
+            prop_assert_eq!(wc.failed, expect, "s={} k={}", s, k);
+            prop_assert_eq!(
+                p.failed_objects(&wc.nodes, s), wc.failed,
+                "witness s={} k={}", s, k
+            );
+        }
+    }
+
+    /// A starved exact budget degrades identically on both backends
+    /// (whether the bounds let the DFS finish anyway or the heuristic
+    /// fallback kicks in), and the witness stays valid.
+    #[test]
+    fn budget_exhaustion_parity(
+        n in 10u16..20,
+        b in 30u64..100,
+        racks in 2u16..=5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(racks <= n);
+        let p = placement(n, b, 3, seed);
+        let topo = topology(n, racks, 0);
+        let tight = AdversaryConfig { exact_budget: 3, ..AdversaryConfig::default() };
+        let packed = domain_worst_case_failures(&p, &topo, 2, 3, &tight);
+        let oracle = scalar::domain_worst_case_failures(&p, &topo, 2, 3, &tight);
+        prop_assert_eq!(&packed, &oracle);
+        prop_assert_eq!(p.failed_objects(&packed.nodes, 2), packed.failed);
+    }
+}
+
+/// The acceptance shape (n=71, b=1200, r=3, s=2, k=3): flat parity with
+/// the node ladder, and the rack topology strictly dominates it.
+#[test]
+fn acceptance_shape_flat_parity_and_rack_domination() {
+    let p = placement(71, 1200, 3, 0xd0d0);
+    let cfg = AdversaryConfig::default();
+    let node = worst_case_failures(&p, 2, 3, &cfg);
+    let flat = domain_worst_case_failures(&p, &Topology::flat(71), 2, 3, &cfg);
+    assert_eq!(flat.nodes, node.nodes);
+    assert_eq!(flat.failed, node.failed);
+    assert_eq!(flat.exact, node.exact);
+
+    let racks = Topology::split(71, &[12]).unwrap();
+    let dom = domain_worst_case_failures(&p, &racks, 2, 3, &cfg);
+    assert!(
+        dom.failed > node.failed,
+        "three rack failures ({} objects) should beat three node failures ({})",
+        dom.failed,
+        node.failed
+    );
+    assert_eq!(p.failed_objects(&dom.nodes, 2), dom.failed);
+}

@@ -12,12 +12,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Instant;
 use wcp_adversary::{
     exact_worst_with, greedy_worst_with, local_search_worst_with, reference,
     worst_case_failures_with, AdversaryConfig, AdversaryScratch,
 };
-use wcp_bench::fixture_placement;
+use wcp_bench::{fixture_placement, median_ns};
 use wcp_core::Placement;
 
 /// The churn acceptance shape from ROADMAP/PR 3: n=71, b=1200, r=3.
@@ -121,32 +120,6 @@ fn bench_fig7_scale_ladder(c: &mut Criterion) {
     let g = greedy_worst_with(&placement, s, k, &mut scratch).failed;
     let ls = local_search_worst_with(&placement, s, k, &cfg, &mut scratch).failed;
     println!("adversary quality (n=31, b=2400, s=3, k=4): greedy={g} local={ls} exact={exact}");
-}
-
-/// Measures one evaluation series: the median over batched samples,
-/// each batch long enough (~400 µs) to amortize timer and scheduler
-/// noise — run-to-run stability is what the CI regression gate needs.
-fn median_ns(mut one: impl FnMut() -> u64) -> u128 {
-    const SAMPLES: usize = 9;
-    const TARGET_SAMPLE_NS: u128 = 400_000;
-    // Warmup + calibration.
-    let est = {
-        let t = Instant::now();
-        black_box(one());
-        t.elapsed().as_nanos().max(1)
-    };
-    let iters = (TARGET_SAMPLE_NS / est).clamp(1, 10_000) as u32;
-    let mut samples: Vec<u128> = (0..SAMPLES)
-        .map(|_| {
-            let t = Instant::now();
-            for _ in 0..iters {
-                black_box(one());
-            }
-            t.elapsed().as_nanos() / u128::from(iters)
-        })
-        .collect();
-    samples.sort_unstable();
-    samples[SAMPLES / 2]
 }
 
 /// Records median scalar vs packed evaluation times into the JSON

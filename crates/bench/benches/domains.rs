@@ -1,0 +1,122 @@
+//! Domain-adversary throughput: the failure-domain ladder vs the flat
+//! per-node ladder on the acceptance shape (n=71, b=1200, r=3, s=2,
+//! k=3).
+//!
+//! Three series: the plain node ladder (the baseline every earlier PR
+//! tracked), the domain ladder on the *flat* topology (what the unit
+//! indirection costs when every unit is one leaf), and the domain
+//! ladder on a 12-rack topology (the correlated-failure workload this
+//! bench exists to gate). Besides the criterion measurements, the run
+//! writes a `BENCH_domains.json` snapshot (override the path with the
+//! `BENCH_DOMAINS_OUT` environment variable) that CI's
+//! `bench_regression` gate compares against the committed baseline at
+//! the 25% threshold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wcp_adversary::{domain_worst_case_failures, worst_case_failures, AdversaryConfig};
+use wcp_bench::{fixture_placement, median_ns};
+use wcp_core::{Placement, Topology};
+
+/// The churn/adversary acceptance shape: n=71, b=1200, r=3.
+fn acceptance_placement() -> Placement {
+    fixture_placement(71, 1200, 3)
+}
+
+fn bench_domain_vs_flat(c: &mut Criterion) {
+    let placement = acceptance_placement();
+    let (s, k) = (2u16, 3u16);
+    let cfg = AdversaryConfig::default();
+    let flat = Topology::flat(71);
+    let racks = Topology::split(71, &[12]).expect("12 racks over 71 nodes");
+
+    let mut group = c.benchmark_group("domains_n71_b1200_s2_k3");
+    group.sample_size(10);
+    group.bench_function("node_ladder", |b| {
+        b.iter(|| worst_case_failures(black_box(&placement), s, k, &cfg).failed);
+    });
+    group.bench_function("flat_domain_ladder", |b| {
+        b.iter(|| domain_worst_case_failures(black_box(&placement), &flat, s, k, &cfg).failed);
+    });
+    group.bench_function("rack_domain_ladder", |b| {
+        b.iter(|| domain_worst_case_failures(black_box(&placement), &racks, s, k, &cfg).failed);
+    });
+    group.finish();
+
+    write_snapshot(&placement, &flat, &racks, s, k, &cfg);
+}
+
+/// Records the three ladder series into the JSON snapshot the CI
+/// regression gate consumes.
+fn write_snapshot(
+    placement: &Placement,
+    flat: &Topology,
+    racks: &Topology,
+    s: u16,
+    k: u16,
+    cfg: &AdversaryConfig,
+) {
+    let series: Vec<(&str, u128)> = vec![
+        (
+            "node_ladder",
+            median_ns(|| worst_case_failures(placement, s, k, cfg).failed),
+        ),
+        (
+            "flat_domain_ladder",
+            median_ns(|| domain_worst_case_failures(placement, flat, s, k, cfg).failed),
+        ),
+        (
+            "rack_domain_ladder",
+            median_ns(|| domain_worst_case_failures(placement, racks, s, k, cfg).failed),
+        ),
+    ];
+    let lookup = |name: &str| {
+        series
+            .iter()
+            .find(|(nm, _)| *nm == name)
+            .map(|&(_, ns)| ns as f64)
+            .expect("series present")
+    };
+    // The unit indirection's cost on the flat topology, and how much a
+    // real rack tree costs relative to flat — the two ratios the README
+    // documents.
+    let flat_overhead = lookup("flat_domain_ladder") / lookup("node_ladder").max(1.0);
+    let rack_vs_flat = lookup("rack_domain_ladder") / lookup("flat_domain_ladder").max(1.0);
+    let entries: Vec<String> = series
+        .iter()
+        .map(|(name, ns)| {
+            format!(
+                "  {{\"name\": {name:?}, \"median_ns\": {ns}, \"evals_per_second\": {:.1}}}",
+                1e9 / (*ns as f64).max(1.0)
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n\"shape\": {{\"n\": {}, \"b\": {}, \"r\": {}, \"s\": {s}, \"k\": {k}, ",
+            "\"racks\": {}}},\n",
+            "\"series\": [\n{}\n],\n",
+            "\"flat_overhead\": {:.2},\n",
+            "\"rack_vs_flat\": {:.2}\n}}\n"
+        ),
+        placement.num_nodes(),
+        placement.num_objects(),
+        placement.replicas_per_object(),
+        racks.domains_at(1),
+        entries.join(",\n"),
+        flat_overhead,
+        rack_vs_flat,
+        s = s,
+        k = k,
+    );
+    let path = std::env::var("BENCH_DOMAINS_OUT").unwrap_or_else(|_| "BENCH_domains.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!(
+            "wrote {path} (flat overhead {flat_overhead:.2}x, rack vs flat {rack_vs_flat:.2}x)"
+        ),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_domain_vs_flat);
+criterion_main!(benches);

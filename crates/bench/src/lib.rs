@@ -30,3 +30,33 @@ pub fn fixture_placement(n: u16, b: u64, r: u16) -> Placement {
     .build(&params)
     .expect("fixture placement samples")
 }
+
+/// Measures one evaluation series for a `BENCH_*.json` snapshot: the
+/// median over batched samples, each batch long enough (~400 µs) to
+/// amortize timer and scheduler noise — run-to-run stability is what
+/// the CI regression gate needs. Every snapshot-writing bench must use
+/// this (not its own scheme) so the gate compares like with like.
+pub fn median_ns(mut one: impl FnMut() -> u64) -> u128 {
+    use std::hint::black_box;
+    use std::time::Instant;
+    const SAMPLES: usize = 9;
+    const TARGET_SAMPLE_NS: u128 = 400_000;
+    // Warmup + calibration.
+    let est = {
+        let t = Instant::now();
+        black_box(one());
+        t.elapsed().as_nanos().max(1)
+    };
+    let iters = (TARGET_SAMPLE_NS / est).clamp(1, 10_000) as u32;
+    let mut samples: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(one());
+            }
+            t.elapsed().as_nanos() / u128::from(iters)
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[SAMPLES / 2]
+}

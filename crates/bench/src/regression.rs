@@ -1,8 +1,8 @@
 //! Benchmark-snapshot regression analysis.
 //!
-//! CI records fresh `BENCH_strategies.json` / `BENCH_adversary.json`
-//! snapshots on every run and compares each against its committed
-//! baseline with [`compare`]: per *family* (the name up to its
+//! CI records fresh `BENCH_strategies.json` / `BENCH_adversary.json` /
+//! `BENCH_domains.json` snapshots on every run and compares each
+//! against its committed baseline with [`compare`]: per *family* (the name up to its
 //! parameter list — `simple(x=0, λ=60)` and `simple(x=1, λ=10)` are
 //! both family `simple`; adversary series names are their own
 //! families), the mean of the median times must not regress by more
@@ -277,6 +277,32 @@ mod tests {
             speedup >= 5.0,
             "committed ladder speedup {speedup:.2}x below the 5x acceptance bar"
         );
+    }
+
+    #[test]
+    fn committed_domains_snapshot_records_all_three_ladders() {
+        // The failure-domain gate's baseline: node ladder, flat domain
+        // ladder and rack domain ladder all present with positive
+        // medians, and the flat indirection within a sane envelope of
+        // the node ladder (it shares the same kernel; 2x would mean the
+        // unit layer regressed badly).
+        let text = include_str!("../BENCH_domains.json");
+        let fams = family_means(text).unwrap();
+        let ns_of = |name: &str| {
+            fams.iter()
+                .find(|f| f.family == name)
+                .unwrap_or_else(|| panic!("series {name} missing"))
+                .mean_ns
+        };
+        assert!(ns_of("rack_domain_ladder") > 0.0);
+        let overhead = ns_of("flat_domain_ladder") / ns_of("node_ladder");
+        assert!(
+            overhead < 2.0,
+            "flat domain ladder {overhead:.2}x over the node ladder"
+        );
+        // And the gate itself accepts the snapshot against itself.
+        let deltas = compare(text, text).unwrap();
+        assert!(deltas.iter().all(|d| !d.regressed(0.25)));
     }
 
     #[test]

@@ -70,6 +70,7 @@
 
 use crate::engine::{Attacker, ExhaustiveAttacker};
 use crate::strategy::{PlacementStrategy, PlannerContext, StrategyKind};
+use crate::topology::Topology;
 use crate::{Placement, PlacementError, RandomVariant, SystemParams};
 
 /// A cluster-membership event (the dynamic half of the model; the
@@ -344,6 +345,7 @@ pub struct DynamicEngine<A: Attacker = ExhaustiveAttacker> {
     slots: Vec<Slot>,
     placement: Placement,
     movement: MovementReport,
+    topology: Option<Topology>,
 }
 
 impl DynamicEngine<ExhaustiveAttacker> {
@@ -411,11 +413,55 @@ impl<A: Attacker> DynamicEngine<A> {
             // Placeholder replaced by the initial plan below.
             placement: Placement::new(capacity, params.r(), Vec::new())?,
             movement: MovementReport::default(),
+            topology: None,
         };
         let (strategy, compact) = engine.plan_for(params.n())?;
         let built = strategy.build(&compact)?;
         engine.placement = engine.widen(&built)?;
         Ok(engine)
+    }
+
+    /// Attaches a failure-domain tree over the *slot universe*: every
+    /// event's slot identifies its domain through this topology, and
+    /// repair from then on prefers domain-preserving re-homes — a
+    /// departed replica moves to the least-loaded node that does not
+    /// co-locate with the object's surviving replicas (least shared
+    /// tree depth first), and arrivals drain donors the same way.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::InvalidEvent`] when the topology's node count is
+    /// not the engine's `capacity`.
+    pub fn with_topology(mut self, topology: Topology) -> Result<Self, DynamicError> {
+        if topology.num_nodes() != self.capacity {
+            return Err(DynamicError::InvalidEvent(format!(
+                "topology spans {} nodes, slot universe has {}",
+                topology.num_nodes(),
+                self.capacity
+            )));
+        }
+        self.topology = Some(topology);
+        Ok(self)
+    }
+
+    /// The attached slot-universe topology, if any.
+    #[must_use]
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
+    /// The deepest tree level `node` shares with any member of `set`
+    /// other than `skip` (0 without a topology — every re-home is then
+    /// domain neutral and repair degenerates to the topology-oblivious
+    /// least-loaded choice exactly).
+    fn collision_excluding(&self, node: u16, set: &[u16], skip: u16) -> u16 {
+        self.topology.as_ref().map_or(0, |t| {
+            set.iter()
+                .filter(|&&o| o != node && o != skip)
+                .map(|&o| t.shared_depth(node, o))
+                .max()
+                .unwrap_or(0)
+        })
     }
 
     /// The live placement (over the full `capacity` slot space; down
@@ -630,7 +676,10 @@ impl<A: Attacker> DynamicEngine<A> {
     }
 
     /// Re-homes every replica living on the departed node `v` to the
-    /// least-loaded up node not already in the object's set.
+    /// least-loaded up node not already in the object's set. With a
+    /// topology attached, domain preservation ranks first: among the up
+    /// candidates, the one sharing the least tree depth with the
+    /// object's surviving replicas wins, load and id breaking ties.
     fn repair_departure(&self, v: u16) -> Result<(Placement, u64), DynamicError> {
         let mut sets = self.placement.replica_sets().to_vec();
         let mut loads = self.placement.loads();
@@ -644,7 +693,13 @@ impl<A: Attacker> DynamicEngine<A> {
                 .iter()
                 .copied()
                 .filter(|w| set.binary_search(w).is_err())
-                .min_by_key(|&w| (loads[usize::from(w)], w));
+                .min_by_key(|&w| {
+                    (
+                        self.collision_excluding(w, set, v),
+                        loads[usize::from(w)],
+                        w,
+                    )
+                });
             let Some(w) = target else {
                 return Err(DynamicError::InsufficientNodes {
                     active: active.len() as u16,
@@ -666,7 +721,9 @@ impl<A: Attacker> DynamicEngine<A> {
 
     /// Pulls the newly arrived node `v` up to the floor of the mean load
     /// by draining replicas from the heaviest up nodes (bounded
-    /// movement: at most `⌊rb/active⌋` replicas).
+    /// movement: at most `⌊rb/active⌋` replicas). With a topology
+    /// attached, each donor prefers handing over the object whose
+    /// remaining replicas co-locate least with the newcomer.
     fn rebalance_arrival(&self, v: u16) -> (Placement, u64) {
         let mut sets = self.placement.replica_sets().to_vec();
         let mut loads = self.placement.loads();
@@ -682,9 +739,17 @@ impl<A: Attacker> DynamicEngine<A> {
                 .collect();
             donors.sort_by_key(|&w| (std::cmp::Reverse(loads[usize::from(w)]), w));
             for w in donors {
-                let donated = sets
+                let mut eligible = sets
                     .iter_mut()
-                    .find(|set| set.binary_search(&w).is_ok() && set.binary_search(&v).is_err());
+                    .filter(|set| set.binary_search(&w).is_ok() && set.binary_search(&v).is_err());
+                // Without a topology every candidate keys to 0, so the
+                // early-exit first match IS the minimum — keep the
+                // O(first hit) scan instead of walking all b sets.
+                let donated = if self.topology.is_none() {
+                    eligible.next()
+                } else {
+                    eligible.min_by_key(|set| self.collision_excluding(v, set, w))
+                };
                 if let Some(set) = donated {
                     let i = set.binary_search(&w).expect("w in set");
                     set.remove(i);
@@ -899,6 +964,100 @@ mod tests {
             engine.apply(event.into()).unwrap();
             engine.validate().unwrap();
         }
+    }
+
+    /// Replica pairs sharing any failure domain, summed over objects.
+    fn collisions(placement: &Placement, topo: &Topology) -> u64 {
+        placement
+            .replica_sets()
+            .iter()
+            .map(|set| {
+                let mut c = 0u64;
+                for (i, &a) in set.iter().enumerate() {
+                    for &b in &set[i + 1..] {
+                        if topo.shared_depth(a, b) > 0 {
+                            c += 1;
+                        }
+                    }
+                }
+                c
+            })
+            .sum()
+    }
+
+    #[test]
+    fn topology_must_span_the_slot_universe() {
+        let engine = ring_engine(); // capacity 16
+        assert!(matches!(
+            engine.with_topology(Topology::flat(13)),
+            Err(DynamicError::InvalidEvent(_))
+        ));
+        let engine = ring_engine();
+        let engine = engine.with_topology(Topology::flat(16)).unwrap();
+        assert!(engine.topology().is_some());
+    }
+
+    #[test]
+    fn topology_steers_rehomes_away_from_colliding_racks() {
+        // Same seeded placement, same event, two engines: the
+        // topology-aware one must end with no more rack collisions, at
+        // identical movement cost (domain steering only changes *where*
+        // a replica lands, never how many move).
+        let topo = Topology::split(12, &[4]).unwrap();
+        let p = params(12, 24, 3, 2, 2);
+        let kind = StrategyKind::Random {
+            seed: 11,
+            variant: RandomVariant::LoadBalanced,
+        };
+        let mk = || {
+            DynamicEngine::new(p, kind.clone(), 12, DynamicConfig::default()).expect("constructs")
+        };
+        let mut aware = mk().with_topology(topo.clone()).unwrap();
+        let mut oblivious = mk();
+        assert_eq!(aware.placement(), oblivious.placement());
+        let sa = aware.apply(ClusterEvent::Fail { node: 0 }).unwrap();
+        let so = oblivious.apply(ClusterEvent::Fail { node: 0 }).unwrap();
+        aware.validate().unwrap();
+        oblivious.validate().unwrap();
+        if sa.action == RepairAction::Repaired && so.action == RepairAction::Repaired {
+            assert_eq!(sa.moved, so.moved);
+            let ca = collisions(aware.placement(), &topo);
+            let co = collisions(oblivious.placement(), &topo);
+            assert!(ca <= co, "aware {ca} collisions > oblivious {co}");
+        }
+    }
+
+    #[test]
+    fn topology_aware_arrival_prefers_separated_donations() {
+        let topo = Topology::split(16, &[4]).unwrap();
+        let mut aware = ring_engine().with_topology(topo.clone()).unwrap();
+        let mut oblivious = ring_engine();
+        let sa = aware.apply(ClusterEvent::Join { node: 13 }).unwrap();
+        let so = oblivious.apply(ClusterEvent::Join { node: 13 }).unwrap();
+        aware.validate().unwrap();
+        if sa.action == RepairAction::Repaired && so.action == RepairAction::Repaired {
+            // Donor draining is load-driven, so the movement bound is
+            // identical; only the donated objects differ.
+            assert_eq!(sa.moved, so.moved);
+            assert!(
+                collisions(aware.placement(), &topo) <= collisions(oblivious.placement(), &topo)
+            );
+        }
+    }
+
+    #[test]
+    fn flat_topology_changes_nothing() {
+        // An attached flat topology must reproduce the oblivious engine
+        // decision for decision across a whole trace.
+        let trace = ChurnSpec::new("dyn-flat-topo", 16, 13, 15).generate();
+        let mut flat = ring_engine().with_topology(Topology::flat(16)).unwrap();
+        let mut plain = ring_engine();
+        for event in &trace.events {
+            let a = flat.apply(event.into()).unwrap();
+            let b = plain.apply(event.into()).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(flat.placement(), plain.placement());
     }
 
     #[test]

@@ -59,6 +59,7 @@ mod random;
 mod simple;
 pub mod strategy;
 pub mod sweep;
+pub mod topology;
 
 pub use adaptive::AdaptiveSnapshot;
 pub use baselines::{GroupStrategy, RingStrategy};
@@ -81,4 +82,7 @@ pub use strategy::{PlacementStrategy, PlannerContext, StrategyKind};
 pub use sweep::{
     sweep_with, AdversarySpec, CellAttacker, DefaultCellAttacker, ParamGrid, SweepCell,
     SweepOptions, SweepRecord, SweepSpec,
+};
+pub use topology::{
+    repair_domain_collisions, DomainRepaired, DomainSpreadStrategy, FailureUnit, Topology,
 };

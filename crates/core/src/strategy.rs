@@ -24,6 +24,7 @@
 
 use crate::adaptive::AdaptiveSnapshot;
 use crate::baselines::{GroupStrategy, RingStrategy};
+use crate::topology::{DomainSpreadStrategy, Topology};
 use crate::{
     ComboStrategy, Placement, PlacementError, RandomStrategy, RandomVariant, SimpleStrategy,
     SystemParams,
@@ -67,6 +68,12 @@ pub struct PlannerContext {
     /// Tolerated relative regret before an adaptive placer asks for a
     /// re-plan (see [`crate::adaptive::AdaptivePlacer::new`]).
     pub replan_threshold: f64,
+    /// The failure-domain tree topology-aware strategies plan against.
+    /// `None` — or a topology sized for a different node count than the
+    /// planned parameters (e.g. a dynamic replan at churned membership)
+    /// — falls back to the flat topology, which reproduces the
+    /// topology-oblivious behavior exactly.
+    pub topology: Option<Topology>,
 }
 
 impl Default for PlannerContext {
@@ -74,6 +81,7 @@ impl Default for PlannerContext {
         Self {
             registry: RegistryConfig::default(),
             replan_threshold: 0.05,
+            topology: None,
         }
     }
 }
@@ -119,6 +127,10 @@ pub enum StrategyKind {
     /// Snapshot of an [`crate::adaptive::AdaptivePlacer`] filled with
     /// `params.b()` objects.
     Adaptive,
+    /// Topology-aware spread: each object's replicas in maximally
+    /// separated failure domains ([`DomainSpreadStrategy`], planned
+    /// against [`PlannerContext::topology`]).
+    DomainSpread,
 }
 
 impl StrategyKind {
@@ -140,6 +152,7 @@ impl StrategyKind {
             StrategyKind::Ring,
             StrategyKind::Group,
             StrategyKind::Adaptive,
+            StrategyKind::DomainSpread,
         ]);
         kinds
     }
@@ -155,13 +168,15 @@ impl StrategyKind {
             StrategyKind::Ring => "ring".into(),
             StrategyKind::Group => "group".into(),
             StrategyKind::Adaptive => "adaptive".into(),
+            StrategyKind::DomainSpread => "domain-spread".into(),
         }
     }
 
     /// Parses a compact spec string, the format sweep specs and CLI
-    /// flags use: `combo`, `ring`, `group`, `adaptive`, `simple:<x>`,
-    /// `random[:<seed>]` (load-balanced), `random-seq[:<seed>]`,
-    /// `random-unc[:<seed>]`. The default seed is `0x5eed`.
+    /// flags use: `combo`, `ring`, `group`, `adaptive`, `domain-spread`,
+    /// `simple:<x>`, `random[:<seed>]` (load-balanced),
+    /// `random-seq[:<seed>]`, `random-unc[:<seed>]`. The default seed is
+    /// `0x5eed`.
     ///
     /// # Errors
     ///
@@ -198,6 +213,7 @@ impl StrategyKind {
             "ring" => Ok(StrategyKind::Ring),
             "group" => Ok(StrategyKind::Group),
             "adaptive" => Ok(StrategyKind::Adaptive),
+            "domain-spread" => Ok(StrategyKind::DomainSpread),
             "simple" => {
                 let arg = arg.ok_or_else(|| bad(format!("'{spec}' needs an x: simple:<x>")))?;
                 let x = arg
@@ -219,7 +235,8 @@ impl StrategyKind {
             }),
             _ => Err(bad(format!(
                 "unknown strategy spec '{spec}' (expected combo, ring, group, adaptive, \
-                 simple:<x>, random[:<seed>], random-seq[:<seed>] or random-unc[:<seed>])"
+                 domain-spread, simple:<x>, random[:<seed>], random-seq[:<seed>] or \
+                 random-unc[:<seed>])"
             ))),
         }
     }
@@ -256,6 +273,15 @@ impl StrategyKind {
                 &ctx.registry,
                 ctx.replan_threshold,
             )?),
+            StrategyKind::DomainSpread => {
+                let topology = ctx
+                    .topology
+                    .as_ref()
+                    .filter(|t| t.num_nodes() == params.n())
+                    .cloned()
+                    .unwrap_or_else(|| Topology::flat(params.n()));
+                Box::new(DomainSpreadStrategy::new(topology))
+            }
         })
     }
 }
@@ -278,6 +304,7 @@ mod tests {
         assert!(kinds.contains(&StrategyKind::Ring));
         assert!(kinds.contains(&StrategyKind::Group));
         assert!(kinds.contains(&StrategyKind::Adaptive));
+        assert!(kinds.contains(&StrategyKind::DomainSpread));
         assert!(kinds
             .iter()
             .any(|k| matches!(k, StrategyKind::Random { .. })));
@@ -314,6 +341,7 @@ mod tests {
             ("ring", StrategyKind::Ring),
             ("group", StrategyKind::Group),
             ("adaptive", StrategyKind::Adaptive),
+            ("domain-spread", StrategyKind::DomainSpread),
             ("simple:0", StrategyKind::Simple { x: 0 }),
             ("simple:2", StrategyKind::Simple { x: 2 }),
             (

@@ -1,10 +1,10 @@
 //! Runs every experiment binary in sequence (`fig02` … `fig11`, the
-//! baselines/optimality studies, and the `churn` dynamic-membership
-//! sweep).
+//! baselines/optimality studies, the `churn` dynamic-membership sweep
+//! and the `domains` failure-domain study).
 //!
 //! Pass `--quick` to forward the fast mode to the simulation-heavy
-//! binaries (Fig. 2, Fig. 7 and `churn` are the ones that run
-//! adversaries; everything else is closed-form arithmetic and fast
+//! binaries (Fig. 2, Fig. 7, `churn` and `domains` are the ones that
+//! run adversaries; everything else is closed-form arithmetic and fast
 //! regardless).
 //!
 //! A binary that fails to launch or exits non-zero stops the run and is
@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         "optimality",
         "baselines",
         "churn",
+        "domains",
     ];
     for fig in figures {
         println!("\n================ {fig} ================\n");

@@ -1,0 +1,285 @@
+//! `domains` — availability under hierarchical failure domains.
+//!
+//! The domain counterpart of `sweep`: for every requested rack fan-out,
+//! generate a seeded zone → rack → node topology (`wcp_sim::topo`),
+//! plan every strategy *against that topology* and attack the resulting
+//! placement twice — with the paper's per-node adversary and with the
+//! domain adversary that spends its budget on whole racks/zones. A
+//! third column re-attacks after `repair_domain_collisions`, measuring
+//! how much of the gap topology-aware post-processing recovers for
+//! topology-oblivious strategies.
+//!
+//! ```text
+//! domains --racks 4,8,12 --rack-size 6 --strategies combo,ring,random,domain-spread
+//! domains --zones 2 --jitter 1      # two-level tree, irregular racks
+//! domains --quick                   # small smoke configuration (used by CI)
+//! ```
+
+use std::process::ExitCode;
+use wcp_adversary::{DomainAttacker, ScratchAdversary};
+use wcp_core::engine::Attacker;
+use wcp_core::{
+    repair_domain_collisions, Engine, PlannerContext, StrategyKind, SystemParams, Topology,
+};
+use wcp_sim::topo::TopoSpec;
+use wcp_sim::{csv_safe, results_dir, Csv, Table};
+
+fn usage() -> String {
+    concat!(
+        "usage: domains [--quick] [--racks LIST] [--rack-size N] [--zones N]\n",
+        "               [--jitter N] [--b N] [--r N] [--s N] [--k N]\n",
+        "               [--strategies LIST] [--seed N] [--csv PATH]\n",
+        "\n",
+        "For every rack count, generates a seeded failure-domain topology\n",
+        "(n = racks x rack-size nodes, optionally grouped into --zones and\n",
+        "jittered by --jitter), plans each strategy against it, and attacks\n",
+        "the placement with the per-node adversary, the domain adversary,\n",
+        "and the domain adversary after collision repair. LISTs are comma\n",
+        "separated; strategy specs as for `sweep` (combo, ring, group,\n",
+        "adaptive, domain-spread, simple:<x>, random[:<seed>], ...).\n",
+    )
+    .to_string()
+}
+
+struct Cli {
+    racks: Vec<u16>,
+    rack_size: u16,
+    zones: u16,
+    jitter: u16,
+    b: u64,
+    r: u16,
+    s: u16,
+    k: u16,
+    strategies: Vec<StrategyKind>,
+    seed: u64,
+    csv_path: Option<String>,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        racks: vec![4, 8, 12],
+        rack_size: 6,
+        zones: 0,
+        jitter: 0,
+        b: 600,
+        r: 3,
+        s: 2,
+        k: 3,
+        strategies: vec![
+            StrategyKind::Combo,
+            StrategyKind::Ring,
+            StrategyKind::parse_spec("random").expect("builtin spec"),
+            StrategyKind::DomainSpread,
+        ],
+        seed: 0,
+        csv_path: None,
+    };
+    let mut quick = false;
+    let mut have_grid = false;
+    let mut have_k = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
+            raw.parse()
+                .map_err(|_| format!("invalid {flag} value '{raw}'"))
+        }
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--racks" => {
+                cli.racks = value("--racks")?
+                    .split(',')
+                    .filter(|part| !part.is_empty())
+                    .map(|part| parse_num("--racks", part.trim()))
+                    .collect::<Result<_, String>>()?;
+                have_grid = true;
+            }
+            "--rack-size" => {
+                cli.rack_size = parse_num("--rack-size", value("--rack-size")?)?;
+                have_grid = true;
+            }
+            "--zones" => cli.zones = parse_num("--zones", value("--zones")?)?,
+            "--jitter" => cli.jitter = parse_num("--jitter", value("--jitter")?)?,
+            "--b" => {
+                cli.b = parse_num("--b", value("--b")?)?;
+                have_grid = true;
+            }
+            "--r" => cli.r = parse_num("--r", value("--r")?)?,
+            "--s" => cli.s = parse_num("--s", value("--s")?)?,
+            "--k" => {
+                cli.k = parse_num("--k", value("--k")?)?;
+                have_k = true;
+            }
+            "--seed" => cli.seed = parse_num("--seed", value("--seed")?)?,
+            "--strategies" => {
+                cli.strategies = value("--strategies")?
+                    .split(',')
+                    .filter(|part| !part.is_empty())
+                    .map(|part| StrategyKind::parse_spec(part.trim()).map_err(|e| e.to_string()))
+                    .collect::<Result<_, String>>()?;
+            }
+            "--csv" => cli.csv_path = Some(value("--csv")?.clone()),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag '{other}'\n\n{}", usage())),
+        }
+    }
+    // The CI smoke configuration — only when no grid of the user's own
+    // was given (explicit flags win, as in the sweep/churn binaries).
+    if quick && !have_grid {
+        cli.racks = vec![3, 4];
+        cli.rack_size = 4;
+        cli.b = 24;
+        if !have_k {
+            cli.k = 2;
+        }
+    }
+    if cli.strategies.is_empty() {
+        return Err(format!("no strategies selected\n\n{}", usage()));
+    }
+    if cli.rack_size == 0 || cli.racks.contains(&0) {
+        return Err("rack counts and --rack-size must be positive".to_string());
+    }
+    Ok(cli)
+}
+
+/// The seeded topology for one rack count: `[zones, racks/zones,
+/// rack-size]` fan-outs when zones divide the racks, a single rack level
+/// otherwise.
+fn build_topology(cli: &Cli, racks: u16) -> Result<Topology, String> {
+    let fanouts = if cli.zones > 0 {
+        if !racks.is_multiple_of(cli.zones) {
+            return Err(format!(
+                "--zones {} does not divide rack count {racks}",
+                cli.zones
+            ));
+        }
+        vec![cli.zones, racks / cli.zones, cli.rack_size]
+    } else {
+        vec![racks, cli.rack_size]
+    };
+    let layout = TopoSpec {
+        seed_index: cli.seed,
+        ..TopoSpec::new(format!("domains-{racks}"), fanouts)
+    }
+    .with_jitter(cli.jitter)
+    .generate();
+    Topology::new(layout.n, layout.maps).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let header = [
+        "racks",
+        "zones",
+        "n",
+        "strategy",
+        "node_avail",
+        "node_exact",
+        "domain_avail",
+        "domain_exact",
+        "repaired_domain_avail",
+        "repair_moved",
+    ];
+    let mut table = Table::new(header.map(String::from).to_vec());
+    table.title(format!(
+        "domains: b={} r={} s={} k={} rack-size={} jitter={}",
+        cli.b, cli.r, cli.s, cli.k, cli.rack_size, cli.jitter
+    ));
+    let csv_path = cli
+        .csv_path
+        .clone()
+        .map_or_else(|| results_dir().join("domains.csv"), Into::into);
+    let mut csv = Csv::new(csv_path, &header);
+
+    for &racks in &cli.racks {
+        let topo = match build_topology(&cli, racks) {
+            Ok(topo) => topo,
+            Err(msg) => {
+                eprintln!("cannot build topology for {racks} racks: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let n = topo.num_nodes();
+        let params = match SystemParams::new(n, cli.b, cli.r, cli.s, cli.k) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("invalid system parameters at {racks} racks (n={n}): {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let ctx = PlannerContext {
+            topology: Some(topo.clone()),
+            ..PlannerContext::default()
+        };
+        let node_engine =
+            Engine::with_attacker(params, ScratchAdversary::default()).with_context(ctx.clone());
+        let domain_attacker = DomainAttacker::new(topo.clone());
+        let domain_engine =
+            Engine::with_attacker(params, domain_attacker.clone()).with_context(ctx.clone());
+
+        for kind in &cli.strategies {
+            let node = match node_engine.evaluate(kind) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("{} at {racks} racks (node adversary): {e}", kind.label());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let domain = match domain_engine.evaluate(kind) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("{} at {racks} racks (domain adversary): {e}", kind.label());
+                    return ExitCode::FAILURE;
+                }
+            };
+            // The repair column: the same strategy's placement after
+            // collision repair, under the domain adversary.
+            let (repaired_avail, repair_moved) = match kind
+                .plan(&params, &ctx)
+                .and_then(|strategy| strategy.build(&params))
+                .and_then(|placement| repair_domain_collisions(&placement, &topo))
+            {
+                Ok((repaired, moved)) => {
+                    let outcome = domain_attacker.attack(&repaired, cli.s, cli.k);
+                    (cli.b - outcome.failed, moved)
+                }
+                Err(e) => {
+                    eprintln!("{} at {racks} racks (repair): {e}", kind.label());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let row = vec![
+                racks.to_string(),
+                cli.zones.to_string(),
+                n.to_string(),
+                csv_safe(&kind.label()),
+                node.measured_availability.to_string(),
+                node.exact.to_string(),
+                domain.measured_availability.to_string(),
+                domain.exact.to_string(),
+                repaired_avail.to_string(),
+                repair_moved.to_string(),
+            ];
+            table.row(row.clone());
+            csv.row(&row);
+        }
+    }
+
+    println!("{}", table.render());
+    if let Err(e) = csv.write() {
+        eprintln!("cannot write {}: {e}", csv.path().display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", csv.path().display());
+    ExitCode::SUCCESS
+}

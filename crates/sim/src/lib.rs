@@ -6,11 +6,13 @@
 //! external plotting, [`json`] parses and writes the hand-rolled JSON
 //! the tooling exchanges (sweep specs, churn traces, benchmark
 //! snapshots), [`churn`] generates seeded cluster-membership event
-//! traces for the dynamic experiments, and [`seed_for`] derives stable
+//! traces for the dynamic experiments, [`topo`] generates seeded
+//! failure-domain topology layouts, and [`seed_for`] derives stable
 //! per-run RNG seeds so every experiment is reproducible run-to-run.
 
 pub mod churn;
 pub mod json;
+pub mod topo;
 
 use std::fmt::Write as _;
 use std::fs;

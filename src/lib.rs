@@ -16,8 +16,10 @@
 //!   placement, the Lemma-1/2/3 capacity and availability bounds, the
 //!   unified `PlacementStrategy` trait every family implements, the
 //!   `Engine` facade running plan → build → attack → report in one call,
-//!   and the `dynamic` subsystem maintaining a live placement across
-//!   cluster churn by incremental repair;
+//!   the `dynamic` subsystem maintaining a live placement across
+//!   cluster churn by incremental repair, and the `topology` module's
+//!   hierarchical failure domains (zone → rack → node trees) with
+//!   topology-aware spread/repair strategies;
 //! * [`designs`] — every design family the strategies need, built from
 //!   scratch (Steiner triple systems, finite-geometry line designs,
 //!   Hermitian unitals, Boolean/doubled quadruple systems, Möbius subline
@@ -26,7 +28,8 @@
 //! * [`gf`] — finite fields `GF(p^k)` and the projective/affine
 //!   geometries behind the constructions;
 //! * [`adversary`] — exact branch-and-bound and local-search worst-case
-//!   failure search (Definition 1 made executable);
+//!   failure search (Definition 1 made executable), at node granularity
+//!   and over whole failure domains (the budget spent on racks/zones);
 //! * [`analysis`] — the closed forms: c-competitiveness (Theorem 1),
 //!   the worst-case vulnerability of random placement (Theorem 2,
 //!   Definitions 5–6) and the `s = 1` bound (Lemma 4);
@@ -79,16 +82,18 @@ pub use wcp_sim as sim;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use wcp_adversary::{
-        availability, worst_case_failures, AdversaryConfig, ScratchAdversary, WorstCase,
+        availability, domain_worst_case_failures, worst_case_failures, AdversaryConfig,
+        DomainAttacker, DomainWorstCase, ScratchAdversary, WorstCase,
     };
     pub use wcp_analysis::{competitive_constants, pr_avail, pr_avail_fraction};
     pub use wcp_core::{
-        combo_plan, lb_avail_co, lb_avail_si, movement_between, AdaptiveSnapshot, AttackOutcome,
-        Attacker, ClusterEvent, ComboStrategy, DynamicConfig, DynamicEngine, DynamicError, Engine,
-        EvaluationReport, ExhaustiveAttacker, GroupStrategy, LoadStats, MovementReport,
-        PackingProfile, Placement, PlacementError, PlacementStrategy, PlannerContext,
-        RandomStrategy, RandomVariant, RepairAction, RingStrategy, SimpleStrategy, StepReport,
-        StrategyKind, SystemParams, Timings,
+        combo_plan, lb_avail_co, lb_avail_si, movement_between, repair_domain_collisions,
+        AdaptiveSnapshot, AttackOutcome, Attacker, ClusterEvent, ComboStrategy, DomainRepaired,
+        DomainSpreadStrategy, DynamicConfig, DynamicEngine, DynamicError, Engine, EvaluationReport,
+        ExhaustiveAttacker, FailureUnit, GroupStrategy, LoadStats, MovementReport, PackingProfile,
+        Placement, PlacementError, PlacementStrategy, PlannerContext, RandomStrategy,
+        RandomVariant, RepairAction, RingStrategy, SimpleStrategy, StepReport, StrategyKind,
+        SystemParams, Timings, Topology,
     };
     pub use wcp_designs::registry::RegistryConfig;
     pub use wcp_sim::churn::{ChurnEvent, ChurnEventKind, ChurnSpec, ChurnTrace};

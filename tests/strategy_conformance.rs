@@ -212,6 +212,139 @@ fn every_family_survives_churn_through_the_dynamic_engine() {
     }
 }
 
+/// Topology-aware conformance: `DomainSpread` planned against real
+/// (non-flat) topologies — nested zones, uneven racks, fan-out-1
+/// chains — builds structurally valid placements, never co-locates two
+/// replicas of one object in a rack when racks ≥ r, and degenerates to
+/// its flat planning exactly when no topology is supplied.
+#[test]
+fn domain_spread_conforms_across_topologies() {
+    let topologies = [
+        Topology::split(12, &[4]).expect("4 racks"),
+        Topology::split(13, &[5, 2]).expect("uneven racks in 2 zones"),
+        // Fan-out-1 chain: every node its own rack, one zone above.
+        Topology::split(9, &[9, 1]).expect("chain"),
+    ];
+    for topo in topologies {
+        let n = topo.num_nodes();
+        let params = SystemParams::new(n, u64::from(n) * 3, 3, 2, 3).expect("valid");
+        let ctx = PlannerContext {
+            topology: Some(topo.clone()),
+            ..PlannerContext::default()
+        };
+        let placement = StrategyKind::DomainSpread
+            .plan(&params, &ctx)
+            .expect("plans")
+            .build(&params)
+            .expect("builds");
+        check_structure(&placement, &params, "domain-spread");
+        if topo.num_levels() > 0 && topo.domains_at(1) >= params.r() {
+            for set in placement.replica_sets() {
+                let mut racks: Vec<u16> = set.iter().map(|&nd| topo.domain_of(nd, 1)).collect();
+                racks.sort_unstable();
+                racks.dedup();
+                assert_eq!(
+                    racks.len(),
+                    usize::from(params.r()),
+                    "replicas share a rack under {topo:?}: {set:?}"
+                );
+            }
+        }
+    }
+    // No topology in the context ⇒ the strategy plans against the flat
+    // tree; supplying the flat tree explicitly must be identical.
+    let params = SystemParams::new(12, 36, 3, 2, 3).expect("valid");
+    let implicit = StrategyKind::DomainSpread
+        .plan(&params, &PlannerContext::default())
+        .expect("plans")
+        .build(&params)
+        .expect("builds");
+    let explicit = StrategyKind::DomainSpread
+        .plan(
+            &params,
+            &PlannerContext {
+                topology: Some(Topology::flat(12)),
+                ..PlannerContext::default()
+            },
+        )
+        .expect("plans")
+        .build(&params)
+        .expect("builds");
+    assert_eq!(implicit, explicit);
+}
+
+/// The repair wrapper conformance: every family's placement, wrapped in
+/// `DomainRepaired`, stays structurally valid and ends rack-collision
+/// free when racks ≥ r.
+#[test]
+fn domain_repair_wrapper_conforms_for_every_family() {
+    let topo = Topology::split(12, &[4]).expect("4 racks");
+    let params = SystemParams::new(12, 36, 3, 2, 3).expect("valid");
+    let ctx = PlannerContext {
+        topology: Some(topo.clone()),
+        ..PlannerContext::default()
+    };
+    for kind in StrategyKind::all(&params) {
+        let inner = match kind.plan(&params, &ctx) {
+            Ok(strategy) => strategy,
+            Err(PlacementError::Design(_)) => continue,
+            Err(e) => panic!("{}: unexpected error {e}", kind.label()),
+        };
+        let wrapped = DomainRepaired::new(inner, topo.clone());
+        let placement = wrapped.build(&params).expect("repairs");
+        check_structure(&placement, &params, wrapped.name());
+        for set in placement.replica_sets() {
+            let mut racks: Vec<u16> = set.iter().map(|&nd| topo.domain_of(nd, 1)).collect();
+            racks.sort_unstable();
+            racks.dedup();
+            assert_eq!(
+                racks.len(),
+                usize::from(params.r()),
+                "{}: unresolved collision {set:?}",
+                wrapped.name()
+            );
+        }
+    }
+}
+
+/// Every family evaluated under the *domain* adversary: the engine
+/// pipeline accepts a `DomainAttacker`, the witness leaf set achieves
+/// the reported damage, and the domain adversary is never weaker than
+/// the per-node adversary on the same placement (a rack superset of
+/// every leaf choice is always available).
+#[test]
+fn domain_adversary_dominates_node_adversary_for_every_family() {
+    let topo = Topology::split(12, &[4]).expect("4 racks");
+    let params = SystemParams::new(12, 36, 3, 2, 2).expect("valid");
+    let ctx = PlannerContext {
+        topology: Some(topo.clone()),
+        ..PlannerContext::default()
+    };
+    let node_engine =
+        Engine::with_attacker(params, AdversaryConfig::default()).with_context(ctx.clone());
+    let domain_engine = Engine::with_attacker(params, DomainAttacker::new(topo)).with_context(ctx);
+    for kind in StrategyKind::all(&params) {
+        let node = match node_engine.evaluate(&kind) {
+            Ok(report) => report,
+            Err(PlacementError::Design(_)) => continue,
+            Err(e) => panic!("{}: unexpected error {e}", kind.label()),
+        };
+        let domain = domain_engine.evaluate(&kind).expect("evaluates");
+        assert!(
+            domain.exact,
+            "{}: grid instance must be exact",
+            kind.label()
+        );
+        assert!(
+            domain.measured_availability <= node.measured_availability,
+            "{}: domain adversary weaker than node adversary ({} > {})",
+            kind.label(),
+            domain.measured_availability,
+            node.measured_availability
+        );
+    }
+}
+
 /// Reports serialize to JSON for every family (the serving-layer
 /// contract of `EvaluationReport`).
 #[test]
