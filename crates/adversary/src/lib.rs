@@ -39,6 +39,8 @@
 //! the per-node ladder bit for bit on the flat topology;
 //! [`DomainAttacker`] plugs it into the `Engine` pipeline.
 
+#![forbid(unsafe_code)]
+
 mod bitmap;
 mod counts;
 pub mod domain;

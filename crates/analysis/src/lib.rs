@@ -13,6 +13,8 @@
 //! formulas remain stable at the paper's largest scales
 //! (`b = 38 400`, `C(257,5)^b`-sized state spaces).
 
+#![forbid(unsafe_code)]
+
 pub mod lemma4;
 pub mod optimal;
 pub mod theorem1;

@@ -8,6 +8,8 @@
 //! facade, and the parallel sweep subsystem's throughput.
 //! `cargo bench --workspace` runs them all.
 
+#![forbid(unsafe_code)]
+
 pub mod regression;
 
 use wcp_core::{Placement, PlannerContext, RandomVariant, StrategyKind, SystemParams};

@@ -28,6 +28,8 @@
 //! assert!((approx - 13_019_909.0).abs() / 13_019_909.0 < 1e-10);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod binomial;
 mod lgamma;
 pub mod subsets;

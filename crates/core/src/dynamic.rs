@@ -186,6 +186,14 @@ impl std::fmt::Display for DynamicError {
 
 impl std::error::Error for DynamicError {}
 
+/// A repair-invariant breach surfaced as an error instead of a panic:
+/// the engine state is left unchanged and the caller decides.
+fn invariant(msg: &str) -> DynamicError {
+    DynamicError::Placement(PlacementError::InvalidPlacement(format!(
+        "dynamic repair invariant violated: {msg}"
+    )))
+}
+
 impl From<PlacementError> for DynamicError {
     fn from(e: PlacementError) -> Self {
         DynamicError::Placement(e)
@@ -603,7 +611,7 @@ impl<A: Attacker> DynamicEngine<A> {
         let (repaired, moved) = if event.is_departure() {
             self.repair_departure(v)?
         } else {
-            self.rebalance_arrival(v)
+            self.rebalance_arrival(v)?
         };
         let outcome = self
             .attacker
@@ -707,16 +715,17 @@ impl<A: Attacker> DynamicEngine<A> {
                 });
             };
             set.remove(i);
-            let pos = set.binary_search(&w).expect_err("w not in set");
+            let Err(pos) = set.binary_search(&w) else {
+                return Err(invariant(
+                    "departure re-home target already replicates the object",
+                ));
+            };
             set.insert(pos, w);
             loads[usize::from(v)] -= 1;
             loads[usize::from(w)] += 1;
             moved += 1;
         }
-        Ok((
-            Placement::new(self.capacity, self.base.r(), sets).expect("repair preserves structure"),
-            moved,
-        ))
+        Ok((Placement::new(self.capacity, self.base.r(), sets)?, moved))
     }
 
     /// Pulls the newly arrived node `v` up to the floor of the mean load
@@ -724,7 +733,7 @@ impl<A: Attacker> DynamicEngine<A> {
     /// movement: at most `⌊rb/active⌋` replicas). With a topology
     /// attached, each donor prefers handing over the object whose
     /// remaining replicas co-locate least with the newcomer.
-    fn rebalance_arrival(&self, v: u16) -> (Placement, u64) {
+    fn rebalance_arrival(&self, v: u16) -> Result<(Placement, u64), DynamicError> {
         let mut sets = self.placement.replica_sets().to_vec();
         let mut loads = self.placement.loads();
         let active = self.active();
@@ -751,9 +760,13 @@ impl<A: Attacker> DynamicEngine<A> {
                     eligible.min_by_key(|set| self.collision_excluding(v, set, w))
                 };
                 if let Some(set) = donated {
-                    let i = set.binary_search(&w).expect("w in set");
+                    let Ok(i) = set.binary_search(&w) else {
+                        return Err(invariant("arrival donor no longer replicates the object"));
+                    };
                     set.remove(i);
-                    let pos = set.binary_search(&v).expect_err("v not in set");
+                    let Err(pos) = set.binary_search(&v) else {
+                        return Err(invariant("arrival target already replicates the object"));
+                    };
                     set.insert(pos, v);
                     loads[usize::from(w)] -= 1;
                     loads[usize::from(v)] += 1;
@@ -763,11 +776,7 @@ impl<A: Attacker> DynamicEngine<A> {
             }
             break; // No donor can improve balance further.
         }
-        (
-            Placement::new(self.capacity, self.base.r(), sets)
-                .expect("rebalance preserves structure"),
-            moved,
-        )
+        Ok((Placement::new(self.capacity, self.base.r(), sets)?, moved))
     }
 
     /// Plans the configured kind at a compact membership of `m` nodes,

@@ -79,7 +79,8 @@ impl Attacker for ExhaustiveAttacker {
         // consecutive nodes (strong against ring-like placements).
         let loads = placement.cached_loads();
         let mut by_load: Vec<u16> = (0..n).collect();
-        by_load.sort_by_key(|&nd| std::cmp::Reverse(loads[usize::from(nd)]));
+        by_load
+            .sort_by_key(|&nd| std::cmp::Reverse(loads.get(usize::from(nd)).copied().unwrap_or(0)));
         let mut heavy: Vec<u16> = by_load.into_iter().take(usize::from(k)).collect();
         heavy.sort_unstable();
         let mut best = AttackOutcome {
@@ -277,6 +278,7 @@ impl<A: Attacker> Engine<A> {
     /// the wrong number of objects (a strategy bug the facade refuses to
     /// report around).
     pub fn evaluate(&self, kind: &StrategyKind) -> Result<EvaluationReport, PlacementError> {
+        // lint:allow(determinism, wall-clock timings are telemetry; they never feed a decision)
         let t = Instant::now();
         let strategy = kind.plan(&self.params, &self.ctx)?;
         let plan_ns = t.elapsed().as_nanos() as u64;
@@ -321,6 +323,7 @@ impl<A: Attacker> Engine<A> {
         strategy: &dyn PlacementStrategy,
         plan_ns: u64,
     ) -> Result<EvaluationReport, PlacementError> {
+        // lint:allow(determinism, wall-clock timings are telemetry; they never feed a decision)
         let t = Instant::now();
         let placement = strategy.build(&self.params)?;
         let build_ns = t.elapsed().as_nanos() as u64;
@@ -332,6 +335,7 @@ impl<A: Attacker> Engine<A> {
                 self.params.b()
             )));
         }
+        // lint:allow(determinism, wall-clock timings are telemetry; they never feed a decision)
         let t = Instant::now();
         let outcome = self
             .attacker

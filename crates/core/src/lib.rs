@@ -43,6 +43,8 @@
 //! # Ok::<(), wcp_core::PlacementError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod baselines;
 mod bounds;

@@ -335,12 +335,14 @@ fn evaluate_cell<C: CellAttacker>(
     attacker: &mut C,
 ) -> SweepRecord {
     let outcome = (|| {
+        // lint:allow(determinism, wall-clock timings are telemetry; zeroed unless requested and never feed a decision)
         let t = Instant::now();
         let strategy = cell
             .kind
             .plan(&cell.params, &opts.ctx)
             .map_err(|e| e.to_string())?;
         let plan_ns = t.elapsed().as_nanos() as u64;
+        // lint:allow(determinism, wall-clock timings are telemetry; zeroed unless requested and never feed a decision)
         let t = Instant::now();
         let placement = strategy.build(&cell.params).map_err(|e| e.to_string())?;
         let build_ns = t.elapsed().as_nanos() as u64;
@@ -352,6 +354,7 @@ fn evaluate_cell<C: CellAttacker>(
                 cell.params.b()
             ));
         }
+        // lint:allow(determinism, wall-clock timings are telemetry; zeroed unless requested and never feed a decision)
         let t = Instant::now();
         let outcome = attacker.attack_cell(cell, &placement, cell.params.s(), cell.params.k());
         let attack_ns = t.elapsed().as_nanos() as u64;

@@ -274,7 +274,7 @@ impl Topology {
                 nodes: vec![nd],
             })
             .collect();
-        let mut seen: std::collections::HashSet<Vec<u16>> =
+        let mut seen: std::collections::BTreeSet<Vec<u16>> =
             units.iter().map(|u| u.nodes.clone()).collect();
         for level in 1..=self.num_levels() {
             for domain in 0..self.domains_at(level) {

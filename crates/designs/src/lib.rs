@@ -32,6 +32,8 @@
 //! * [`registry`] — "give me the best constructible `t`-packing with
 //!   `v ≤ v_max`", with provenance, used to build concrete placements.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod chunking;
 pub mod complete;

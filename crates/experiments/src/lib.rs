@@ -7,6 +7,8 @@
 //! `lbAvail_co − prAvail^rnd` as a percentage of the maximum possible
 //! improvement `b − prAvail^rnd`, with win/tie/loss classification.
 
+#![forbid(unsafe_code)]
+
 pub mod spec;
 
 use wcp_analysis::theorem2::VulnTable;

@@ -26,6 +26,8 @@
 //! # Ok::<(), wcp_gf::GfError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod field;
 pub mod geometry;
 pub mod projline;

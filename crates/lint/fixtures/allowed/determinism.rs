@@ -1,0 +1,8 @@
+// Fixture: lint:allow(determinism, …) must suppress the HashMap
+// finding. Not compiled.
+// lint:allow(determinism, fixture - membership probe only, never iterated)
+use std::collections::HashMap;
+
+pub fn contains(loads: &std::collections::BTreeMap<u16, u32>, node: u16) -> bool {
+    loads.contains_key(&node)
+}

@@ -1,0 +1,6 @@
+// Fixture: lint:allow(index-guard, …) must suppress the indexing
+// finding. Not compiled.
+pub fn third(values: &Vec<u32>) -> u32 {
+    debug_assert!(values.len() > 2);
+    values[2] // lint:allow(index-guard, fixture - length asserted above)
+}

@@ -1,0 +1,6 @@
+// Fixture: lint:allow(panic, …) must suppress the unwrap finding.
+// Not compiled.
+pub fn head(values: &Vec<u32>) -> u32 {
+    // lint:allow(panic, fixture - caller guarantees non-empty input)
+    values.first().copied().unwrap()
+}

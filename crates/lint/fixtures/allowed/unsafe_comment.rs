@@ -1,0 +1,7 @@
+// Fixture: a SAFETY comment satisfies the unsafe-comment rule (the
+// allow escape hatch also works). Not compiled.
+pub fn reinterpret(x: u32) -> i32 {
+    // SAFETY: u32 and i32 have identical size and all bit patterns of
+    // both are valid values; transmute between them is total.
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,8 @@
+// Fixture: the determinism rule must fire on hash-order iteration in a
+// decision path. Not compiled; consumed by `wcp-lint --check` and the
+// fixture test suite.
+use std::collections::HashMap;
+
+pub fn first_key(loads: &HashMap<u16, u32>) -> Option<u16> {
+    loads.keys().next().copied()
+}

@@ -1,0 +1,5 @@
+// Fixture: the index-guard rule must fire on unguarded slice indexing.
+// Not compiled.
+pub fn third(values: &Vec<u32>) -> u32 {
+    values[2]
+}

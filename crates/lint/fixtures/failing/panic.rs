@@ -1,0 +1,13 @@
+// Fixture: the panic rule must fire on `.unwrap()`, `.expect(…)` and
+// `panic!` in library code. Not compiled.
+pub fn head(values: &Vec<u32>) -> u32 {
+    values.first().copied().unwrap()
+}
+
+pub fn named(values: &Vec<u32>) -> u32 {
+    values.first().copied().expect("non-empty")
+}
+
+pub fn boom() {
+    panic!("placement invariant violated");
+}

@@ -1,0 +1,5 @@
+// Fixture: the unsafe-comment rule must fire on `unsafe` without a
+// nearby SAFETY justification. Not compiled.
+pub fn reinterpret(x: u32) -> i32 {
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,241 @@
+//! The committed-baseline mechanism: legacy violations are tracked per
+//! `(rule, file)` with a count in `lint_baseline.txt`, so existing debt
+//! is burned down over time while any *new* violation — or a stale
+//! baseline entry — fails immediately.
+//!
+//! Count-based entries (rather than line numbers) survive unrelated
+//! edits to a file; the trade-off is that swapping one violation for
+//! another on the same file leaves the count unchanged. That is an
+//! accepted limitation: the gate's job is to keep the totals
+//! monotonically shrinking.
+
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+
+/// Per-`(rule, file)` violation counts.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// Aggregates diagnostics into baseline counts.
+#[must_use]
+pub fn count(diags: &[Diagnostic]) -> Counts {
+    let mut counts = Counts::new();
+    for d in diags {
+        *counts
+            .entry((d.rule.as_str().to_string(), d.file.clone()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Renders counts in the committed format: `rule<TAB>file<TAB>count`,
+/// sorted, with an explanatory header.
+#[must_use]
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from(
+        "# wcp-lint baseline: known legacy violations, tracked per (rule, file).\n\
+         # This file may only shrink. Regenerate after a burn-down with:\n\
+         #   cargo run --release -p wcp-lint -- --write-baseline\n\
+         # New violations are NOT added here; fix them or lint:allow(rule, reason).\n",
+    );
+    for ((rule, file), n) in counts {
+        out.push_str(&format!("{rule}\t{file}\t{n}\n"));
+    }
+    out
+}
+
+/// Parses the committed format.
+///
+/// # Errors
+///
+/// A message naming the first malformed line.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (Some(rule), Some(file), Some(n)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "baseline line {}: expected rule<TAB>file<TAB>count, got {line:?}",
+                i + 1
+            ));
+        };
+        let n: usize = n
+            .trim()
+            .parse()
+            .map_err(|e| format!("baseline line {}: bad count {n:?}: {e}", i + 1))?;
+        if counts
+            .insert((rule.to_string(), file.to_string()), n)
+            .is_some()
+        {
+            return Err(format!(
+                "baseline line {}: duplicate entry for {rule} / {file}",
+                i + 1
+            ));
+        }
+    }
+    Ok(counts)
+}
+
+/// One baseline-vs-current discrepancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffIssue {
+    /// More violations than the baseline allows (0 for unlisted pairs).
+    New {
+        /// Rule id.
+        rule: String,
+        /// File.
+        file: String,
+        /// Baseline allowance.
+        allowed: usize,
+        /// Current count.
+        found: usize,
+    },
+    /// Fewer violations than the baseline records: the entry is stale
+    /// and must be shrunk (`--write-baseline`) in the same change.
+    Stale {
+        /// Rule id.
+        rule: String,
+        /// File.
+        file: String,
+        /// Baseline allowance.
+        allowed: usize,
+        /// Current count.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for DiffIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffIssue::New {
+                rule,
+                file,
+                allowed,
+                found,
+            } => write!(
+                f,
+                "NEW violations: {file}: {rule}: {found} found, baseline allows {allowed}"
+            ),
+            DiffIssue::Stale {
+                rule,
+                file,
+                allowed,
+                found,
+            } => write!(
+                f,
+                "STALE baseline entry: {file}: {rule}: baseline records {allowed}, only {found} \
+                 remain — shrink it with --write-baseline so the debt cannot regrow"
+            ),
+        }
+    }
+}
+
+/// Diffs current counts against the baseline (see [`DiffIssue`]).
+#[must_use]
+pub fn diff(baseline: &Counts, current: &Counts) -> Vec<DiffIssue> {
+    let mut issues = Vec::new();
+    let keys: std::collections::BTreeSet<&(String, String)> =
+        baseline.keys().chain(current.keys()).collect();
+    for key in keys {
+        let allowed = baseline.get(key).copied().unwrap_or(0);
+        let found = current.get(key).copied().unwrap_or(0);
+        let (rule, file) = (key.0.clone(), key.1.clone());
+        if found > allowed {
+            issues.push(DiffIssue::New {
+                rule,
+                file,
+                allowed,
+                found,
+            });
+        } else if found < allowed {
+            issues.push(DiffIssue::Stale {
+                rule,
+                file,
+                allowed,
+                found,
+            });
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuleId;
+
+    fn diag(rule: RuleId, file: &str) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line: 1,
+            rule,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let diags = vec![
+            diag(RuleId::Panic, "crates/core/src/a.rs"),
+            diag(RuleId::Panic, "crates/core/src/a.rs"),
+            diag(RuleId::Index, "crates/sim/src/b.rs"),
+        ];
+        let counts = count(&diags);
+        let parsed = parse(&render(&counts)).expect("round-trips");
+        assert_eq!(parsed, counts);
+    }
+
+    #[test]
+    fn matching_counts_are_clean() {
+        let counts = count(&[diag(RuleId::Panic, "a.rs")]);
+        assert_eq!(diff(&counts, &counts), vec![]);
+    }
+
+    #[test]
+    fn extra_violation_is_new_even_with_an_entry() {
+        let base = count(&[diag(RuleId::Panic, "a.rs")]);
+        let cur = count(&[diag(RuleId::Panic, "a.rs"), diag(RuleId::Panic, "a.rs")]);
+        let issues = diff(&base, &cur);
+        assert_eq!(issues.len(), 1);
+        assert!(matches!(
+            issues[0],
+            DiffIssue::New {
+                found: 2,
+                allowed: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unlisted_violation_is_new() {
+        let issues = diff(&Counts::new(), &count(&[diag(RuleId::Determinism, "a.rs")]));
+        assert!(matches!(issues[0], DiffIssue::New { allowed: 0, .. }));
+    }
+
+    #[test]
+    fn burned_down_entry_is_stale() {
+        let base = count(&[diag(RuleId::Panic, "a.rs"), diag(RuleId::Panic, "a.rs")]);
+        let cur = count(&[diag(RuleId::Panic, "a.rs")]);
+        let issues = diff(&base, &cur);
+        assert!(matches!(
+            issues[0],
+            DiffIssue::Stale {
+                allowed: 2,
+                found: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(parse("panic crates/core/src/a.rs 3").is_err());
+        assert!(parse("panic\ta.rs\tmany").is_err());
+        assert!(parse("panic\ta.rs\t1\npanic\ta.rs\t2").is_err());
+        assert!(parse("# comment\n\npanic\ta.rs\t3\n").is_ok());
+    }
+}

@@ -1,0 +1,230 @@
+//! Bench-snapshot schema rule: every committed `BENCH_*.json` must
+//! match one of the two regression-gate schemas, so a malformed
+//! baseline can never silently disable the 25% CI gates.
+//!
+//! The gates (`wcp_bench::regression`) accept:
+//!
+//! * `{"strategies": [{"strategy": <str>, "median_pipeline_ns": <num>}, …]}`
+//! * `{"series":     [{"name": <str>, "median_ns": <num>}, …]}`
+//!
+//! plus the ungated sweep-throughput shape CI records for trending:
+//!
+//! * `{"throughput": [{"threads": <num>, "cells_per_second": <num>}, …]}`
+//!
+//! This rule validates statically what the gate would reject at run
+//! time — plus what it would *mis-accept*: empty arrays, non-positive
+//! or non-finite medians, duplicate entry names (which would skew the
+//! per-family means).
+
+use crate::{Diagnostic, RuleId};
+use std::path::Path;
+use wcp_sim::json::Value;
+
+/// Validates one snapshot document. `file` is only used for labels.
+#[must_use]
+pub fn validate(file: &str, text: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut fire = |msg: String| {
+        diags.push(Diagnostic {
+            file: file.to_string(),
+            line: 1,
+            rule: RuleId::BenchSchema,
+            message: msg,
+        });
+    };
+    let doc = match Value::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            fire(format!("snapshot is not valid JSON: {e}"));
+            return diags;
+        }
+    };
+    let strategies = doc.get("strategies").and_then(Value::as_array);
+    let series = doc.get("series").and_then(Value::as_array);
+    let throughput = doc.get("throughput").and_then(Value::as_array);
+    let arrays = [strategies, series, throughput].iter().flatten().count();
+    if arrays > 1 {
+        fire(
+            "snapshot mixes \"strategies\"/\"series\"/\"throughput\" arrays; \
+             the gate would pick one arbitrarily"
+                .to_string(),
+        );
+        return diags;
+    }
+    if let Some(entries) = throughput {
+        validate_throughput(entries, &mut fire);
+        return diags;
+    }
+    let (entries, label, name_key, ns_key) = match (strategies, series) {
+        (Some(arr), None) => (arr, "strategies", "strategy", "median_pipeline_ns"),
+        (None, Some(arr)) => (arr, "series", "name", "median_ns"),
+        _ => {
+            fire(
+                "snapshot has none of the \"strategies\"/\"series\"/\"throughput\" arrays \
+                 (the regression gate would reject it)"
+                    .to_string(),
+            );
+            return diags;
+        }
+    };
+    if entries.is_empty() {
+        fire(format!(
+            "\"{label}\" is empty: an empty baseline gates nothing"
+        ));
+    }
+    let mut names: Vec<&str> = Vec::new();
+    for (idx, entry) in entries.iter().enumerate() {
+        let Some(name) = entry.get(name_key).and_then(Value::as_str) else {
+            fire(format!(
+                "{label}[{idx}] lacks a string \"{name_key}\" field"
+            ));
+            continue;
+        };
+        if names.contains(&name) {
+            fire(format!(
+                "duplicate entry name {name:?} would skew the per-family mean"
+            ));
+        }
+        names.push(name);
+        match entry.get(ns_key).and_then(Value::as_f64) {
+            None => fire(format!(
+                "{label}[{idx}] ({name:?}) lacks a numeric \"{ns_key}\" field"
+            )),
+            Some(ns) if !(ns.is_finite() && ns > 0.0) => fire(format!(
+                "{label}[{idx}] ({name:?}) has non-positive or non-finite {ns_key} = {ns}"
+            )),
+            Some(_) => {}
+        }
+    }
+    diags
+}
+
+/// Validates the ungated sweep-throughput shape.
+fn validate_throughput(entries: &[Value], fire: &mut impl FnMut(String)) {
+    if entries.is_empty() {
+        fire("\"throughput\" is empty: the snapshot records nothing".to_string());
+    }
+    for (idx, entry) in entries.iter().enumerate() {
+        for key in ["threads", "cells_per_second"] {
+            match entry.get(key).and_then(Value::as_f64) {
+                None => fire(format!("throughput[{idx}] lacks a numeric \"{key}\" field")),
+                Some(v) if !(v.is_finite() && v > 0.0) => fire(format!(
+                    "throughput[{idx}] has non-positive or non-finite {key} = {v}"
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Validates every `BENCH_*.json` committed under `crates/bench/`.
+///
+/// # Errors
+///
+/// I/O failures listing the bench directory (unreadable snapshots are
+/// diagnostics, not errors).
+pub fn check(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let dir = root.join("crates/bench");
+    let entries =
+        std::fs::read_dir(&dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    let mut snapshots: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    snapshots.sort();
+    let mut diags = Vec::new();
+    if snapshots.is_empty() {
+        diags.push(Diagnostic {
+            file: "crates/bench".to_string(),
+            line: 1,
+            rule: RuleId::BenchSchema,
+            message: "no committed BENCH_*.json snapshots found; the CI regression gates have no baselines".to_string(),
+        });
+    }
+    for p in snapshots {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        match std::fs::read_to_string(&p) {
+            Ok(text) => diags.extend(validate(&rel, &text)),
+            Err(e) => diags.push(Diagnostic {
+                file: rel,
+                line: 1,
+                rule: RuleId::BenchSchema,
+                message: format!("unreadable snapshot: {e}"),
+            }),
+        }
+    }
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_schemas_validate() {
+        let strategies =
+            "{\"strategies\": [{\"strategy\": \"ring\", \"median_pipeline_ns\": 120}]}";
+        assert_eq!(validate("a.json", strategies), vec![]);
+        let series = "{\"shape\": {\"n\": 71}, \"series\": [{\"name\": \"packed_ladder\", \"median_ns\": 99.5}]}";
+        assert_eq!(validate("b.json", series), vec![]);
+    }
+
+    #[test]
+    fn malformed_documents_fire() {
+        for (text, needle) in [
+            ("nope", "not valid JSON"),
+            ("{}", "none of"),
+            (
+                "{\"throughput\": [{\"threads\": 1}]}",
+                "lacks a numeric \"cells_per_second\"",
+            ),
+            (
+                "{\"throughput\": [{\"threads\": 0, \"cells_per_second\": 9.5}]}",
+                "non-positive",
+            ),
+            ("{\"strategies\": []}", "empty"),
+            (
+                "{\"series\": [{\"name\": \"x\"}]}",
+                "lacks a numeric \"median_ns\"",
+            ),
+            (
+                "{\"series\": [{\"median_ns\": 5}]}",
+                "lacks a string \"name\"",
+            ),
+            (
+                "{\"series\": [{\"name\": \"x\", \"median_ns\": 0}]}",
+                "non-positive",
+            ),
+            (
+                "{\"series\": [{\"name\": \"x\", \"median_ns\": 1}, {\"name\": \"x\", \"median_ns\": 2}]}",
+                "duplicate",
+            ),
+            (
+                "{\"series\": [], \"strategies\": []}",
+                "mixes",
+            ),
+        ] {
+            let diags = validate("x.json", text);
+            assert!(
+                diags.iter().any(|d| d.message.contains(needle)),
+                "{text} => {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn committed_snapshots_are_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let diags = check(&root).expect("bench dir readable");
+        assert_eq!(diags, vec![]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Crate-layering rule: the workspace dependency graph must stay the
+//! intended DAG — no cycles, no upward edges.
+//!
+//! The layers (an edge may only point to a strictly lower rank):
+//!
+//! ```text
+//! rank 0  wcp-combin  wcp-gf  wcp-sim          (substrate: math, json/seeds)
+//! rank 1  wcp-designs wcp-analysis             (constructions, closed forms)
+//! rank 2  wcp-core                             (strategies, engine, sweep)
+//! rank 3  wcp-adversary                        (attack ladder)
+//! rank 4  wcp-experiments wcp-bench wcp-lint   (binaries and tooling)
+//! rank 5  worst-case-placement                 (the facade crate)
+//! ```
+//!
+//! Manifests are parsed with a minimal hand-rolled TOML-section reader
+//! (keys of `[dependencies]` / `[dev-dependencies]` /
+//! `[build-dependencies]`); only `wcp-*` path dependencies participate.
+//! A crate missing from the rank table is itself a diagnostic: extending
+//! the workspace means declaring where the new crate sits.
+
+use crate::{Diagnostic, RuleId};
+use std::path::Path;
+
+/// The rank of every known workspace crate (see the module docs).
+const RANKS: [(&str, u32); 11] = [
+    ("wcp-combin", 0),
+    ("wcp-gf", 0),
+    ("wcp-sim", 0),
+    ("wcp-analysis", 1),
+    ("wcp-designs", 1),
+    ("wcp-core", 2),
+    ("wcp-adversary", 3),
+    ("wcp-bench", 4),
+    ("wcp-experiments", 4),
+    ("wcp-lint", 4),
+    ("worst-case-placement", 5),
+];
+
+fn rank_of(name: &str) -> Option<u32> {
+    RANKS.iter().find(|(n, _)| *n == name).map(|&(_, r)| r)
+}
+
+/// One parsed manifest: package name plus its `wcp-*` dependency names
+/// (normal, dev and build alike — the DAG must hold for all of them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The manifest's repo-relative path (for diagnostics).
+    pub path: String,
+    /// `package.name`.
+    pub name: String,
+    /// In-workspace (`wcp-*` / facade) dependencies.
+    pub deps: Vec<String>,
+}
+
+/// Parses the slice of a `Cargo.toml` the layering rule needs.
+#[must_use]
+pub fn parse_manifest(path: &str, text: &str) -> Manifest {
+    let mut section = String::new();
+    let mut name = String::new();
+    let mut deps = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            section = rest.trim_end_matches(']').trim().to_string();
+            continue;
+        }
+        let Some(key) = line.split('=').next() else {
+            continue;
+        };
+        // `wcp-core.workspace = true` keys on the part before the dot.
+        let key = key.trim().split('.').next().unwrap_or("").trim();
+        if section == "package" && key == "name" {
+            if let Some(v) = line.split('=').nth(1) {
+                name = v.trim().trim_matches('"').to_string();
+            }
+        }
+        if matches!(
+            section.as_str(),
+            "dependencies" | "dev-dependencies" | "build-dependencies"
+        ) && (key.starts_with("wcp-") || key == "worst-case-placement")
+        {
+            deps.push(key.to_string());
+        }
+    }
+    Manifest {
+        path: path.to_string(),
+        name,
+        deps,
+    }
+}
+
+/// Checks parsed manifests against the rank table, then — independently
+/// of the table — walks the graph for cycles, so even two crates at a
+/// misdeclared equal rank cannot hide a loop.
+#[must_use]
+pub fn check_manifests(manifests: &[Manifest]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut fire = |path: &str, msg: String| {
+        diags.push(Diagnostic {
+            file: path.to_string(),
+            line: 1,
+            rule: RuleId::Layering,
+            message: msg,
+        });
+    };
+    for m in manifests {
+        let Some(rank) = rank_of(&m.name) else {
+            fire(
+                &m.path,
+                format!(
+                    "crate `{}` is not in the layering table; declare its rank in \
+                     crates/lint/src/layering.rs",
+                    m.name
+                ),
+            );
+            continue;
+        };
+        for dep in &m.deps {
+            match rank_of(dep) {
+                Some(dep_rank) if dep_rank >= rank => fire(
+                    &m.path,
+                    format!(
+                        "`{}` (rank {rank}) must not depend on `{dep}` (rank {dep_rank}): \
+                         edges point strictly downward",
+                        m.name
+                    ),
+                ),
+                Some(_) => {}
+                None => fire(
+                    &m.path,
+                    format!("dependency `{dep}` is not in the layering table"),
+                ),
+            }
+        }
+    }
+    // Cycle sweep over the declared edges (names, ranks ignored).
+    let mut visiting: Vec<&str> = Vec::new();
+    let mut done: Vec<&str> = Vec::new();
+    fn visit<'m>(
+        name: &'m str,
+        manifests: &'m [Manifest],
+        visiting: &mut Vec<&'m str>,
+        done: &mut Vec<&'m str>,
+    ) -> Option<String> {
+        if done.contains(&name) {
+            return None;
+        }
+        if let Some(at) = visiting.iter().position(|v| *v == name) {
+            let mut cycle: Vec<&str> = visiting[at..].to_vec();
+            cycle.push(name);
+            return Some(cycle.join(" -> "));
+        }
+        visiting.push(name);
+        let deps = manifests
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.deps.as_slice())
+            .unwrap_or_default();
+        for dep in deps {
+            if let Some(cycle) = visit(dep, manifests, visiting, done) {
+                return Some(cycle);
+            }
+        }
+        visiting.pop();
+        done.push(name);
+        None
+    }
+    for m in manifests {
+        if let Some(cycle) = visit(&m.name, manifests, &mut visiting, &mut done) {
+            fire(&m.path, format!("dependency cycle: {cycle}"));
+            break;
+        }
+    }
+    diags
+}
+
+/// Reads and checks every workspace manifest under `root`.
+///
+/// # Errors
+///
+/// I/O failures reading the workspace layout (unreadable manifests are
+/// diagnostics, not errors).
+pub fn check(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let mut manifests = Vec::new();
+    let mut paths = vec![root.join("Cargo.toml")];
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot list {}: {e}", crates_dir.display()))?;
+    let mut crate_manifests: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path().join("Cargo.toml"))
+        .filter(|p| p.is_file())
+        .collect();
+    crate_manifests.sort();
+    paths.extend(crate_manifests);
+    let mut diags = Vec::new();
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        match std::fs::read_to_string(&p) {
+            Ok(text) => manifests.push(parse_manifest(&rel, &text)),
+            Err(e) => diags.push(Diagnostic {
+                file: rel,
+                line: 1,
+                rule: RuleId::Layering,
+                message: format!("unreadable manifest: {e}"),
+            }),
+        }
+    }
+    diags.extend(check_manifests(&manifests));
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(name: &str, deps: &[&str]) -> Manifest {
+        Manifest {
+            path: format!("crates/{name}/Cargo.toml"),
+            name: name.to_string(),
+            deps: deps.iter().map(|d| (*d).to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn parses_workspace_style_manifests() {
+        let text = "[package]\nname = \"wcp-core\"\n\n[dependencies]\nwcp-combin.workspace = true\nwcp-designs = { path = \"../designs\" }\nrand.workspace = true\n\n[dev-dependencies]\nproptest.workspace = true\nwcp-sim.workspace = true\n";
+        let m = parse_manifest("crates/core/Cargo.toml", text);
+        assert_eq!(m.name, "wcp-core");
+        assert_eq!(m.deps, vec!["wcp-combin", "wcp-designs", "wcp-sim"]);
+    }
+
+    #[test]
+    fn downward_edges_pass() {
+        let ms = [
+            manifest("wcp-core", &["wcp-combin", "wcp-designs", "wcp-sim"]),
+            manifest("wcp-adversary", &["wcp-combin", "wcp-core"]),
+            manifest("wcp-bench", &["wcp-core", "wcp-sim", "wcp-adversary"]),
+        ];
+        assert_eq!(check_manifests(&ms), vec![]);
+    }
+
+    #[test]
+    fn upward_edge_fails() {
+        let ms = [manifest("wcp-core", &["wcp-adversary"])];
+        let d = check_manifests(&ms);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::Layering);
+        assert!(
+            d[0].message.contains("strictly downward"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn same_rank_edge_fails() {
+        let ms = [manifest("wcp-designs", &["wcp-analysis"])];
+        assert_eq!(check_manifests(&ms).len(), 1);
+    }
+
+    #[test]
+    fn unknown_crate_fails() {
+        let ms = [manifest("wcp-teleport", &[])];
+        let d = check_manifests(&ms);
+        assert!(d[0].message.contains("not in the layering table"));
+    }
+
+    #[test]
+    fn cycles_are_reported_even_at_misdeclared_ranks() {
+        // Both edges are individually "upward" violations too, but the
+        // cycle sweep must name the loop explicitly.
+        let ms = [
+            manifest("wcp-core", &["wcp-adversary"]),
+            manifest("wcp-adversary", &["wcp-core"]),
+        ];
+        let d = check_manifests(&ms);
+        assert!(
+            d.iter().any(|x| x.message.contains("dependency cycle")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn the_real_workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let diags = check(&root).expect("workspace readable");
+        assert_eq!(diags, vec![]);
+    }
+}

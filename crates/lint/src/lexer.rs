@@ -1,0 +1,430 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! `wcp-lint` needs just enough token structure to tell code from
+//! comments and string literals, to recognize identifiers and the
+//! punctuation around them, and to map every byte back to a line. It
+//! deliberately does **not** parse: rules work on the token stream
+//! (modeled on rustc's in-tree `tidy`, and consistent with the
+//! no-crates.io constraint — no `syn`).
+//!
+//! Guarantees the fuzz suite pins down:
+//!
+//! * lexing never panics, on any input;
+//! * token spans exactly tile the input (`tokens[0].start == 0`,
+//!   contiguous, `tokens.last().end == len`), and every span boundary is
+//!   a `char` boundary;
+//! * lexing is a pure function of the input.
+//!
+//! Malformed input (unterminated strings/comments, a stray `'`) is
+//! absorbed rather than rejected — a linter must keep going.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace.
+    Whitespace,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nested; unterminated runs to end of input.
+    BlockComment,
+    /// `"…"`, `b"…"`, `c"…"` with escapes; unterminated runs to EOL/EOF.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br##"…"##` …; unterminated runs to EOF.
+    RawStr,
+    /// `'x'`, `'\n'`, `'\u{1F600}'`.
+    Char,
+    /// `'ident` (including `'static`).
+    Lifetime,
+    /// Identifiers and keywords, plus raw idents (`r#match`).
+    Ident,
+    /// Integer/float literals including prefixes, exponents, suffixes.
+    Number,
+    /// Any other single character.
+    Punct,
+}
+
+/// One token: a kind plus a byte span into the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    #[must_use]
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// The character starting at byte `i`, if any.
+fn char_at(src: &str, i: usize) -> Option<char> {
+    src.get(i..).and_then(|s| s.chars().next())
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a token stream whose spans tile the input.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while let Some(c) = char_at(src, i) {
+        let start = i;
+        let kind = match c {
+            _ if c.is_whitespace() => {
+                while let Some(w) = char_at(src, i) {
+                    if !w.is_whitespace() {
+                        break;
+                    }
+                    i += w.len_utf8();
+                }
+                TokenKind::Whitespace
+            }
+            '/' => match char_at(src, i + 1) {
+                Some('/') => {
+                    i += 2;
+                    while let Some(w) = char_at(src, i) {
+                        if w == '\n' {
+                            break;
+                        }
+                        i += w.len_utf8();
+                    }
+                    TokenKind::LineComment
+                }
+                Some('*') => {
+                    i += 2;
+                    let mut depth = 1u32;
+                    while depth > 0 {
+                        match (char_at(src, i), char_at(src, i + 1)) {
+                            (Some('/'), Some('*')) => {
+                                depth += 1;
+                                i += 2;
+                            }
+                            (Some('*'), Some('/')) => {
+                                depth -= 1;
+                                i += 2;
+                            }
+                            (Some(w), _) => i += w.len_utf8(),
+                            (None, _) => break,
+                        }
+                    }
+                    TokenKind::BlockComment
+                }
+                _ => {
+                    i += 1;
+                    TokenKind::Punct
+                }
+            },
+            '"' => {
+                i += 1;
+                lex_escaped_string_body(src, &mut i);
+                TokenKind::Str
+            }
+            '\'' => lex_quote(src, &mut i),
+            _ if c.is_ascii_digit() => {
+                lex_number(src, &mut i);
+                TokenKind::Number
+            }
+            _ if is_ident_start(c) => lex_ident_or_prefixed(src, &mut i),
+            _ => {
+                i += c.len_utf8();
+                TokenKind::Punct
+            }
+        };
+        debug_assert!(i > start, "lexer must always make progress");
+        if i == start {
+            // Unreachable by construction; absorb one char rather than loop.
+            i += c.len_utf8();
+        }
+        tokens.push(Token {
+            kind,
+            start,
+            end: i,
+        });
+    }
+    tokens
+}
+
+/// Consumes an escaped (non-raw) string body; `*i` sits after the
+/// opening quote. Unterminated bodies run to end of input.
+fn lex_escaped_string_body(src: &str, i: &mut usize) {
+    while let Some(w) = char_at(src, *i) {
+        *i += w.len_utf8();
+        match w {
+            '\\' => {
+                if let Some(esc) = char_at(src, *i) {
+                    *i += esc.len_utf8();
+                }
+            }
+            '"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string body `"…" + hashes×'#'`; `*i` sits on the
+/// opening quote. Unterminated bodies run to end of input.
+fn lex_raw_string_body(src: &str, i: &mut usize, hashes: usize) {
+    *i += 1; // opening quote
+    while let Some(w) = char_at(src, *i) {
+        *i += w.len_utf8();
+        if w == '"'
+            && src
+                .as_bytes()
+                .get(*i..*i + hashes)
+                .is_some_and(|t| t.iter().all(|&b| b == b'#'))
+        {
+            *i += hashes;
+            return;
+        }
+    }
+}
+
+/// Disambiguates `'` between char literals, lifetimes and a stray quote;
+/// `*i` sits on the quote.
+fn lex_quote(src: &str, i: &mut usize) -> TokenKind {
+    let start = *i;
+    *i += 1;
+    match char_at(src, *i) {
+        Some('\\') => {
+            // Escaped char literal: scan to the closing quote on this line.
+            while let Some(w) = char_at(src, *i) {
+                if w == '\n' {
+                    break;
+                }
+                *i += w.len_utf8();
+                if w == '\\' {
+                    if let Some(esc) = char_at(src, *i) {
+                        *i += esc.len_utf8();
+                    }
+                } else if w == '\'' {
+                    return TokenKind::Char;
+                }
+            }
+            TokenKind::Char // unterminated; absorbed
+        }
+        Some(c1) => {
+            let after = char_at(src, *i + c1.len_utf8());
+            if after == Some('\'') {
+                *i += c1.len_utf8() + 1;
+                TokenKind::Char
+            } else if is_ident_start(c1) {
+                while let Some(w) = char_at(src, *i) {
+                    if !is_ident_continue(w) {
+                        break;
+                    }
+                    *i += w.len_utf8();
+                }
+                TokenKind::Lifetime
+            } else {
+                *i = start + 1;
+                TokenKind::Punct
+            }
+        }
+        None => TokenKind::Punct,
+    }
+}
+
+/// Consumes a number literal: prefixes (`0x…`), `_` separators, one
+/// fractional point (not `..`), exponents, type suffixes (`1u32`).
+fn lex_number(src: &str, i: &mut usize) {
+    let mut seen_dot = false;
+    while let Some(w) = char_at(src, *i) {
+        if w.is_ascii_alphanumeric() || w == '_' {
+            *i += 1;
+            // `1e-5` / `1E+9`: a sign directly after an exponent marker.
+            if (w == 'e' || w == 'E')
+                && matches!(char_at(src, *i), Some('+' | '-'))
+                && char_at(src, *i + 1).is_some_and(|d| d.is_ascii_digit())
+            {
+                *i += 1;
+            }
+        } else if w == '.' && !seen_dot && char_at(src, *i + 1).is_some_and(|d| d.is_ascii_digit())
+        {
+            seen_dot = true;
+            *i += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Consumes an identifier; if it turns out to be a string-literal prefix
+/// (`r`, `b`, `br`, `c`, `cr`) glued to a quote (or `r#…` raw
+/// ident/string), re-classifies accordingly. `*i` sits on the first char.
+fn lex_ident_or_prefixed(src: &str, i: &mut usize) -> TokenKind {
+    let start = *i;
+    while let Some(w) = char_at(src, *i) {
+        if !is_ident_continue(w) {
+            break;
+        }
+        *i += w.len_utf8();
+    }
+    let ident = &src[start..*i];
+    let raw_capable = matches!(ident, "r" | "br" | "cr");
+    let escape_capable = matches!(ident, "b" | "c");
+    match char_at(src, *i) {
+        Some('"') if raw_capable => {
+            lex_raw_string_body(src, i, 0);
+            TokenKind::RawStr
+        }
+        Some('"') if escape_capable => {
+            *i += 1;
+            lex_escaped_string_body(src, i);
+            TokenKind::Str
+        }
+        Some('#') if raw_capable => {
+            let mut j = *i;
+            while char_at(src, j) == Some('#') {
+                j += 1;
+            }
+            let hashes = j - *i;
+            match char_at(src, j) {
+                Some('"') => {
+                    *i = j;
+                    lex_raw_string_body(src, i, hashes);
+                    TokenKind::RawStr
+                }
+                Some(c) if ident == "r" && hashes == 1 && is_ident_start(c) => {
+                    // Raw identifier `r#match`.
+                    *i = j;
+                    while let Some(w) = char_at(src, *i) {
+                        if !is_ident_continue(w) {
+                            break;
+                        }
+                        *i += w.len_utf8();
+                    }
+                    TokenKind::Ident
+                }
+                _ => TokenKind::Ident,
+            }
+        }
+        _ => TokenKind::Ident,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn significant(src: &str) -> Vec<(TokenKind, &str)> {
+        kinds(src)
+            .into_iter()
+            .filter(|(k, _)| {
+                !matches!(
+                    k,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spans_tile_simple_source() {
+        let src = "fn main() { let x = 1; }\n";
+        let tokens = lex(src);
+        assert_eq!(tokens[0].start, 0);
+        for pair in tokens.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        assert_eq!(tokens.last().map(|t| t.end), Some(src.len()));
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = "// unwrap()\n/* HashMap /* nested */ still comment */ \"panic!()\" x";
+        let sig = significant(src);
+        assert_eq!(
+            sig,
+            vec![(TokenKind::Str, "\"panic!()\""), (TokenKind::Ident, "x")]
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_prefixes() {
+        let src = r####"r"a" r#"b"# br##"c"## b"d" r#match"####;
+        let sig = significant(src);
+        assert_eq!(sig[0], (TokenKind::RawStr, r#"r"a""#));
+        assert_eq!(sig[1], (TokenKind::RawStr, r##"r#"b"#"##));
+        assert_eq!(sig[2], (TokenKind::RawStr, r###"br##"c"##"###));
+        assert_eq!(sig[3], (TokenKind::Str, "b\"d\""));
+        assert_eq!(sig[4], (TokenKind::Ident, "r#match"));
+    }
+
+    #[test]
+    fn raw_string_hash_mismatch_runs_on() {
+        // `r##"…"#` never closes: absorbed to EOF, no panic.
+        let src = r###"r##"abc"# x"###;
+        let tokens = lex(src);
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(tokens[0].kind, TokenKind::RawStr);
+        assert_eq!(tokens[0].end, src.len());
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "'a' 'x 'static '\\n' '\\u{1F600}' ' '";
+        let sig = significant(src);
+        assert_eq!(sig[0], (TokenKind::Char, "'a'"));
+        assert_eq!(sig[1], (TokenKind::Lifetime, "'x"));
+        assert_eq!(sig[2], (TokenKind::Lifetime, "'static"));
+        assert_eq!(sig[3], (TokenKind::Char, "'\\n'"));
+        assert_eq!(sig[4], (TokenKind::Char, "'\\u{1F600}'"));
+        assert_eq!(sig[5], (TokenKind::Char, "' '"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let src = "1..n 2.5 1.5e-3 0xff_u32 1.max(2)";
+        let sig = significant(src);
+        assert_eq!(sig[0], (TokenKind::Number, "1"));
+        assert_eq!(sig[1], (TokenKind::Punct, "."));
+        assert_eq!(sig[2], (TokenKind::Punct, "."));
+        assert_eq!(sig[3], (TokenKind::Ident, "n"));
+        assert_eq!(sig[4], (TokenKind::Number, "2.5"));
+        assert_eq!(sig[5], (TokenKind::Number, "1.5e-3"));
+        assert_eq!(sig[6], (TokenKind::Number, "0xff_u32"));
+        assert_eq!(sig[7], (TokenKind::Number, "1"));
+        assert_eq!(sig[8], (TokenKind::Punct, "."));
+        assert_eq!(sig[9], (TokenKind::Ident, "max"));
+    }
+
+    #[test]
+    fn unterminated_forms_absorb_to_eof() {
+        for src in ["\"abc", "/* never", "r#\"raw", "'\\x", "b\"oops\\"] {
+            let tokens = lex(src);
+            assert_eq!(tokens.last().map(|t| t.end), Some(src.len()), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn multibyte_input_lexes_cleanly() {
+        let src = "let λ = \"貓\"; // ∞";
+        let tokens = lex(src);
+        for t in &tokens {
+            assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        }
+        assert!(tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "λ"));
+    }
+}

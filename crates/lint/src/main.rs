@@ -1,0 +1,181 @@
+//! The `wcp-lint` binary: the repo's `tidy` step.
+//!
+//! ```text
+//! wcp-lint [--root DIR] [--report FILE]   # lint the tree against lint_baseline.txt
+//! wcp-lint --write-baseline [--root DIR]  # regenerate the baseline after a burn-down
+//! wcp-lint --check FILE [FILE …]          # lint files with every rule, no baseline
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations (new or stale baseline), `2`
+//! usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wcp_lint::{baseline, lint_source, walk, Diagnostic};
+
+/// Name of the committed baseline at the workspace root.
+const BASELINE_FILE: &str = "lint_baseline.txt";
+
+struct Args {
+    root: PathBuf,
+    report: Option<PathBuf>,
+    write_baseline: bool,
+    check: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        report: None,
+        write_baseline: false,
+        check: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--report" => {
+                args.report = Some(PathBuf::from(it.next().ok_or("--report needs a path")?));
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--check" => {
+                args.check.extend(it.by_ref().map(PathBuf::from));
+                if args.check.is_empty() {
+                    return Err("--check needs at least one file".to_string());
+                }
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: wcp-lint [--root DIR] [--report FILE] [--write-baseline] \
+                     [--check FILE …]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// `--check`: every file rule, path scoping off, no baseline.
+fn run_check(files: &[PathBuf]) -> Result<ExitCode, String> {
+    let mut total = 0usize;
+    for path in files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let diags = lint_source(&path.to_string_lossy().replace('\\', "/"), &text, false);
+        for d in &diags {
+            println!("{d}");
+        }
+        total += diags.len();
+    }
+    if total == 0 {
+        println!("wcp-lint --check: clean");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("wcp-lint --check: {total} violation(s)");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Renders the full-report artifact: every current diagnostic (baselined
+/// or not) plus per-rule totals and the verdict line.
+fn render_report(diags: &[Diagnostic], issues: &[baseline::DiffIssue]) -> String {
+    let mut out = String::from("# wcp-lint report\n");
+    for rule in wcp_lint::RuleId::ALL {
+        let n = diags.iter().filter(|d| d.rule == rule).count();
+        out.push_str(&format!("# {rule}: {n} current violation(s)\n"));
+    }
+    for d in diags {
+        out.push_str(&format!("{d}\n"));
+    }
+    if issues.is_empty() {
+        out.push_str("VERDICT: clean (all current violations are baselined)\n");
+    } else {
+        for issue in issues {
+            out.push_str(&format!("{issue}\n"));
+        }
+        out.push_str(&format!("VERDICT: {} issue(s)\n", issues.len()));
+    }
+    out
+}
+
+fn run_tree(args: &Args) -> Result<ExitCode, String> {
+    if !args.root.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "{} does not look like the workspace root (no Cargo.toml); use --root",
+            args.root.display()
+        ));
+    }
+    let diags = walk::lint_tree(&args.root)?;
+    let counts = baseline::count(&diags);
+    let baseline_path = args.root.join(BASELINE_FILE);
+    if args.write_baseline {
+        std::fs::write(&baseline_path, baseline::render(&counts))
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!(
+            "wcp-lint: wrote {} ({} entries, {} violation(s))",
+            baseline_path.display(),
+            counts.len(),
+            diags.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let committed = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => baseline::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => baseline::Counts::new(),
+        Err(e) => return Err(format!("cannot read {}: {e}", baseline_path.display())),
+    };
+    let issues = baseline::diff(&committed, &counts);
+    if let Some(report) = &args.report {
+        std::fs::write(report, render_report(&diags, &issues))
+            .map_err(|e| format!("cannot write {}: {e}", report.display()))?;
+    }
+    if issues.is_empty() {
+        println!(
+            "wcp-lint: clean — {} baselined violation(s) across {} (rule, file) pair(s)",
+            diags.len(),
+            counts.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    for issue in &issues {
+        println!("{issue}");
+        if let baseline::DiffIssue::New { rule, file, .. } = issue {
+            for d in diags
+                .iter()
+                .filter(|d| d.rule.as_str() == rule && &d.file == file)
+            {
+                println!("  {d}");
+            }
+        }
+    }
+    println!("wcp-lint: {} issue(s); see messages above", issues.len());
+    Ok(ExitCode::FAILURE)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("wcp-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = if args.check.is_empty() {
+        run_tree(&args)
+    } else {
+        run_check(&args.check)
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("wcp-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! A lexed source file plus the structure rules navigate: line
+//! mapping, `// lint:allow(rule, reason)` escape hatches, and
+//! `#[cfg(test)]` / `#[test]` region detection.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::RuleId;
+
+/// A file under analysis.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// Full text.
+    pub text: String,
+    /// The token stream (spans tile `text`).
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the significant (non-whitespace,
+    /// non-comment) tokens, in order.
+    pub significant: Vec<usize>,
+    line_starts: Vec<usize>,
+    test_regions: Vec<(usize, usize)>,
+    allows: Vec<(u32, RuleId)>,
+}
+
+impl SourceFile {
+    /// Lexes and indexes a file.
+    #[must_use]
+    pub fn parse(path: &str, text: &str) -> Self {
+        let tokens = lex(text);
+        let significant: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let mut line_starts = vec![0];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let test_regions = find_test_regions(&tokens, &significant, text);
+        let allows = find_allows(&tokens, text, &line_starts);
+        Self {
+            path: path.to_string(),
+            text: text.to_string(),
+            tokens,
+            significant,
+            line_starts,
+            test_regions,
+            allows,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    #[must_use]
+    pub fn line_of(&self, byte: usize) -> u32 {
+        match self.line_starts.binary_search(&byte) {
+            Ok(i) => i as u32 + 1,
+            Err(i) => i as u32,
+        }
+    }
+
+    /// Whether a byte offset falls inside `#[cfg(test)]` / `#[test]`
+    /// code (where the panic/determinism rules do not apply).
+    #[must_use]
+    pub fn in_test_code(&self, byte: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| s <= byte && byte < e)
+    }
+
+    /// Whether `rule` is suppressed at `line` by a
+    /// `// lint:allow(rule, reason)` on the same or the preceding line.
+    #[must_use]
+    pub fn allowed(&self, rule: RuleId, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|&(l, r)| r == rule && (l == line || l + 1 == line))
+    }
+
+    /// The significant token before position `sig_pos` (an index into
+    /// [`significant`](Self::significant)).
+    #[must_use]
+    pub fn prev_significant(&self, sig_pos: usize) -> Option<&Token> {
+        sig_pos
+            .checked_sub(1)
+            .and_then(|p| self.significant.get(p))
+            .map(|&i| &self.tokens[i])
+    }
+
+    /// The significant token `ahead` positions after `sig_pos`.
+    #[must_use]
+    pub fn next_significant(&self, sig_pos: usize, ahead: usize) -> Option<&Token> {
+        self.significant
+            .get(sig_pos + ahead)
+            .map(|&i| &self.tokens[i])
+    }
+}
+
+/// Scans comments for `lint:allow(rule, reason)` directives.
+fn find_allows(tokens: &[Token], text: &str, line_starts: &[usize]) -> Vec<(u32, RuleId)> {
+    let mut allows = Vec::new();
+    for t in tokens {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let body = t.text(text);
+        let mut rest = body;
+        while let Some(at) = rest.find("lint:allow(") {
+            rest = &rest[at + "lint:allow(".len()..];
+            let id: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+                .collect();
+            if let Some(rule) = RuleId::parse(&id) {
+                // The directive suppresses at the comment's *last* line
+                // (a multi-line block comment shields the code below it).
+                let end_line = match line_starts.binary_search(&t.end) {
+                    Ok(i) => i as u32 + 1,
+                    Err(i) => i as u32,
+                };
+                allows.push((end_line, rule));
+            }
+        }
+    }
+    allows
+}
+
+/// Finds byte ranges of test-only code: the braced block following a
+/// `#[cfg(test)]`-style or `#[test]` attribute. `#[cfg(not(test))]`
+/// is production code and is not matched.
+fn find_test_regions(tokens: &[Token], significant: &[usize], text: &str) -> Vec<(usize, usize)> {
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut k = 0;
+    while k < significant.len() {
+        let tok = &tokens[significant[k]];
+        if tok.kind != TokenKind::Punct || tok.text(text) != "#" {
+            k += 1;
+            continue;
+        }
+        let mut m = k + 1;
+        // Inner attributes (`#![…]`) never open a test region here.
+        if significant
+            .get(m)
+            .is_some_and(|&i| tokens[i].text(text) == "!")
+        {
+            k += 1;
+            continue;
+        }
+        if significant
+            .get(m)
+            .is_none_or(|&i| tokens[i].text(text) != "[")
+        {
+            k += 1;
+            continue;
+        }
+        m += 1;
+        // Collect the attribute's idents up to the matching `]`.
+        let mut depth = 1u32;
+        let mut idents: Vec<&str> = Vec::new();
+        while depth > 0 {
+            let Some(&i) = significant.get(m) else {
+                break;
+            };
+            let t = &tokens[i];
+            match (t.kind, t.text(text)) {
+                (TokenKind::Punct, "[") => depth += 1,
+                (TokenKind::Punct, "]") => depth -= 1,
+                (TokenKind::Ident, id) => idents.push(id),
+                _ => {}
+            }
+            m += 1;
+        }
+        let first = idents.first().copied();
+        let is_test_attr = idents.contains(&"test")
+            && !idents.contains(&"not")
+            && matches!(first, Some("cfg" | "cfg_attr" | "test"));
+        if !is_test_attr {
+            k = m;
+            continue;
+        }
+        // Find the `{` opening the attributed item's body (stop at a
+        // `;`: `#[cfg(test)] mod t;` has no inline body).
+        let mut open = None;
+        let mut probe = m;
+        while let Some(&i) = significant.get(probe) {
+            match (tokens[i].kind, tokens[i].text(text)) {
+                (TokenKind::Punct, "{") => {
+                    open = Some(probe);
+                    break;
+                }
+                (TokenKind::Punct, ";") => break,
+                _ => probe += 1,
+            }
+        }
+        let Some(open) = open else {
+            k = m;
+            continue;
+        };
+        // Match braces to the block's close (EOF-tolerant).
+        let start_byte = tokens[significant[open]].start;
+        let mut depth = 0i64;
+        let mut probe = open;
+        let mut end_byte = text.len();
+        while let Some(&i) = significant.get(probe) {
+            match (tokens[i].kind, tokens[i].text(text)) {
+                (TokenKind::Punct, "{") => depth += 1,
+                (TokenKind::Punct, "}") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_byte = tokens[i].end;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            probe += 1;
+        }
+        regions.push((start_byte, end_byte));
+        k = probe.max(m) + 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_mapping_is_one_based() {
+        let sf = SourceFile::parse("x.rs", "a\nbb\nccc\n");
+        assert_eq!(sf.line_of(0), 1);
+        assert_eq!(sf.line_of(2), 2);
+        assert_eq!(sf.line_of(3), 2);
+        assert_eq!(sf.line_of(5), 3);
+    }
+
+    #[test]
+    fn cfg_test_block_is_a_test_region() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn tail() {}\n";
+        let sf = SourceFile::parse("x.rs", src);
+        let inside = src.find("fn t").expect("marker");
+        let before = src.find("fn lib").expect("marker");
+        let after = src.find("fn tail").expect("marker");
+        assert!(sf.in_test_code(inside));
+        assert!(!sf.in_test_code(before));
+        assert!(!sf.in_test_code(after));
+    }
+
+    #[test]
+    fn test_fn_attribute_opens_a_region() {
+        let src = "#[test]\nfn check() { body(); }\nfn prod() {}\n";
+        let sf = SourceFile::parse("x.rs", src);
+        assert!(sf.in_test_code(src.find("body").expect("marker")));
+        assert!(!sf.in_test_code(src.find("prod").expect("marker")));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production_code() {
+        let src = "#[cfg(not(test))]\nfn prod() { body(); }\n";
+        let sf = SourceFile::parse("x.rs", src);
+        assert!(!sf.in_test_code(src.find("body").expect("marker")));
+    }
+
+    #[test]
+    fn allow_covers_same_and_next_line() {
+        let src =
+            "// lint:allow(panic, fixture)\nlet a = 1;\nlet b = 2; // lint:allow(determinism, x)\n";
+        let sf = SourceFile::parse("x.rs", src);
+        assert!(sf.allowed(RuleId::Panic, 1));
+        assert!(sf.allowed(RuleId::Panic, 2));
+        assert!(!sf.allowed(RuleId::Panic, 3));
+        assert!(sf.allowed(RuleId::Determinism, 3));
+        assert!(!sf.allowed(RuleId::Determinism, 2));
+    }
+
+    #[test]
+    fn unknown_allow_rule_is_inert() {
+        let sf = SourceFile::parse("x.rs", "// lint:allow(no-such-rule, x)\nfoo();\n");
+        assert!(!sf.allowed(RuleId::Panic, 2));
+    }
+}

@@ -1,0 +1,102 @@
+//! Repository walk: every `.rs` file the tree lint covers, in sorted
+//! (deterministic) order, plus the full-tree entry point combining the
+//! file rules with the repo-level layering and bench-schema rules.
+
+use crate::source::SourceFile;
+use crate::{bench_schema, layering, rules, Diagnostic};
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = [".git", "target", "vendor", "results"];
+
+/// Path prefixes excluded from the walk: the lint fixtures *are*
+/// violations by design.
+const SKIP_PREFIXES: [&str; 1] = ["crates/lint/fixtures"];
+
+/// Lists the repo's `.rs` files under `root`, repo-relative with
+/// forward slashes, sorted.
+///
+/// # Errors
+///
+/// I/O failures while listing directories.
+pub fn rust_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| format!("cannot read entry in {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref()) {
+                    continue;
+                }
+                let rel = relative(root, &path);
+                if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// `path` relative to `root`, forward slashes.
+#[must_use]
+pub fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Runs the whole analysis over the repository at `root`: every file
+/// rule on every `.rs` file, plus the layering and bench-schema rules.
+///
+/// # Errors
+///
+/// I/O failures (individual unreadable files are diagnostics elsewhere;
+/// an unlistable tree is an error).
+pub fn lint_tree(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let mut diags = Vec::new();
+    for path in rust_files(root)? {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let sf = SourceFile::parse(&relative(root, &path), &text);
+        diags.extend(rules::check_file(&sf, true));
+    }
+    diags.extend(layering::check(root)?);
+    diags.extend(bench_schema::check(root)?);
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_skips_vendor_target_and_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = rust_files(&root).expect("walkable");
+        assert!(!files.is_empty());
+        for f in &files {
+            let rel = relative(&root, f);
+            assert!(!rel.starts_with("vendor/"), "{rel}");
+            assert!(!rel.starts_with("target/"), "{rel}");
+            assert!(!rel.starts_with("crates/lint/fixtures/"), "{rel}");
+        }
+        let rels: Vec<String> = files.iter().map(|f| relative(&root, f)).collect();
+        assert!(rels.contains(&"crates/core/src/engine.rs".to_string()));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk order must be deterministic");
+    }
+}

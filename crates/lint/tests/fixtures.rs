@@ -1,0 +1,81 @@
+//! Each rule's failing fixture must fire exactly that rule, and each
+//! `lint:allow` twin must be silent — proving the rules detect what
+//! they claim and the escape hatch actually suppresses.
+
+use std::path::{Path, PathBuf};
+use wcp_lint::{lint_source, RuleId};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn lint_fixture(sub: &str, name: &str) -> Vec<RuleId> {
+    let path = fixtures_dir().join(sub).join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    // Fixture mode: path scoping off, exactly like `wcp-lint --check`.
+    lint_source(&format!("fixtures/{sub}/{name}"), &text, false)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+/// The four file rules and their fixture stems.
+const FILE_RULES: [(RuleId, &str); 4] = [
+    (RuleId::Determinism, "determinism.rs"),
+    (RuleId::Panic, "panic.rs"),
+    (RuleId::Index, "index_guard.rs"),
+    (RuleId::UnsafeComment, "unsafe_comment.rs"),
+];
+
+#[test]
+fn every_failing_fixture_fires_its_rule_and_only_its_rule() {
+    for (rule, name) in FILE_RULES {
+        let fired = lint_fixture("failing", name);
+        assert!(
+            fired.contains(&rule),
+            "fixtures/failing/{name} did not fire {rule}"
+        );
+        assert!(
+            fired.iter().all(|r| *r == rule),
+            "fixtures/failing/{name} fired foreign rules: {fired:?}"
+        );
+    }
+}
+
+#[test]
+fn every_allowed_fixture_is_silent() {
+    for (_, name) in FILE_RULES {
+        let fired = lint_fixture("allowed", name);
+        assert_eq!(fired, vec![], "fixtures/allowed/{name} was not suppressed");
+    }
+}
+
+#[test]
+fn panic_fixture_counts_all_three_constructs() {
+    // unwrap(), expect(…) and panic! are three separate findings — the
+    // baseline counts depend on per-site granularity.
+    let fired = lint_fixture("failing", "panic.rs");
+    assert_eq!(fired.len(), 3, "{fired:?}");
+}
+
+#[test]
+fn fixture_set_is_exhaustive_per_rule() {
+    // A new file rule must ship fixtures: every file-scoped RuleId is
+    // covered, and no stray fixtures exist that no rule claims.
+    for sub in ["failing", "allowed"] {
+        let dir = fixtures_dir().join(sub);
+        let mut found: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("{} unreadable: {e}", dir.display()))
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        found.sort();
+        let mut expected: Vec<String> = FILE_RULES.iter().map(|(_, n)| (*n).to_string()).collect();
+        expected.sort();
+        assert_eq!(
+            found, expected,
+            "fixtures/{sub} out of sync with FILE_RULES"
+        );
+    }
+}

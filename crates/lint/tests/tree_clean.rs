@@ -1,0 +1,86 @@
+//! The committed tree must be clean against the committed baseline —
+//! this is the same check CI's `tidy` step runs via the `wcp-lint`
+//! binary, wired into `cargo test` so a new violation (or a stale
+//! baseline entry) fails before it ever reaches CI.
+
+use std::path::{Path, PathBuf};
+use wcp_lint::{baseline, walk, RuleId};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn tree_matches_committed_baseline() {
+    let root = repo_root();
+    let diags = walk::lint_tree(&root).expect("tree lints");
+    let current = baseline::count(&diags);
+    let committed = baseline::parse(
+        &std::fs::read_to_string(root.join("lint_baseline.txt"))
+            .expect("lint_baseline.txt is committed at the workspace root"),
+    )
+    .expect("baseline parses");
+    let issues = baseline::diff(&committed, &current);
+    assert!(
+        issues.is_empty(),
+        "tree vs baseline:\n{}",
+        issues
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn zero_debt_rules_stay_at_zero() {
+    // Determinism, unsafe-comment, layering and bench-schema carry no
+    // legacy debt: the baseline must not contain them, so any hit fails
+    // immediately rather than being silently baselined later.
+    let root = repo_root();
+    let committed = baseline::parse(
+        &std::fs::read_to_string(root.join("lint_baseline.txt")).expect("baseline committed"),
+    )
+    .expect("baseline parses");
+    for rule in [
+        RuleId::Determinism,
+        RuleId::UnsafeComment,
+        RuleId::Layering,
+        RuleId::BenchSchema,
+    ] {
+        assert!(
+            !committed.keys().any(|(r, _)| r == rule.as_str()),
+            "{rule} must have no baseline entries"
+        );
+    }
+}
+
+#[test]
+fn seeded_hash_iteration_in_a_decision_path_fails() {
+    // The acceptance scenario: inject a HashMap iteration into a
+    // strategy decision path and the gate must go red.
+    let root = repo_root();
+    let path = root.join("crates/core/src/strategy.rs");
+    let original = std::fs::read_to_string(&path).expect("strategy.rs readable");
+    let seeded = format!(
+        "{original}\nfn injected_tiebreak(m: &std::collections::HashMap<u16, u32>) -> u32 {{\n    m.values().sum()\n}}\n"
+    );
+    let diags = wcp_lint::lint_source("crates/core/src/strategy.rs", &seeded, true);
+    assert!(
+        diags.iter().any(|d| d.rule == RuleId::Determinism),
+        "seeded HashMap did not trip the determinism rule"
+    );
+    // And the baseline has no determinism allowance to hide behind.
+    let committed = baseline::parse(
+        &std::fs::read_to_string(root.join("lint_baseline.txt")).expect("baseline committed"),
+    )
+    .expect("baseline parses");
+    let issues = baseline::diff(&committed, &baseline::count(&diags));
+    assert!(
+        issues.iter().any(|i| matches!(
+            i,
+            baseline::DiffIssue::New { rule, .. } if rule == "determinism"
+        )),
+        "baseline diff did not flag the seeded violation: {issues:?}"
+    );
+}

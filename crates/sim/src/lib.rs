@@ -10,6 +10,8 @@
 //! failure-domain topology layouts, and [`seed_for`] derives stable
 //! per-run RNG seeds so every experiment is reproducible run-to-run.
 
+#![forbid(unsafe_code)]
+
 pub mod churn;
 pub mod json;
 pub mod topo;

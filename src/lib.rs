@@ -65,6 +65,8 @@
 //! # Ok::<(), worst_case_placement::core::PlacementError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// Runs the README's quickstart as a doctest so the documented
 /// entry-point can never drift from the real API.
 #[doc = include_str!("../README.md")]
