@@ -3,7 +3,8 @@
 //! bit-packed kernel ([`PackedCounts`]) the production ladder runs on.
 
 use crate::bitmap::{
-    and_popcount, eq_word, ge_word, tail_mask, words_for, BitIter, BitMatrix, NodeSet, WORD_BITS,
+    and_popcount, eq_word, ge_word, tail_mask, words_for, BitIter, BitMatrix, NodeSet, LANES,
+    WORD_BITS,
 };
 use wcp_core::Placement;
 
@@ -472,6 +473,28 @@ impl PackedCounts {
         }
     }
 
+    /// Writes the `hits = s − 2` bitmap (objects one more hit away from
+    /// joining the gain set) into `out`; all zeros when `s < 2` or the
+    /// level is unreachable. The fused pair sweep of the exact DFS uses
+    /// it to delta-update gains across siblings.
+    pub(crate) fn eq_sm2_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.words, 0);
+        let Some(c) = self.s.checked_sub(2) else {
+            return;
+        };
+        if c > self.r {
+            return;
+        }
+        for (w, slot) in out.iter_mut().enumerate() {
+            let mut eq = eq_word(&self.planes, self.words, w, u64::from(c));
+            if w + 1 == self.words {
+                eq &= self.tail;
+            }
+            *slot = eq;
+        }
+    }
+
     /// Writes the "failable within `m` more failures" mask — objects
     /// with `s − m ≤ hits < s` — into `out`.
     pub(crate) fn failable_mask_into(&self, m: u16, out: &mut Vec<u64>) {
@@ -520,48 +543,9 @@ impl PackedCounts {
         }
     }
 
-    /// Derives `(hits ≥ s, hits = s − 1)` for word `w` from the planes,
-    /// with dedicated `s = 1` / `s = 2` fast paths.
-    #[inline]
-    fn derive(&self, w: usize) -> (u64, u64) {
-        let stride = self.words;
-        let (ge, eq) = match self.s {
-            1 => {
-                let mut any = 0u64;
-                for j in 0..self.p {
-                    any |= self.planes[j * stride + w];
-                }
-                (any, self.tail_masked(!any, w))
-            }
-            2 => {
-                let x0 = self.planes[w];
-                let mut hi = 0u64;
-                for j in 1..self.p {
-                    hi |= self.planes[j * stride + w];
-                }
-                (hi, x0 & !hi)
-            }
-            s => {
-                let s = u64::from(s);
-                let ge = if u64::from(self.r) < s {
-                    0
-                } else {
-                    ge_word(&self.planes, stride, w, s)
-                };
-                let eq = if u64::from(self.r) < s - 1 {
-                    0
-                } else {
-                    eq_word(&self.planes, stride, w, s - 1)
-                };
-                (ge, eq)
-            }
-        };
-        (self.tail_masked(ge, w), self.tail_masked(eq, w))
-    }
-
     /// Marks `node` failed: a ripple-carry add of its object bitmap
-    /// into the counter planes, refreshing the derived masks word by
-    /// word.
+    /// into the counter planes, refreshing the derived masks block by
+    /// block.
     ///
     /// # Panics
     ///
@@ -569,27 +553,7 @@ impl PackedCounts {
     pub fn add_node(&mut self, node: u16) {
         debug_assert!(!self.members.contains(node), "node already failed");
         self.members.insert(node);
-        for w in 0..self.words {
-            let bw = self.node_bits.row(usize::from(node))[w];
-            if bw == 0 {
-                continue;
-            }
-            let mut carry = bw;
-            for j in 0..self.p {
-                let idx = j * self.words + w;
-                let t = self.planes[idx];
-                self.planes[idx] = t ^ carry;
-                carry &= t;
-            }
-            debug_assert_eq!(carry, 0, "hit counter overflow past r");
-            let (ge, eq) = self.derive(w);
-            self.failed =
-                self.failed - u64::from(self.ge_s[w].count_ones()) + u64::from(ge.count_ones());
-            self.eq_count =
-                self.eq_count - u64::from(self.eq_sm1[w].count_ones()) + u64::from(eq.count_ones());
-            self.ge_s[w] = ge;
-            self.eq_sm1[w] = eq;
-        }
+        self.apply_node::<false>(node);
     }
 
     /// Unmarks `node`: a ripple-borrow subtract of its object bitmap.
@@ -600,27 +564,85 @@ impl PackedCounts {
     pub fn remove_node(&mut self, node: u16) {
         debug_assert!(self.members.contains(node), "node not failed");
         self.members.remove(node);
-        for w in 0..self.words {
-            let bw = self.node_bits.row(usize::from(node))[w];
-            if bw == 0 {
+        self.apply_node::<true>(node);
+    }
+
+    /// The shared add/remove kernel: ripple-carry add (`SUB = false`)
+    /// or borrow-subtract (`SUB = true`) of the node's object bitmap
+    /// into the counter planes, refreshing the derived `hits ≥ s` /
+    /// `hits = s − 1` masks and their maintained popcounts.
+    ///
+    /// Runs over [`LANES`]-word blocks: the plane updates lower to wide
+    /// ops and the four popcount streams per block pipeline on
+    /// independent accumulators instead of serializing on one.
+    fn apply_node<const SUB: bool>(&mut self, node: u16) {
+        let words = self.words;
+        let s = self.s;
+        let r = self.r;
+        let tail = self.tail;
+        let row = self.node_bits.row(usize::from(node));
+        let planes = &mut self.planes;
+        let mut failed = self.failed;
+        let mut eq_count = self.eq_count;
+        let mut next = 0usize;
+        for bw in row.chunks(LANES) {
+            let len = bw.len();
+            let start = next;
+            next += len;
+            if bw.iter().all(|&x| x == 0) {
                 continue;
             }
-            let mut borrow = bw;
-            for j in 0..self.p {
-                let idx = j * self.words + w;
-                let t = self.planes[idx];
-                self.planes[idx] = t ^ borrow;
-                borrow &= !t;
+            let mut carry = [0u64; LANES];
+            for (c, &x) in carry.iter_mut().zip(bw) {
+                *c = x;
             }
-            debug_assert_eq!(borrow, 0, "hit counter underflow below 0");
-            let (ge, eq) = self.derive(w);
-            self.failed =
-                self.failed - u64::from(self.ge_s[w].count_ones()) + u64::from(ge.count_ones());
-            self.eq_count =
-                self.eq_count - u64::from(self.eq_sm1[w].count_ones()) + u64::from(eq.count_ones());
-            self.ge_s[w] = ge;
-            self.eq_sm1[w] = eq;
+            for plane in planes.chunks_exact_mut(words) {
+                let block = plane.get_mut(start..start + len).unwrap_or(&mut []);
+                for (t, c) in block.iter_mut().zip(carry.iter_mut()) {
+                    let old = *t;
+                    *t = old ^ *c;
+                    *c &= if SUB { !old } else { old };
+                }
+            }
+            debug_assert!(
+                carry.iter().all(|&c| c == 0),
+                "hit counter escaped the 0..=r plane range"
+            );
+            let mut ge_block = [0u64; LANES];
+            let mut eq_block = [0u64; LANES];
+            derive_block(
+                planes,
+                words,
+                s,
+                r,
+                start,
+                len,
+                &mut ge_block,
+                &mut eq_block,
+            );
+            if start + len == words {
+                if let (Some(ge), Some(eq)) = (ge_block.get_mut(len - 1), eq_block.get_mut(len - 1))
+                {
+                    *ge &= tail;
+                    *eq &= tail;
+                }
+            }
+            let ge_old = self.ge_s.get_mut(start..start + len).unwrap_or(&mut []);
+            let eq_old = self.eq_sm1.get_mut(start..start + len).unwrap_or(&mut []);
+            for (((go, eo), &gn), &en) in ge_old
+                .iter_mut()
+                .zip(eq_old.iter_mut())
+                .zip(ge_block.iter())
+                .zip(eq_block.iter())
+            {
+                failed = failed + u64::from(gn.count_ones()) - u64::from(go.count_ones());
+                eq_count = eq_count + u64::from(en.count_ones()) - u64::from(eo.count_ones());
+                *go = gn;
+                *eo = en;
+            }
         }
+        self.failed = failed;
+        self.eq_count = eq_count;
     }
 
     /// Failed objects if `node` were added, without mutating: one AND +
@@ -629,6 +651,30 @@ impl PackedCounts {
     pub fn gain(&self, node: u16) -> u64 {
         debug_assert!(!self.members.contains(node));
         self.and_popcount_row(node, &self.eq_sm1)
+    }
+
+    /// Writes `gain(nd)` for **every** node into `out` (indexed by node
+    /// id, failed members included) with a single scan of the maintained
+    /// `hits = s − 1` set: iterate its set bits and bump each host of
+    /// the object via the flat forward map — `O(b/64 + eq_count · r)`
+    /// total, where `n` separate [`PackedCounts::gain`] queries cost
+    /// `O(n · b/64)`. The exact DFS's bottom level batches its whole
+    /// candidate sweep through this.
+    pub(crate) fn gains_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(usize::from(self.num_nodes()), 0);
+        for (w, &word) in self.eq_sm1.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let obj = w * WORD_BITS + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for &nd in self.hosts_of(obj) {
+                    if let Some(slot) = out.get_mut(usize::from(nd)) {
+                        *slot += 1;
+                    }
+                }
+            }
+        }
     }
 
     /// Admissible upper bound on the number of *additional* objects
@@ -668,6 +714,83 @@ impl PackedCounts {
     pub(crate) fn collect_nodes(&self, out: &mut Vec<u16>) {
         out.clear();
         out.extend(self.members.iter_present());
+    }
+}
+
+/// Derives the `(hits ≥ s, hits = s − 1)` masks for `len ≤ LANES` words
+/// starting at `start`, lane-parallel through the `s = 1` / `s = 2` fast
+/// paths and word-at-a-time through the general comparator circuit.
+/// Only the first `len` lanes of the outputs are meaningful, and tail
+/// masking of the final word is the caller's job.
+#[allow(clippy::too_many_arguments)]
+fn derive_block(
+    planes: &[u64],
+    words: usize,
+    s: u16,
+    r: u16,
+    start: usize,
+    len: usize,
+    ge_out: &mut [u64; LANES],
+    eq_out: &mut [u64; LANES],
+) {
+    match s {
+        1 => {
+            let mut any = [0u64; LANES];
+            for plane in planes.chunks_exact(words) {
+                let block = plane.get(start..start + len).unwrap_or(&[]);
+                for (a, &x) in any.iter_mut().zip(block) {
+                    *a |= x;
+                }
+            }
+            for ((ge, eq), &a) in ge_out.iter_mut().zip(eq_out.iter_mut()).zip(any.iter()) {
+                *ge = a;
+                *eq = !a;
+            }
+        }
+        2 => {
+            let mut chunks = planes.chunks_exact(words);
+            let x0 = chunks
+                .next()
+                .and_then(|plane| plane.get(start..start + len))
+                .unwrap_or(&[]);
+            let mut hi = [0u64; LANES];
+            for plane in chunks {
+                let block = plane.get(start..start + len).unwrap_or(&[]);
+                for (h, &x) in hi.iter_mut().zip(block) {
+                    *h |= x;
+                }
+            }
+            for (((ge, eq), &h), &x) in ge_out
+                .iter_mut()
+                .zip(eq_out.iter_mut())
+                .zip(hi.iter())
+                .zip(x0)
+            {
+                *ge = h;
+                *eq = x & !h;
+            }
+        }
+        s => {
+            let sv = u64::from(s);
+            for (i, (ge, eq)) in ge_out
+                .iter_mut()
+                .zip(eq_out.iter_mut())
+                .take(len)
+                .enumerate()
+            {
+                let w = start + i;
+                *ge = if u64::from(r) < sv {
+                    0
+                } else {
+                    ge_word(planes, words, w, sv)
+                };
+                *eq = if u64::from(r) < sv - 1 {
+                    0
+                } else {
+                    eq_word(planes, words, w, sv - 1)
+                };
+            }
+        }
     }
 }
 
@@ -875,6 +998,36 @@ mod tests {
                     p.replicas(obj).contains(&nd),
                     "hosts({nd}, {obj})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_gains_match_single_queries() {
+        // Word-boundary shape again; batch must agree with gain() for
+        // every non-member at every step of a growth walk.
+        let sets: Vec<Vec<u16>> = (0..70u16)
+            .map(|o| {
+                let mut s = vec![o % 7, 7 + o % 3];
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        let p = Placement::new(10, 2, sets).unwrap();
+        for s in 1..=2u16 {
+            let mut pc = PackedCounts::new(&p, s);
+            let mut gains = Vec::new();
+            for nd in [u16::MAX, 0, 7, 3] {
+                if nd != u16::MAX {
+                    pc.add_node(nd);
+                }
+                pc.gains_into(&mut gains);
+                assert_eq!(gains.len(), 10);
+                for cand in 0..10u16 {
+                    if !pc.contains(cand) {
+                        assert_eq!(gains[usize::from(cand)], pc.gain(cand), "s={s} cand={cand}");
+                    }
+                }
             }
         }
     }

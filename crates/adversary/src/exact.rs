@@ -19,6 +19,7 @@
 //!   slice, which preserves exactly-once subset enumeration.
 
 use crate::counts::PackedCounts;
+use crate::pool::SharedBound;
 use crate::{AdversaryScratch, WorstCase};
 use wcp_core::Placement;
 
@@ -40,7 +41,37 @@ pub(crate) struct DfsScratch {
     failable: Vec<u64>,
     /// Top-`m` supply accumulator.
     tops: Vec<u64>,
+    /// Per-node gain table for the batched bottom-level sweeps.
+    gains: Vec<u64>,
+    /// `hits = s − 2` mask for the fused pair sweep's ceilings.
+    eq_lo: Vec<u64>,
+    /// Pairwise gain correction, `pair[lo·n + hi]` for node pair
+    /// `lo < hi`: `+1` per object at `hits = s − 2` hosted by both,
+    /// `−1` per object at `hits = s − 1` hosted by both — exactly the
+    /// difference between `gain({x, y})` and `gain(x) + gain(y)`.
+    /// Built once per binding at the empty failed set and delta-shifted
+    /// along the DFS path (see [`Search::pair_shift`]).
+    pair: Vec<i32>,
+    /// Binding key `(n, b, s)` of the cached root pair matrix; cleared
+    /// on rebinding.
+    pair_key: Option<(u16, usize, u16)>,
 }
+
+impl DfsScratch {
+    /// Drops the cached root pair matrix (the kernel is being rebound,
+    /// possibly to a different placement with the same shape).
+    pub(crate) fn invalidate_pair_cache(&mut self) {
+        self.pair_key = None;
+    }
+}
+
+/// Bottom-level frames with at least this many candidates compute all
+/// gains in one batched `eq_sm1` scan ([`PackedCounts::gains_into`],
+/// `O(b/64 + eq·r)`) instead of per-candidate row intersections
+/// (`O(cands · b/64)`). Below it, the frame is too small for the scan
+/// to amortize. The threshold is a pure function of the frame, so the
+/// choice — and the search result — stays deterministic.
+const GAIN_BATCH_MIN: usize = 8;
 
 /// Finds the exact maximum number of failed objects over all `k`-subsets
 /// of nodes, or `None` if the search exceeds `budget` node expansions.
@@ -136,7 +167,7 @@ pub(crate) fn exact_worst_rebound(
 /// The `k ≥ n` degenerate case: every node fails. The returned set
 /// holds all `n` distinct nodes and `failed` is computed over that same
 /// set.
-fn degenerate_all_nodes(placement: &Placement, s: u16, k: u16) -> WorstCase {
+pub(crate) fn degenerate_all_nodes(placement: &Placement, s: u16, k: u16) -> WorstCase {
     let n = placement.num_nodes();
     let nodes: Vec<u16> = (0..n).collect();
     let failed = placement.failed_objects(&nodes, s);
@@ -167,6 +198,9 @@ fn run_dfs(
     if ds.sort_bufs.len() < usize::from(SORT_DEPTH) {
         ds.sort_bufs.resize_with(usize::from(SORT_DEPTH), Vec::new);
     }
+    if k >= 2 {
+        ensure_pair_matrix(pc, ds);
+    }
 
     let order = std::mem::take(&mut ds.order);
     let mut search = Search {
@@ -178,6 +212,7 @@ fn run_dfs(
         expansions: 0,
         budget,
         all_objects: b,
+        shared: None,
     };
     let completed = search.dfs(&order, 0);
     let (best, best_nodes) = (search.best, search.best_nodes);
@@ -193,6 +228,61 @@ fn run_dfs(
     }
 }
 
+/// Explores the subtree rooted at `order[root_pos]` — the unit of work
+/// of the frontier-parallel exact search in [`crate::parallel`]. The
+/// kernel must be empty and bound; the root node is added, its subtree
+/// searched over the strictly-later candidates at depth 1, and the root
+/// removed again. Returns the subtree's `(best, witness)` over the
+/// local incumbent, or `None` on budget exhaustion. Pruning additionally
+/// consults `shared` (strictly below it only — see [`SharedBound`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dfs_rooted(
+    pc: &mut PackedCounts,
+    ds: &mut DfsScratch,
+    order: &[u16],
+    root_pos: usize,
+    k: u16,
+    budget: u64,
+    incumbent: u64,
+    b: u64,
+    shared: &SharedBound,
+) -> Option<(u64, Vec<u16>)> {
+    debug_assert_eq!(pc.failed(), 0, "rooted DFS requires an empty failed set");
+    debug_assert!(k >= 1, "k = 0 has no root to branch on");
+    if ds.sort_bufs.len() < usize::from(SORT_DEPTH) {
+        ds.sort_bufs.resize_with(usize::from(SORT_DEPTH), Vec::new);
+    }
+    let Some(&root) = order.get(root_pos) else {
+        return Some((incumbent, Vec::new()));
+    };
+    if k >= 2 {
+        ensure_pair_matrix(pc, ds);
+    }
+    let tail = order.get(root_pos + 1..).unwrap_or(&[]);
+    let mut search = Search {
+        pc,
+        ds,
+        k,
+        best: incumbent,
+        best_nodes: Vec::new(),
+        expansions: 1, // the root expansion itself
+        budget,
+        all_objects: b,
+        shared: Some(shared),
+    };
+    if k >= 3 {
+        search.pair_shift(root, 1);
+    }
+    search.pc.add_node(root);
+    let completed = search.dfs(tail, 1);
+    search.pc.remove_node(root);
+    if k >= 3 {
+        search.pair_shift(root, -1);
+    }
+    let (best, best_nodes) = (search.best, search.best_nodes);
+    completed.then_some((best, best_nodes))
+}
+
 struct Search<'a> {
     pc: &'a mut PackedCounts,
     ds: &'a mut DfsScratch,
@@ -202,6 +292,11 @@ struct Search<'a> {
     expansions: u64,
     budget: u64,
     all_objects: u64,
+    /// Cross-worker incumbent for the frontier-parallel search; `None`
+    /// on the serial path. Pruning against it is *strictly below* only,
+    /// and local recording still uses the local `best`, which is what
+    /// keeps the combined optimum and witness thread-count-invariant.
+    shared: Option<&'a SharedBound>,
 }
 
 impl Search<'_> {
@@ -210,11 +305,15 @@ impl Search<'_> {
     /// so every `k`-subset is visited exactly once.
     fn dfs(&mut self, cands: &[u16], depth: u16) -> bool {
         if depth == self.k {
-            // Only reachable for k = 0; positive k closes at
-            // `remaining == 1` below.
-            if self.pc.failed() > self.best {
-                self.best = self.pc.failed();
+            // Only reachable for k = 0 (serial) or k = 1 rooted frames;
+            // positive-k serial search closes at `remaining == 1` below.
+            let failed = self.pc.failed();
+            if failed > self.best {
+                self.best = failed;
                 self.pc.collect_nodes(&mut self.best_nodes);
+                if let Some(shared) = self.shared {
+                    shared.tighten(failed);
+                }
             }
             return true;
         }
@@ -229,17 +328,43 @@ impl Search<'_> {
             if self.best >= self.all_objects {
                 return true;
             }
+            // O(1) level ceiling: gain(nd) ≤ |{hits = s − 1}| for every
+            // candidate, and `failable_within(1)` is exactly that
+            // eq-count. A frame whose ceiling cannot beat the incumbent
+            // skips the whole candidate sweep — the dominant cost of
+            // the combination tree's bottom level.
+            let ceiling = failed + self.pc.failable_within(1);
+            if ceiling <= self.best {
+                return true;
+            }
+            if let Some(shared) = self.shared {
+                if ceiling < shared.get() {
+                    return true;
+                }
+            }
+            let batched = cands.len() >= GAIN_BATCH_MIN;
+            if batched {
+                self.pc.gains_into(&mut self.ds.gains);
+            }
             for &nd in cands {
                 self.expansions += 1;
                 if self.expansions > self.budget {
                     return false;
                 }
-                let total = failed + self.pc.gain(nd);
+                let gain = if batched {
+                    self.ds.gains.get(usize::from(nd)).copied().unwrap_or(0)
+                } else {
+                    self.pc.gain(nd)
+                };
+                let total = failed + gain;
                 if total > self.best {
                     self.best = total;
                     self.pc.collect_nodes(&mut self.best_nodes);
                     self.best_nodes.push(nd);
                     self.best_nodes.sort_unstable();
+                    if let Some(shared) = self.shared {
+                        shared.tighten(total);
+                    }
                 }
             }
             return true;
@@ -250,6 +375,11 @@ impl Search<'_> {
         if bound <= self.best || self.best >= self.all_objects {
             return true; // pruned (or already optimal)
         }
+        if let Some(shared) = self.shared {
+            if bound < shared.get() {
+                return true; // below every other worker's proven value
+            }
+        }
         if depth < SORT_DEPTH {
             // Supply bound: the remaining failures can add at most one
             // hit per (node, hosted failable object) pair, and each new
@@ -258,17 +388,103 @@ impl Search<'_> {
             if failed + supply <= self.best {
                 return true;
             }
+            if let Some(shared) = self.shared {
+                if failed + supply < shared.get() {
+                    return true;
+                }
+            }
             let mut buf = std::mem::take(&mut self.ds.sort_bufs[usize::from(depth)]);
             self.order_by_live_gain(cands, &mut buf);
-            let ok = self.expand(&buf, depth, remaining);
+            let ok = if remaining == 2 {
+                self.expand_pairs(&buf)
+            } else {
+                self.expand(&buf, depth, remaining)
+            };
             self.ds.sort_bufs[usize::from(depth)] = buf;
             ok
+        } else if remaining == 2 {
+            self.expand_pairs(cands)
         } else {
             self.expand(cands, depth, remaining)
         }
     }
 
-    /// Iterates this frame's children in `cands` order.
+    /// Closes the bottom **two** levels in one fused sweep. A
+    /// `remaining == 2` frame needs `max gain({x, y})` over candidate
+    /// pairs, and rippling every `x` through the counter planes just to
+    /// re-derive gains is the dominant cost of the whole search tree.
+    /// Instead `gain({x, y})` decomposes as
+    /// `gain(x) + gain(y) + pair[x, y]` — one gain-table build per
+    /// frame plus an O(1) lookup per pair into the path-maintained
+    /// correction matrix, with no add/remove churn at all. Enumeration
+    /// order, pruning ceilings, budget accounting, and recording match
+    /// the unfused recursion exactly, so results (and witnesses) are
+    /// unchanged.
+    fn expand_pairs(&mut self, cands: &[u16]) -> bool {
+        let failed = self.pc.failed();
+        let eq_count = self.pc.failable_within(1);
+        self.pc.gains_into(&mut self.ds.gains);
+        self.pc.eq_sm2_into(&mut self.ds.eq_lo);
+        let n = usize::from(self.pc.num_nodes());
+        let last = cands.len().saturating_sub(1);
+        for (pos, &x) in cands.iter().enumerate().take(last) {
+            self.expansions += 1;
+            if self.expansions > self.budget {
+                return false;
+            }
+            if self.best >= self.all_objects {
+                continue;
+            }
+            // `gain(x)` straight from the table; the `hits = s − 2`
+            // overlap bounds what x can newly expose to its partner.
+            let gx = self.ds.gains.get(usize::from(x)).copied().unwrap_or(0);
+            let dp_pop = self.pc.and_popcount_row(x, &self.ds.eq_lo);
+            let failed_x = failed + gx;
+            // The child's eq-ceiling, identical to the unfused
+            // `failed + failable_within(1)` after adding x.
+            let ceiling = failed_x + (eq_count - gx + dp_pop);
+            if ceiling <= self.best {
+                continue;
+            }
+            if let Some(shared) = self.shared {
+                if ceiling < shared.get() {
+                    continue;
+                }
+            }
+            let tail = cands.get(pos + 1..).unwrap_or(&[]);
+            for &y in tail {
+                self.expansions += 1;
+                if self.expansions > self.budget {
+                    return false;
+                }
+                let gy = self.ds.gains.get(usize::from(y)).copied().unwrap_or(0);
+                let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+                let corr = self
+                    .ds
+                    .pair
+                    .get(usize::from(lo) * n + usize::from(hi))
+                    .copied()
+                    .unwrap_or(0);
+                let total = (failed_x + gy).wrapping_add_signed(i64::from(corr));
+                if total > self.best {
+                    self.best = total;
+                    self.pc.collect_nodes(&mut self.best_nodes);
+                    self.best_nodes.push(x);
+                    self.best_nodes.push(y);
+                    self.best_nodes.sort_unstable();
+                    if let Some(shared) = self.shared {
+                        shared.tighten(total);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Iterates this frame's children in `cands` order. Only reached
+    /// with `remaining ≥ 3` (the pair level closes in
+    /// [`Search::expand_pairs`]), so every child subtree contains a pair
+    /// frame and the pair matrix is shifted across each add/remove.
     fn expand(&mut self, cands: &[u16], depth: u16, remaining: u16) -> bool {
         let last = cands.len() - usize::from(remaining) + 1;
         for (pos, &nd) in cands.iter().enumerate().take(last) {
@@ -276,14 +492,36 @@ impl Search<'_> {
             if self.expansions > self.budget {
                 return false;
             }
+            self.pair_shift(nd, 1);
             self.pc.add_node(nd);
             let ok = self.dfs(&cands[pos + 1..], depth + 1);
             self.pc.remove_node(nd);
+            self.pair_shift(nd, -1);
             if !ok {
                 return false;
             }
         }
         true
+    }
+
+    /// Shifts the pair-correction matrix for `nd` joining (`dir = 1`)
+    /// or having left (`dir = −1`) the failed set: each of its objects
+    /// moves one hit level, and only levels `s − 2` and `s − 1` carry
+    /// weight. Both calls happen with `nd` *outside* the failed set, so
+    /// they see the same hit counts and cancel exactly.
+    fn pair_shift(&mut self, nd: u16, dir: i32) {
+        let pc = &*self.pc;
+        let ds = &mut *self.ds;
+        let s = pc.threshold();
+        let n = usize::from(pc.num_nodes());
+        for &obj in pc.row_objects(nd) {
+            let obj = obj as usize;
+            let h = pc.hit_count(obj);
+            let delta = dir * (pair_weight(h + 1, s) - pair_weight(h, s));
+            if delta != 0 {
+                bump_pairs(&mut ds.pair, n, pc.hosts_of(obj), delta);
+            }
+        }
     }
 
     /// Sorts `cands` into `buf` by decreasing `(gain, load, node)` under
@@ -322,6 +560,54 @@ impl Search<'_> {
         }
         self.ds.tops.iter().sum()
     }
+}
+
+/// An object's weight in the pair-correction matrix at hit count `h`:
+/// `+1` one hit below the gain set (`h = s − 2`), `−1` inside it
+/// (`h = s − 1`), `0` elsewhere.
+fn pair_weight(h: u16, s: u16) -> i32 {
+    if h + 2 == s {
+        1
+    } else if h + 1 == s {
+        -1
+    } else {
+        0
+    }
+}
+
+/// Adds `delta` to the pair-matrix entry of every host pair of one
+/// object (canonical `lo < hi` indexing).
+fn bump_pairs(pair: &mut [i32], n: usize, hosts: &[u16], delta: i32) {
+    for (i, &a) in hosts.iter().enumerate() {
+        for &b in hosts.get(i + 1..).unwrap_or(&[]) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            if let Some(slot) = pair.get_mut(usize::from(lo) * n + usize::from(hi)) {
+                *slot += delta;
+            }
+        }
+    }
+}
+
+/// Builds (or reuses) the empty-set pair-correction matrix for the
+/// current binding. Must be called with an empty failed set; the DFS
+/// keeps the matrix current from there via balanced
+/// [`Search::pair_shift`] calls, so a cached matrix is already back in
+/// its root state.
+fn ensure_pair_matrix(pc: &PackedCounts, ds: &mut DfsScratch) {
+    let key = (pc.num_nodes(), pc.num_objects(), pc.threshold());
+    if ds.pair_key == Some(key) {
+        return;
+    }
+    let n = usize::from(pc.num_nodes());
+    ds.pair.clear();
+    ds.pair.resize(n * n, 0);
+    let w0 = pair_weight(0, pc.threshold());
+    if w0 != 0 {
+        for obj in 0..pc.num_objects() {
+            bump_pairs(&mut ds.pair, n, pc.hosts_of(obj), w0);
+        }
+    }
+    ds.pair_key = Some(key);
 }
 
 #[cfg(test)]

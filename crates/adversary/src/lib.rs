@@ -45,6 +45,8 @@ mod bitmap;
 mod counts;
 pub mod domain;
 mod exact;
+mod parallel;
+mod pool;
 pub mod reference;
 mod search;
 
@@ -54,10 +56,11 @@ pub use domain::{
     DomainAttacker, DomainWorstCase,
 };
 pub use exact::{exact_worst, exact_worst_with};
+pub use parallel::{exact_worst_parallel, local_search_worst_parallel};
 pub use search::{greedy_worst, greedy_worst_with, local_search_worst, local_search_worst_with};
 
 use wcp_core::sweep::{AdversarySpec, CellAttacker, SweepCell};
-use wcp_core::Placement;
+use wcp_core::{Parallelism, Placement};
 
 /// Reusable adversary working memory: the word-parallel
 /// [`PackedCounts`] kernel plus the search/DFS side buffers (gain
@@ -109,6 +112,9 @@ impl AdversaryScratch {
             Some(pc) => pc.rebind(placement, s),
             None => self.packed = Some(PackedCounts::new(placement, s)),
         }
+        // A rebind can change placement content behind an identical
+        // (n, b, s) shape; the DFS pair matrix must not survive it.
+        self.dfs.invalidate_pair_cache();
         (
             self.packed.as_mut().expect("bound above"),
             &mut self.climb,
@@ -154,6 +160,14 @@ pub struct AdversaryConfig {
     pub max_steps: u32,
     /// RNG seed for restarts.
     pub seed: u64,
+    /// `Some(p)`: run the thread-parallel ladder on `p.threads()`
+    /// workers — restarts fan out with independent per-restart RNG
+    /// streams and the exact rung splits its root frontier, with
+    /// results bit-identical for every thread count (including 1).
+    /// `None` (the default) keeps the legacy serial schedule
+    /// byte-for-byte. See the `parallel` module's docs in the source
+    /// for the determinism argument.
+    pub parallelism: Option<Parallelism>,
 }
 
 impl Default for AdversaryConfig {
@@ -163,6 +177,7 @@ impl Default for AdversaryConfig {
             restarts: 4,
             max_steps: 200,
             seed: 0xadb7_7557,
+            parallelism: None,
         }
     }
 }
@@ -315,6 +330,9 @@ pub fn worst_case_failures_with(
 ) -> WorstCase {
     assert!(k <= placement.num_nodes(), "k must be ≤ n");
     assert!(s <= placement.replicas_per_object(), "s must be ≤ r");
+    if let Some(parallelism) = config.parallelism {
+        return parallel::worst_case_failures_parallel(placement, s, k, config, parallelism);
+    }
     // Seed the exact search with the local-search incumbent: a strong lower
     // bound tightens pruning dramatically. The exact stage reuses the
     // local-search stage's kernel binding (one index build per
@@ -428,6 +446,9 @@ impl CellAttacker for SweepAdversary {
                 restarts,
                 max_steps,
                 seed: cell.seed,
+                // Sweeps already parallelize across cells; nesting the
+                // parallel ladder inside each cell would oversubscribe.
+                parallelism: None,
             },
         };
         let wc = worst_case_failures_with(placement, s, k, &config, &mut self.scratch);

@@ -1,0 +1,91 @@
+//! Sanctioned shared-state primitives for the parallel adversary.
+//!
+//! wcp-lint's `thread-discipline` rule confines raw threading and
+//! relaxed atomics to two modules in the whole workspace:
+//! `wcp_core::sweep` (the work-stealing fan-out) and this one. The
+//! parallel ladder in [`crate::parallel`] is written entirely against
+//! these two surfaces, so its own source stays free of `std::thread`
+//! and memory-ordering subtleties.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The incumbent bound shared by frontier-parallel branch-and-bound
+/// workers.
+///
+/// The bound is *monotone*: it starts at the heuristic incumbent and
+/// only ever tightens upward via `fetch_max`. Monotonicity is what
+/// makes relaxed ordering sound — a stale read can only under-prune
+/// (wasted work), never over-prune (a wrong answer). Workers
+/// additionally prune strictly *below* the shared value, so a subtree
+/// that could still contain the first optimum-achieving witness in
+/// root order is never discarded (see [`crate::parallel`] for the full
+/// determinism argument).
+#[derive(Debug)]
+pub(crate) struct SharedBound(AtomicU64);
+
+impl SharedBound {
+    /// A bound starting at `initial` (the heuristic incumbent).
+    pub(crate) fn new(initial: u64) -> Self {
+        Self(AtomicU64::new(initial))
+    }
+
+    /// The current bound; never decreases over a run.
+    pub(crate) fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Raises the bound to at least `value`. Tightening only: a late or
+    /// out-of-order call with a smaller value is a no-op, which is what
+    /// keeps concurrent pruning sound.
+    pub(crate) fn tighten(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+/// Fans `tasks` indexed work items across `threads` workers — a thin
+/// front for the sweep subsystem's work-stealing helper so the rest of
+/// this crate never touches `std::thread` directly.
+pub(crate) fn fan_out<S, T, F, W>(tasks: usize, threads: usize, make: F, work: W) -> Vec<T>
+where
+    T: Send,
+    F: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> T + Sync,
+{
+    wcp_core::run_indexed(tasks, threads, make, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tighten_is_monotone() {
+        let bound = SharedBound::new(5);
+        bound.tighten(3); // stale, smaller: must be a no-op
+        assert_eq!(bound.get(), 5);
+        bound.tighten(9);
+        assert_eq!(bound.get(), 9);
+        bound.tighten(9);
+        assert_eq!(bound.get(), 9);
+    }
+
+    #[test]
+    fn concurrent_tightening_converges_to_the_max() {
+        // 37 is coprime to 61, so i·37 mod 61 visits every residue
+        // 0..=60 across 64 tasks; whatever the interleaving, the bound
+        // must end at the max.
+        let bound = SharedBound::new(0);
+        let values: Vec<u64> = (0..64u64).map(|i| (i * 37) % 61).collect();
+        fan_out(
+            values.len(),
+            8,
+            || (),
+            |(), i| {
+                if let Some(&v) = values.get(i) {
+                    bound.tighten(v);
+                }
+            },
+        );
+        assert_eq!(bound.get(), 60);
+    }
+}

@@ -230,14 +230,7 @@ pub fn local_search_worst_with(
     for restart in 0..config.restarts {
         if restart > 0 {
             pc.clear();
-            reset_gains(pc, cs);
-            cs.perm.clear();
-            cs.perm.extend(0..n);
-            cs.perm.shuffle(&mut rng);
-            for i in 0..usize::from(k) {
-                let nd = cs.perm[i];
-                add_tracked(pc, cs, nd);
-            }
+            seed_random_set(pc, cs, k, &mut rng);
         }
         climb(pc, cs, config.max_steps, b);
         if pc.failed() > overall.failed {
@@ -252,6 +245,26 @@ pub fn local_search_worst_with(
         }
     }
     overall
+}
+
+/// Seeds a random `k`-set into an *empty* `pc` (a fresh gain table, a
+/// shuffled node permutation, the first `k` entries failed) — the
+/// restart primitive shared by the serial loop above and the parallel
+/// multi-restart fan-out in [`crate::parallel`].
+pub(crate) fn seed_random_set(
+    pc: &mut PackedCounts,
+    cs: &mut ClimbScratch,
+    k: u16,
+    rng: &mut StdRng,
+) {
+    reset_gains(pc, cs);
+    cs.perm.clear();
+    cs.perm.extend(0..pc.num_nodes());
+    cs.perm.shuffle(rng);
+    for i in 0..usize::from(k) {
+        let nd = cs.perm[i];
+        add_tracked(pc, cs, nd);
+    }
 }
 
 /// Applies best-improvement swaps until a local optimum (or step cap).
@@ -269,7 +282,7 @@ pub fn local_search_worst_with(
 ///   two rows share, so one sparse walk of `row(out) ∩ {hits = s}` and
 ///   `row(out) ∩ {hits = s − 1}` accumulates the exact correction for
 ///   every candidate at once.
-fn climb(pc: &mut PackedCounts, cs: &mut ClimbScratch, max_steps: u32, all: u64) {
+pub(crate) fn climb(pc: &mut PackedCounts, cs: &mut ClimbScratch, max_steps: u32, all: u64) {
     #[cfg(debug_assertions)]
     assert_gains_live(pc, cs);
     for _ in 0..max_steps {

@@ -2,12 +2,13 @@
 
 use proptest::prelude::*;
 use wcp_adversary::{
-    exact_worst, greedy_worst, local_search_worst, worst_case_failures, worst_case_failures_with,
-    AdversaryConfig, AdversaryScratch, SweepAdversary,
+    exact_worst, exact_worst_parallel, greedy_worst, local_search_worst,
+    local_search_worst_parallel, worst_case_failures, worst_case_failures_with, AdversaryConfig,
+    AdversaryScratch, SweepAdversary,
 };
 use wcp_combin::KSubsets;
 use wcp_core::sweep::{sweep_with, AdversarySpec, SweepOptions, SweepSpec};
-use wcp_core::{Placement, RandomStrategy, RandomVariant, StrategyKind, SystemParams};
+use wcp_core::{Parallelism, Placement, RandomStrategy, RandomVariant, StrategyKind, SystemParams};
 
 fn brute_force(p: &Placement, s: u16, k: u16) -> u64 {
     KSubsets::new(p.num_nodes(), k)
@@ -124,6 +125,90 @@ proptest! {
             SweepAdversary::new,
         );
         prop_assert_eq!(serial, parallel);
+    }
+
+    /// The frontier-parallel exact rung returns the serial rung's
+    /// result — optimum AND witness — for every thread count, across
+    /// random shapes.
+    #[test]
+    fn parallel_exact_equals_serial(
+        n in 8u16..14,
+        b in 10u64..60,
+        r in 2u16..=4,
+        s in 1u16..=4,
+        k in 1u16..=5,
+        threads in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(s <= r && k < n && r <= n);
+        let p = placement(n, b, r, seed);
+        let serial = exact_worst(&p, s, k, u64::MAX, 0).expect("no budget");
+        let par = exact_worst_parallel(&p, s, k, u64::MAX, 0, Parallelism::new(threads))
+            .expect("no budget");
+        prop_assert_eq!(par, serial, "threads={}", threads);
+    }
+
+    /// Stale shared bounds cannot change the answer: whatever incumbent
+    /// seeds the search — far below, just below, at, or above the
+    /// optimum — parallel equals serial at every thread count. The
+    /// `optimum − 1` seed is the monotone-tightening stress case: every
+    /// worker can improve by at most one, so near-simultaneous
+    /// `tighten` calls race on the same value, and if a late smaller
+    /// publish could *lower* the shared bound (i.e. if tightening were
+    /// not monotone via `fetch_max`), sibling subtrees holding the
+    /// first optimum-achieving witness in root order would be
+    /// over-pruned and the equality here would not survive.
+    #[test]
+    fn stale_shared_bounds_cannot_change_the_answer(
+        n in 8u16..13,
+        b in 10u64..50,
+        r in 2u16..=4,
+        k in 1u16..=4,
+        threads in 2usize..=8,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k < n && r <= n);
+        let s = r.min(2);
+        let p = placement(n, b, r, seed);
+        let truth = brute_force(&p, s, k);
+        for incumbent in [0, truth.saturating_sub(1), truth, truth + 1] {
+            let serial = exact_worst(&p, s, k, u64::MAX, incumbent).expect("no budget");
+            let par =
+                exact_worst_parallel(&p, s, k, u64::MAX, incumbent, Parallelism::new(threads))
+                    .expect("no budget");
+            prop_assert_eq!(par, serial, "incumbent={} threads={}", incumbent, threads);
+        }
+    }
+
+    /// The parallel multi-restart local search is bit-identical at any
+    /// thread count, and the configured parallel ladder agrees with the
+    /// serial auto policy on the optimum (witnesses may differ between
+    /// the two restart schedules, but both must be valid).
+    #[test]
+    fn parallel_ladder_invariant_and_agrees_with_serial(
+        n in 8u16..14,
+        b in 10u64..50,
+        r in 2u16..=4,
+        k in 1u16..=4,
+        threads in 2usize..=8,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k < n && r <= n);
+        let s = r.min(2);
+        let p = placement(n, b, r, seed);
+        let cfg = AdversaryConfig::default();
+        let one = local_search_worst_parallel(&p, s, k, &cfg, Parallelism::single());
+        let many = local_search_worst_parallel(&p, s, k, &cfg, Parallelism::new(threads));
+        prop_assert_eq!(&one, &many, "local search must be thread-count-invariant");
+        let serial = worst_case_failures(&p, s, k, &cfg);
+        let par_cfg = AdversaryConfig {
+            parallelism: Some(Parallelism::new(threads)),
+            ..AdversaryConfig::default()
+        };
+        let par = worst_case_failures(&p, s, k, &par_cfg);
+        prop_assert!(par.exact && serial.exact);
+        prop_assert_eq!(par.failed, serial.failed);
+        prop_assert_eq!(p.failed_objects(&par.nodes, s), par.failed, "witness mismatch");
     }
 
     /// Monotonicity: more failures never kill fewer objects; higher

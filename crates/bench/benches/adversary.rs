@@ -191,14 +191,14 @@ fn write_snapshot(placement: &Placement, s: u16, k: u16, cfg: &AdversaryConfig) 
         s = s,
         k = k,
     );
-    let path =
-        std::env::var("BENCH_ADVERSARY_OUT").unwrap_or_else(|_| "BENCH_adversary.json".into());
+    let path = wcp_bench::snapshot_out("BENCH_ADVERSARY_OUT", "BENCH_adversary.json");
     match std::fs::write(&path, &json) {
         Ok(()) => println!(
-            "wrote {path} (ladder speedup {speedup_ladder:.2}x, \
-             local-search {speedup_local:.2}x, greedy {speedup_greedy:.2}x)"
+            "wrote {} (ladder speedup {speedup_ladder:.2}x, \
+             local-search {speedup_local:.2}x, greedy {speedup_greedy:.2}x)",
+            path.display()
         ),
-        Err(e) => eprintln!("cannot write {path}: {e}"),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
     }
 }
 

@@ -109,12 +109,13 @@ fn write_snapshot(
         s = s,
         k = k,
     );
-    let path = std::env::var("BENCH_DOMAINS_OUT").unwrap_or_else(|_| "BENCH_domains.json".into());
+    let path = wcp_bench::snapshot_out("BENCH_DOMAINS_OUT", "BENCH_domains.json");
     match std::fs::write(&path, &json) {
         Ok(()) => println!(
-            "wrote {path} (flat overhead {flat_overhead:.2}x, rack vs flat {rack_vs_flat:.2}x)"
+            "wrote {} (flat overhead {flat_overhead:.2}x, rack vs flat {rack_vs_flat:.2}x)",
+            path.display()
         ),
-        Err(e) => eprintln!("cannot write {path}: {e}"),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
     }
 }
 

@@ -78,10 +78,10 @@ fn write_snapshot(engine: &Engine, params: &SystemParams) {
         params.k(),
         entries.join(",\n")
     );
-    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_strategies.json".into());
+    let path = wcp_bench::snapshot_out("BENCH_OUT", "BENCH_strategies.json");
     match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("cannot write {path}: {e}"),
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
     }
 }
 

@@ -93,10 +93,10 @@ fn write_snapshot(spec: &SweepSpec) {
         spec.label,
         entries.join(",\n"),
     );
-    let path = std::env::var("BENCH_SWEEP_OUT").unwrap_or_else(|_| "BENCH_sweep.json".into());
+    let path = wcp_bench::snapshot_out("BENCH_SWEEP_OUT", "BENCH_sweep.json");
     match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("cannot write {path}: {e}"),
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
     }
 }
 

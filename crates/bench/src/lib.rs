@@ -33,6 +33,20 @@ pub fn fixture_placement(n: u16, b: u64, r: u16) -> Placement {
     .expect("fixture placement samples")
 }
 
+/// Resolves the output path for a `BENCH_*.json` snapshot: the
+/// `env_key` override verbatim when set (and non-empty), otherwise
+/// `default_name` anchored at this crate's manifest directory. Snapshot
+/// benches must resolve through this — a bare relative default lands
+/// the file in whatever directory `cargo bench` happened to run from,
+/// and the CI gate then diffs against a stale committed baseline.
+#[must_use]
+pub fn snapshot_out(env_key: &str, default_name: &str) -> std::path::PathBuf {
+    match std::env::var(env_key) {
+        Ok(path) if !path.is_empty() => std::path::PathBuf::from(path),
+        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(default_name),
+    }
+}
+
 /// Measures one evaluation series for a `BENCH_*.json` snapshot: the
 /// median over batched samples, each batch long enough (~400 µs) to
 /// amortize timer and scheduler noise — run-to-run stability is what

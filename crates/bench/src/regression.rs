@@ -280,6 +280,58 @@ mod tests {
     }
 
     #[test]
+    fn committed_parallel_snapshot_beats_the_pr4_kernel_twofold() {
+        // The tentpole acceptance pin, asserted on the *committed*
+        // snapshot because the CI box exposes a single core: the full
+        // ladder at 4 threads must run ≥2× faster than the PR 4 serial
+        // kernel's committed 2,394,682 ns on the n=71, b=1200, r=3,
+        // s=2, k=3 acceptance shape.
+        const PR4_PACKED_LADDER_NS: f64 = 2_394_682.0;
+        let text = include_str!("../BENCH_adversary_parallel.json");
+        let fams = family_means(text).unwrap();
+        let ns_of = |name: &str| {
+            fams.iter()
+                .find(|f| f.family == name)
+                .unwrap_or_else(|| panic!("series {name} missing"))
+                .mean_ns
+        };
+        for name in ["ladder_t1", "ladder_t_half", "ladder_t_all", "exact_k5_t4"] {
+            assert!(ns_of(name) > 0.0, "series {name} must be positive");
+        }
+        let speedup = PR4_PACKED_LADDER_NS / ns_of("ladder_t4");
+        assert!(
+            speedup >= 2.0,
+            "committed 4-thread ladder {speedup:.2}x below the 2x acceptance bar"
+        );
+        // And the gate itself accepts the snapshot against itself.
+        let deltas = compare(text, text).unwrap();
+        assert!(deltas.iter().all(|d| !d.regressed(0.25)));
+    }
+
+    #[test]
+    fn committed_parallel_one_thread_column_matches_the_serial_kernel() {
+        // The lane rework must not regress the serial path: the
+        // 1-thread ladder column of the parallel snapshot stays within
+        // the 25% gate envelope of BENCH_adversary.json's packed
+        // ladder (both committed from the same benching run).
+        let parallel = family_means(include_str!("../BENCH_adversary_parallel.json")).unwrap();
+        let serial = family_means(include_str!("../BENCH_adversary.json")).unwrap();
+        let ns_of = |fams: &[FamilyTime], name: &str| {
+            fams.iter()
+                .find(|f| f.family == name)
+                .unwrap_or_else(|| panic!("series {name} missing"))
+                .mean_ns
+        };
+        let t1 = ns_of(&parallel, "ladder_t1");
+        let packed = ns_of(&serial, "packed_ladder");
+        assert!(
+            t1 <= packed * 1.25,
+            "1-thread parallel ladder {t1:.0} ns regresses the serial \
+             kernel's {packed:.0} ns beyond the 25% gate"
+        );
+    }
+
+    #[test]
     fn committed_domains_snapshot_records_all_three_ladders() {
         // The failure-domain gate's baseline: node ladder, flat domain
         // ladder and rack domain ladder all present with positive

@@ -54,6 +54,7 @@ pub mod dynamic;
 pub mod engine;
 mod error;
 pub mod io;
+pub mod parallel;
 mod params;
 mod placement;
 pub mod profiles;
@@ -75,6 +76,7 @@ pub use engine::{
     AttackOutcome, Attacker, Engine, EvaluationReport, ExhaustiveAttacker, LoadStats, Timings,
 };
 pub use error::PlacementError;
+pub use parallel::Parallelism;
 pub use params::SystemParams;
 pub use placement::Placement;
 pub use profiles::{PackingProfile, UnitSpec};
@@ -82,8 +84,8 @@ pub use random::{RandomStrategy, RandomVariant};
 pub use simple::SimpleStrategy;
 pub use strategy::{PlacementStrategy, PlannerContext, StrategyKind};
 pub use sweep::{
-    sweep_with, AdversarySpec, CellAttacker, DefaultCellAttacker, ParamGrid, SweepCell,
-    SweepOptions, SweepRecord, SweepSpec,
+    run_indexed, sweep_with, AdversarySpec, CellAttacker, DefaultCellAttacker, ParamGrid,
+    SweepCell, SweepOptions, SweepRecord, SweepSpec,
 };
 pub use topology::{
     repair_domain_collisions, DomainRepaired, DomainSpreadStrategy, FailureUnit, Topology,

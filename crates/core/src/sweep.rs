@@ -266,7 +266,9 @@ impl SweepRecord {
 /// Execution knobs of a sweep run.
 #[derive(Debug, Clone, Default)]
 pub struct SweepOptions {
-    /// Worker threads; `0` (the default) means all available cores.
+    /// Worker threads; `0` (the default) defers to the ambient
+    /// [`Parallelism`](crate::Parallelism) configuration — the
+    /// `WCP_THREADS` environment override, else all available cores.
     pub threads: usize,
     /// Keep wall-clock timings in the reports. Off by default so that
     /// repeated runs — serial or parallel — produce byte-identical
@@ -277,13 +279,15 @@ pub struct SweepOptions {
 }
 
 impl SweepOptions {
-    /// The resolved worker count: `threads`, or all available cores.
+    /// The resolved worker count: `threads`, or the ambient
+    /// [`Parallelism`](crate::Parallelism) (`WCP_THREADS`, else all
+    /// available cores). Records are byte-identical either way.
     #[must_use]
     pub fn effective_threads(&self) -> usize {
         if self.threads > 0 {
             return self.threads;
         }
-        std::thread::available_parallelism().map_or(1, usize::from)
+        crate::Parallelism::from_env().threads()
     }
 }
 
@@ -384,48 +388,52 @@ fn evaluate_cell<C: CellAttacker>(
     }
 }
 
-/// Evaluates every cell of `spec` across worker threads, with one
-/// [`CellAttacker`] built per worker by `make`.
+/// Fans `count` index-addressed tasks across `threads` workers with
+/// work-stealing chunk claiming, returning the results in index order.
 ///
-/// Workers claim cells in chunks off a shared atomic cursor (dynamic
-/// work stealing — cheap cells don't leave a thread idle behind an
-/// expensive one) and write records back by cell index, so the returned
-/// vector is in canonical cell order regardless of scheduling.
-pub fn sweep_with<C, F>(spec: &SweepSpec, opts: &SweepOptions, make: F) -> Vec<SweepRecord>
+/// This is the one threading primitive of the workspace: the sweep, the
+/// parallel adversary ladder and any future fan-out all go through it.
+/// Each worker builds its own state once via `make` (scratch buffers
+/// survive across the tasks that worker claims), claims indices in
+/// chunks off a shared atomic cursor (dynamic work stealing — cheap
+/// tasks don't leave a thread idle behind an expensive one), and writes
+/// results back by index — so the returned vector is identical for any
+/// thread count whenever `work(state, i)` is a pure function of `i`.
+///
+/// `threads` is clamped to `1..=count`; `threads == 1` runs inline on
+/// the calling thread with no pool at all.
+pub fn run_indexed<S, T, F, W>(count: usize, threads: usize, make: F, work: W) -> Vec<T>
 where
-    C: CellAttacker,
-    F: Fn() -> C + Sync,
+    T: Send,
+    F: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> T + Sync,
 {
-    let cells = spec.cells();
-    if cells.is_empty() {
+    if count == 0 {
         return Vec::new();
     }
-    let threads = opts.effective_threads().min(cells.len()).max(1);
+    let threads = threads.min(count).max(1);
     if threads == 1 {
-        let mut attacker = make();
-        return cells
-            .iter()
-            .map(|cell| evaluate_cell(cell, opts, &mut attacker))
-            .collect();
+        let mut state = make();
+        return (0..count).map(|index| work(&mut state, index)).collect();
     }
     // Chunked claiming: big enough to amortize the atomic, small enough
     // that stragglers still get stolen from.
-    let chunk = (cells.len() / (threads * 8)).clamp(1, 64);
+    let chunk = (count / (threads * 8)).clamp(1, 64);
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<SweepRecord>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                let mut attacker = make();
+                let mut state = make();
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= cells.len() {
+                    if start >= count {
                         break;
                     }
-                    let end = (start + chunk).min(cells.len());
-                    for (cell, slot) in cells[start..end].iter().zip(&slots[start..end]) {
-                        let record = evaluate_cell(cell, opts, &mut attacker);
-                        *slot.lock().expect("no worker panics holding the slot") = Some(record);
+                    let end = (start + chunk).min(count);
+                    for (index, slot) in (start..end).zip(&slots[start..end]) {
+                        let result = work(&mut state, index);
+                        *slot.lock().expect("no worker panics holding the slot") = Some(result);
                     }
                 }
             });
@@ -436,9 +444,29 @@ where
         .map(|slot| {
             slot.into_inner()
                 .expect("no worker panics holding the slot")
-                .expect("every cell was claimed exactly once")
+                .expect("every index was claimed exactly once")
         })
         .collect()
+}
+
+/// Evaluates every cell of `spec` across worker threads, with one
+/// [`CellAttacker`] built per worker by `make`.
+///
+/// Workers claim cells via [`run_indexed`] and write records back by
+/// cell index, so the returned vector is in canonical cell order
+/// regardless of scheduling.
+pub fn sweep_with<C, F>(spec: &SweepSpec, opts: &SweepOptions, make: F) -> Vec<SweepRecord>
+where
+    C: CellAttacker,
+    F: Fn() -> C + Sync,
+{
+    let cells = spec.cells();
+    run_indexed(
+        cells.len(),
+        opts.effective_threads(),
+        make,
+        |attacker, index| evaluate_cell(&cells[index], opts, attacker),
+    )
 }
 
 impl Engine<ExhaustiveAttacker> {

@@ -19,7 +19,7 @@ use std::process::ExitCode;
 use wcp_adversary::{AdversaryConfig, ScratchAdversary};
 use wcp_core::dynamic::{DynamicConfig, DynamicEngine, MovementReport, StepReport};
 use wcp_core::engine::{Attacker, ExhaustiveAttacker};
-use wcp_core::{StrategyKind, SystemParams};
+use wcp_core::{Parallelism, StrategyKind, SystemParams};
 use wcp_sim::churn::{ChurnSpec, ChurnTrace};
 use wcp_sim::{csv_safe, results_dir, Csv, JsonLines, Table};
 
@@ -313,7 +313,14 @@ fn main() -> ExitCode {
             let adversary_label = cli.adversary.label();
             let outcome = match &cli.adversary {
                 AdversaryChoice::Auto { exact_budget } => {
-                    let mut adv = AdversaryConfig::default();
+                    // The parallel ladder is bit-identical at any
+                    // thread count, so honoring WCP_THREADS here keeps
+                    // the replay byte-for-byte reproducible (the CI
+                    // determinism matrix diffs exactly this output).
+                    let mut adv = AdversaryConfig {
+                        parallelism: Some(Parallelism::from_env()),
+                        ..AdversaryConfig::default()
+                    };
                     if let Some(budget) = exact_budget {
                         adv.exact_budget = *budget;
                     }

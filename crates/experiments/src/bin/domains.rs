@@ -16,10 +16,11 @@
 //! ```
 
 use std::process::ExitCode;
-use wcp_adversary::{DomainAttacker, ScratchAdversary};
+use wcp_adversary::{AdversaryConfig, DomainAttacker, ScratchAdversary};
 use wcp_core::engine::Attacker;
 use wcp_core::{
-    repair_domain_collisions, Engine, PlannerContext, StrategyKind, SystemParams, Topology,
+    repair_domain_collisions, Engine, Parallelism, PlannerContext, StrategyKind, SystemParams,
+    Topology,
 };
 use wcp_sim::topo::TopoSpec;
 use wcp_sim::{csv_safe, results_dir, Csv, Table};
@@ -221,9 +222,15 @@ fn main() -> ExitCode {
             topology: Some(topo.clone()),
             ..PlannerContext::default()
         };
-        let node_engine =
-            Engine::with_attacker(params, ScratchAdversary::default()).with_context(ctx.clone());
-        let domain_attacker = DomainAttacker::new(topo.clone());
+        // Both ladders honor WCP_THREADS; results are bit-identical at
+        // any thread count (the CI determinism matrix diffs this CSV).
+        let adv = AdversaryConfig {
+            parallelism: Some(Parallelism::from_env()),
+            ..AdversaryConfig::default()
+        };
+        let node_engine = Engine::with_attacker(params, ScratchAdversary::new(adv.clone()))
+            .with_context(ctx.clone());
+        let domain_attacker = DomainAttacker::with_config(topo.clone(), adv);
         let domain_engine =
             Engine::with_attacker(params, domain_attacker.clone()).with_context(ctx.clone());
 

@@ -16,7 +16,10 @@
 //!
 //! Results are deterministic for any `--threads` value; pass
 //! `--timings` to keep per-stage wall-clock costs in the output (at the
-//! price of run-to-run byte identity).
+//! price of run-to-run byte identity). Without `--threads` the worker
+//! count defers to the ambient `WCP_THREADS` environment override
+//! (else all cores) — the CI determinism matrix replays `--quick`
+//! under several `WCP_THREADS` values and diffs the output bytes.
 
 use std::process::ExitCode;
 use wcp_adversary::SweepAdversary;
@@ -36,7 +39,9 @@ fn usage() -> String {
         "from the --spec file regardless of order. Strategy specs:\n",
         "combo, ring, group, adaptive, simple:<x>, random[:<seed>],\n",
         "random-seq[:<seed>], random-unc[:<seed>]. --quick selects a small\n",
-        "built-in smoke grid when no grid of your own is given.\n",
+        "built-in smoke grid when no grid of your own is given. Without\n",
+        "--threads, the WCP_THREADS environment variable picks the worker\n",
+        "count (default: all cores); records are identical either way.\n",
     )
     .to_string()
 }

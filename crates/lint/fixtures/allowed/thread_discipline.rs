@@ -1,0 +1,11 @@
+// Fixture: lint:allow(thread-discipline, …) must suppress both the
+// spawn and the relaxed-ordering findings. Not compiled.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn measured_exception(shared: &AtomicU64) -> u64 {
+    // lint:allow(thread-discipline, fixture - detached telemetry thread)
+    let handle = std::thread::spawn(|| 7u64);
+    // lint:allow(thread-discipline, fixture - monotone counter, order-free)
+    shared.fetch_add(1, Ordering::Relaxed);
+    handle.join().unwrap_or(0)
+}

@@ -1,0 +1,10 @@
+// Fixture: the thread-discipline rule must fire on ad-hoc threading
+// and relaxed atomics outside the sanctioned pool modules. Not
+// compiled; consumed by `wcp-lint --check` and the fixture test suite.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn race_the_pool(shared: &AtomicU64) -> u64 {
+    let handle = std::thread::spawn(|| 7u64);
+    shared.fetch_add(1, Ordering::Relaxed);
+    handle.join().unwrap_or(0)
+}

@@ -14,6 +14,10 @@
 //! * [`RuleId::Index`] — no unguarded slice indexing in the same scope;
 //! * [`RuleId::UnsafeComment`] — every `unsafe` carries a nearby
 //!   `// SAFETY:` comment (pre-wired for the SIMD kernel);
+//! * [`RuleId::ThreadDiscipline`] — no `std::thread::spawn`/`scope` or
+//!   `Ordering::Relaxed` outside the sanctioned pool modules
+//!   (`wcp_core::sweep`, `wcp_adversary::pool`), so the "bit-identical
+//!   at every thread count" contract has exactly two rooms to audit;
 //! * [`RuleId::Layering`] — the crate DAG has no cycles or upward edges;
 //! * [`RuleId::BenchSchema`] — committed `BENCH_*.json` snapshots match
 //!   a regression-gate schema, so a malformed baseline cannot silently
@@ -48,6 +52,8 @@ pub enum RuleId {
     Index,
     /// `unsafe` without a `// SAFETY:` comment.
     UnsafeComment,
+    /// Threading/atomics primitives outside the sanctioned pools.
+    ThreadDiscipline,
     /// Crate-layering DAG violations.
     Layering,
     /// Malformed committed benchmark snapshots.
@@ -56,11 +62,12 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in report order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::Determinism,
         RuleId::Panic,
         RuleId::Index,
         RuleId::UnsafeComment,
+        RuleId::ThreadDiscipline,
         RuleId::Layering,
         RuleId::BenchSchema,
     ];
@@ -73,6 +80,7 @@ impl RuleId {
             RuleId::Panic => "panic",
             RuleId::Index => "index-guard",
             RuleId::UnsafeComment => "unsafe-comment",
+            RuleId::ThreadDiscipline => "thread-discipline",
             RuleId::Layering => "layering",
             RuleId::BenchSchema => "bench-schema",
         }

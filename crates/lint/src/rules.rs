@@ -48,6 +48,15 @@ fn panic_scope(path: &str) -> bool {
         && !path.contains("/bin/")
 }
 
+/// The only modules allowed to touch threading/atomics primitives: the
+/// sweep fan-out (the one sanctioned `std::thread::scope` home in
+/// `wcp-core`) and the adversary's shared-incumbent pool. Everything
+/// else must go through their APIs, so the "bit-identical at every
+/// thread count" contract has exactly two rooms to audit.
+fn thread_sanctioned(path: &str) -> bool {
+    path == "crates/core/src/sweep.rs" || path == "crates/adversary/src/pool.rs"
+}
+
 /// Keywords that may legitimately precede a `[` without forming an
 /// index expression (slice patterns, `for x in [..]`, …).
 const NON_INDEX_KEYWORDS: [&str; 22] = [
@@ -90,6 +99,7 @@ pub fn check_file(sf: &SourceFile, scoped: bool) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let in_determinism = !scoped || determinism_scope(&sf.path);
     let in_panic = !scoped || panic_scope(&sf.path);
+    let in_thread = !scoped || !thread_sanctioned(&sf.path);
     for (pos, &ti) in sf.significant.iter().enumerate() {
         let tok = &sf.tokens[ti];
         if sf.in_test_code(tok.start) {
@@ -101,6 +111,9 @@ pub fn check_file(sf: &SourceFile, scoped: bool) -> Vec<Diagnostic> {
         if in_panic {
             panic_at(sf, pos, tok, &mut diags);
             index_at(sf, pos, tok, &mut diags);
+        }
+        if in_thread {
+            thread_discipline_at(sf, pos, tok, &mut diags);
         }
         unsafe_at(sf, pos, tok, &mut diags);
     }
@@ -209,6 +222,51 @@ fn index_at(sf: &SourceFile, pos: usize, tok: &Token, out: &mut Vec<Diagnostic>)
             RuleId::Index,
             "slice index panics on out-of-bounds; use .get()/.get_mut() or guard \
              the bound and lint:allow(index-guard, why)"
+                .to_string(),
+            out,
+        );
+    }
+}
+
+/// Thread discipline: `thread::spawn` / `thread::scope` call paths and
+/// `Ordering::Relaxed` belong to the sanctioned pool modules only (see
+/// [`thread_sanctioned`]); ad-hoc threading elsewhere silently forks
+/// the determinism contract.
+fn thread_discipline_at(sf: &SourceFile, pos: usize, tok: &Token, out: &mut Vec<Diagnostic>) {
+    if tok.kind != TokenKind::Ident {
+        return;
+    }
+    let text = tok.text(&sf.text);
+    let segment = |head: &str, tail: &str| {
+        text == head
+            && sf.next_significant(pos, 1).map(|t| t.text(&sf.text)) == Some(":")
+            && sf.next_significant(pos, 2).map(|t| t.text(&sf.text)) == Some(":")
+            && sf.next_significant(pos, 3).map(|t| t.text(&sf.text)) == Some(tail)
+    };
+    for prim in ["spawn", "scope"] {
+        if segment("thread", prim) {
+            push(
+                sf,
+                tok,
+                RuleId::ThreadDiscipline,
+                format!(
+                    "`thread::{prim}` outside the sanctioned pools \
+                     (wcp_core::sweep, wcp_adversary::pool); fan work out \
+                     through their deterministic APIs instead"
+                ),
+                out,
+            );
+            return;
+        }
+    }
+    if segment("Ordering", "Relaxed") {
+        push(
+            sf,
+            tok,
+            RuleId::ThreadDiscipline,
+            "`Ordering::Relaxed` outside the sanctioned pools \
+             (wcp_core::sweep, wcp_adversary::pool); route shared state \
+             through SharedBound or the sweep cursor"
                 .to_string(),
             out,
         );
@@ -332,6 +390,36 @@ mod tests {
             diags("crates/gf/src/field.rs", stale),
             vec![(RuleId::UnsafeComment, 6)]
         );
+    }
+
+    #[test]
+    fn thread_primitives_fire_outside_the_sanctioned_pools() {
+        let spawn = "let h = std::thread::spawn(move || work());\n";
+        assert_eq!(
+            diags("crates/adversary/src/parallel.rs", spawn),
+            vec![(RuleId::ThreadDiscipline, 1)]
+        );
+        let scope = "thread::scope(|s| { s.spawn(|| work()); });\n";
+        assert_eq!(
+            diags("crates/experiments/src/bin/churn.rs", scope),
+            vec![(RuleId::ThreadDiscipline, 1)]
+        );
+        let relaxed = "let v = cell.load(Ordering::Relaxed);\n";
+        assert_eq!(
+            diags("crates/sim/src/metrics.rs", relaxed),
+            vec![(RuleId::ThreadDiscipline, 1)]
+        );
+    }
+
+    #[test]
+    fn sanctioned_pools_and_stricter_orderings_are_exempt() {
+        let both = "std::thread::scope(|s| cursor.fetch_add(1, Ordering::Relaxed));\n";
+        assert_eq!(diags("crates/core/src/sweep.rs", both), vec![]);
+        assert_eq!(diags("crates/adversary/src/pool.rs", both), vec![]);
+        // SeqCst/Acquire are not the footgun this rule hunts, and mere
+        // mentions in comments/strings never fire.
+        let benign = "let v = cell.load(Ordering::SeqCst);\n// thread::spawn Ordering::Relaxed\n";
+        assert_eq!(diags("crates/sim/src/metrics.rs", benign), vec![]);
     }
 
     #[test]

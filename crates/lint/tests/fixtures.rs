@@ -20,12 +20,13 @@ fn lint_fixture(sub: &str, name: &str) -> Vec<RuleId> {
         .collect()
 }
 
-/// The four file rules and their fixture stems.
-const FILE_RULES: [(RuleId, &str); 4] = [
+/// The five file rules and their fixture stems.
+const FILE_RULES: [(RuleId, &str); 5] = [
     (RuleId::Determinism, "determinism.rs"),
     (RuleId::Panic, "panic.rs"),
     (RuleId::Index, "index_guard.rs"),
     (RuleId::UnsafeComment, "unsafe_comment.rs"),
+    (RuleId::ThreadDiscipline, "thread_discipline.rs"),
 ];
 
 #[test]
