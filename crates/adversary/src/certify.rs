@@ -1,0 +1,316 @@
+//! The prover side of the availability-certificate split.
+//!
+//! [`worst_case_certified`] runs the adversary ladder exactly as
+//! [`crate::worst_case_failures`] does — the traced local-search
+//! variants *are* the untraced implementations, so the two cannot
+//! drift — while recording what the `wcp-verify` crate needs to
+//! re-check the verdict in `O(witness)`: each rung's witness with a
+//! replayable decision-trace hash, and, when the exact rung completed,
+//! a per-root-child **bound ledger** for the branch-and-bound tree.
+//!
+//! The ledger is computed *post hoc* on the packed kernel. Both the
+//! serial DFS root frame (depth 0 is below its re-sort depth) and the
+//! parallel frontier split order root children by the same total key —
+//! `(gain, load, node)` descending at the empty set — and expand
+//! exactly the first `n − k + 1` of them, so re-deriving that order
+//! after the search reproduces the true root frontier. For each root
+//! child `x` the recorded bound is the same admissible bound the DFS
+//! prunes with one level down:
+//!
+//! ```text
+//! bound(x) = failed({x}) + failable_within(k − 1)   (evaluated at {x})
+//! ```
+//!
+//! No attack whose set contains `x` as its first element (in root
+//! order) can fail more than `bound(x)` objects: the remaining `k − 1`
+//! nodes add at most one hit each per object. The verifier recomputes
+//! both the order and every bound on the scalar [`crate::FailureCounts`]
+//! oracle, so a kernel bug skewing either turns into a certificate
+//! rejection instead of a silently wrong verdict.
+//!
+//! Every bound is also ≤ the root-level bound `failable_within(k)` at
+//! the empty set, so whenever the search confirmed the incumbent
+//! without expanding (the root short-circuit), the ledger still proves
+//! optimality outright.
+
+use crate::exact;
+use crate::search::{self, LadderTrace};
+use crate::{parallel, AdversaryConfig, AdversaryScratch, WorstCase};
+use wcp_core::{
+    placement_digest, Certificate, CertificateKind, Fnv, LedgerEntry, Placement, Rung, RungKind,
+};
+
+/// FNV-1a over `(index, failed, witness)` triples in execution order —
+/// the replayable decision-trace hash stored in heuristic rungs.
+pub(crate) fn trace_hash(entries: &[(u64, Vec<u16>)]) -> u64 {
+    let mut h = Fnv::new();
+    for (i, (failed, nodes)) in entries.iter().enumerate() {
+        h.write_u64(i as u64);
+        h.write_u64(*failed);
+        h.write_u64(nodes.len() as u64);
+        for &nd in nodes {
+            h.write_u64(u64::from(nd));
+        }
+    }
+    h.finish()
+}
+
+fn base_certificate(placement: &Placement, kind: CertificateKind, s: u16, k: u16) -> Certificate {
+    Certificate {
+        kind,
+        n: placement.num_nodes(),
+        b: placement.num_objects() as u64,
+        r: placement.replicas_per_object(),
+        s,
+        k,
+        placement: placement_digest(placement),
+        rungs: Vec::new(),
+        ledger: Vec::new(),
+        claimed_failed: 0,
+        exact: false,
+    }
+}
+
+/// Seals the shared tail of every certificate: a degenerate-budget
+/// claim needs no search evidence beyond its single exact rung.
+fn seal_degenerate(
+    mut cert: Certificate,
+    failed: u64,
+    witness: Vec<u16>,
+    units: Vec<u32>,
+) -> Certificate {
+    cert.rungs.push(Rung {
+        kind: RungKind::Exact,
+        failed,
+        witness,
+        units,
+        trace: 0,
+    });
+    cert.claimed_failed = failed;
+    cert.exact = true;
+    cert
+}
+
+/// [`crate::worst_case_failures`] plus its availability certificate.
+///
+/// The returned [`WorstCase`] is identical to the uncertified entry
+/// point's for the same inputs (the ladder is shared, not mirrored).
+///
+/// # Panics
+///
+/// Panics if `k > n` or `s > r` (placement shape mismatch).
+///
+/// # Examples
+///
+/// ```
+/// use wcp_adversary::{worst_case_certified, AdversaryConfig};
+/// use wcp_core::{Certificate, Placement};
+///
+/// let p = Placement::new(6, 3, vec![
+///     vec![0, 1, 2], vec![0, 1, 3], vec![2, 4, 5],
+/// ])?;
+/// let (wc, cert) = worst_case_certified(&p, 2, 2, &AdversaryConfig::default());
+/// assert_eq!((wc.failed, cert.claimed_failed), (2, 2));
+/// // The encoding is self-sealed and round-trips.
+/// assert_eq!(Certificate::from_json(&cert.to_json()).unwrap(), cert);
+/// # Ok::<(), wcp_core::PlacementError>(())
+/// ```
+#[must_use]
+pub fn worst_case_certified(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    config: &AdversaryConfig,
+) -> (WorstCase, Certificate) {
+    worst_case_certified_with(placement, s, k, config, &mut AdversaryScratch::new())
+}
+
+/// [`worst_case_certified`] reusing the caller's scratch buffers.
+#[must_use]
+pub fn worst_case_certified_with(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    config: &AdversaryConfig,
+    scratch: &mut AdversaryScratch,
+) -> (WorstCase, Certificate) {
+    assert!(k <= placement.num_nodes(), "k must be ≤ n");
+    assert!(s <= placement.replicas_per_object(), "s must be ≤ r");
+    let n = placement.num_nodes();
+    let mut cert = base_certificate(placement, CertificateKind::Node, s, k);
+    if k == 0 || k >= n {
+        // Degenerate budgets need no search: k = 0 fails nothing, k = n
+        // fails everything reachable. One exact rung, no ledger.
+        let wc = if k == 0 {
+            WorstCase {
+                failed: 0,
+                nodes: Vec::new(),
+                exact: true,
+            }
+        } else {
+            exact::degenerate_all_nodes(placement, s, k)
+        };
+        let cert = seal_degenerate(cert, wc.failed, wc.nodes.clone(), Vec::new());
+        return (wc, cert);
+    }
+    let mut trace = LadderTrace::default();
+    let (heuristic, exact_result) = match config.parallelism {
+        Some(par) => {
+            let h = parallel::local_search_worst_parallel_traced(
+                placement, s, k, config, par, &mut trace,
+            );
+            let e =
+                parallel::exact_worst_parallel(placement, s, k, config.exact_budget, h.failed, par);
+            (h, e)
+        }
+        None => {
+            let h = search::local_search_worst_traced(placement, s, k, config, scratch, &mut trace);
+            let e =
+                exact::exact_worst_rebound(placement, s, k, config.exact_budget, h.failed, scratch);
+            (h, e)
+        }
+    };
+    if let Some(greedy) = trace.greedy.take() {
+        let entry = [greedy];
+        cert.rungs.push(Rung {
+            kind: RungKind::Greedy,
+            failed: entry[0].0,
+            witness: entry[0].1.clone(),
+            units: Vec::new(),
+            trace: trace_hash(&entry),
+        });
+    }
+    cert.rungs.push(Rung {
+        kind: RungKind::LocalSearch,
+        failed: heuristic.failed,
+        witness: heuristic.nodes.clone(),
+        units: Vec::new(),
+        trace: trace_hash(&trace.restarts),
+    });
+    let result = match exact_result {
+        Some(ex) => {
+            // The DFS only returns node sets when it beats the seed;
+            // reuse the heuristic's witness when the incumbent stood.
+            let wc = if ex.failed > heuristic.failed {
+                ex
+            } else {
+                WorstCase {
+                    exact: true,
+                    ..heuristic
+                }
+            };
+            cert.rungs.push(Rung {
+                kind: RungKind::Exact,
+                failed: wc.failed,
+                witness: wc.nodes.clone(),
+                units: Vec::new(),
+                trace: 0,
+            });
+            cert.ledger = node_ledger(placement, s, k, scratch);
+            wc
+        }
+        None => heuristic,
+    };
+    cert.claimed_failed = result.failed;
+    cert.exact = result.exact;
+    (result, cert)
+}
+
+/// The exact rung's post-hoc bound ledger: one admissible bound per
+/// root child of the branch-and-bound tree, in the canonical
+/// `(gain, load, node)` descending root order, covering exactly the
+/// `n − k + 1` children the root frame expands.
+fn node_ledger(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    scratch: &mut AdversaryScratch,
+) -> Vec<LedgerEntry> {
+    debug_assert!(k >= 1 && k < placement.num_nodes());
+    let n = placement.num_nodes();
+    let (pc, _, _) = scratch.bind_packed(placement, s);
+    pc.clear();
+    let mut keys: Vec<(u64, u32, u16)> = (0..n).map(|nd| (pc.gain(nd), pc.load(nd), nd)).collect();
+    keys.sort_unstable_by(|a, b| b.cmp(a));
+    let roots = usize::from(n - k) + 1;
+    let mut ledger = Vec::with_capacity(roots);
+    for &(_, _, nd) in keys.iter().take(roots) {
+        pc.add_node(nd);
+        let bound = pc.failed() + pc.failable_within(k - 1);
+        pc.remove_node(nd);
+        ledger.push(LedgerEntry {
+            root: u32::from(nd),
+            bound,
+        });
+    }
+    ledger
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worst_case_failures_with;
+    use wcp_core::{Parallelism, RandomStrategy, RandomVariant, SystemParams};
+
+    fn random_placement(n: u16, b: u64, r: u16, seed: u64) -> Placement {
+        let params = SystemParams::new(n, b, r, 1, 1).unwrap();
+        RandomStrategy::new(seed, RandomVariant::LoadBalanced)
+            .place(&params)
+            .unwrap()
+    }
+
+    #[test]
+    fn certified_result_matches_uncertified_ladder() {
+        for seed in 0..3u64 {
+            let p = random_placement(16, 70, 3, seed);
+            for (s, k) in [(1u16, 0u16), (1, 3), (2, 4), (3, 5), (2, 16)] {
+                for parallelism in [None, Some(Parallelism::new(4))] {
+                    let config = AdversaryConfig {
+                        parallelism,
+                        ..AdversaryConfig::default()
+                    };
+                    let plain =
+                        worst_case_failures_with(&p, s, k, &config, &mut AdversaryScratch::new());
+                    let (wc, cert) =
+                        worst_case_certified_with(&p, s, k, &config, &mut AdversaryScratch::new());
+                    assert_eq!(wc, plain, "seed={seed} s={s} k={k} par={parallelism:?}");
+                    assert_eq!(cert.claimed_failed, wc.failed);
+                    assert_eq!(cert.exact, wc.exact);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rung_claims_are_monotone_and_ledger_sized() {
+        let p = random_placement(14, 60, 3, 7);
+        let (wc, cert) = worst_case_certified(&p, 2, 4, &AdversaryConfig::default());
+        assert!(wc.exact, "small shape should complete exactly");
+        for pair in cert.rungs.windows(2) {
+            assert!(pair[0].failed <= pair[1].failed, "rungs must be monotone");
+        }
+        assert_eq!(cert.ledger.len(), 14 - 4 + 1);
+        // Every witness re-scores to its claim straight from the
+        // definition (the verifier crate re-checks this via the scalar
+        // oracle; this is the in-crate smoke test).
+        for rung in &cert.rungs {
+            assert_eq!(p.failed_objects(&rung.witness, 2), rung.failed);
+        }
+    }
+
+    #[test]
+    fn certificate_json_round_trips_through_core() {
+        let p = random_placement(12, 40, 3, 1);
+        let (_, cert) = worst_case_certified(&p, 2, 3, &AdversaryConfig::default());
+        let back = Certificate::from_json(&cert.to_json()).expect("parses");
+        assert_eq!(back, cert);
+    }
+
+    #[test]
+    fn trace_hash_is_order_sensitive() {
+        let a = vec![(3u64, vec![1u16, 2]), (5, vec![0, 4])];
+        let mut b = a.clone();
+        b.swap(0, 1);
+        assert_ne!(trace_hash(&a), trace_hash(&b));
+    }
+}

@@ -27,12 +27,13 @@
 //! hits; for flat topologies `c_max = 1` recovers the node bounds
 //! exactly.
 
+use crate::certify::trace_hash;
 use crate::counts::{FailureCounts, PackedCounts};
 use crate::AdversaryConfig;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use wcp_core::{Placement, Topology};
+use wcp_core::{Certificate, CertificateKind, LedgerEntry, Placement, Rung, RungKind, Topology};
 
 /// Depths at which the DFS re-sorts children by live gain and applies
 /// the supply bound (kept equal to the node ladder's constant so flat
@@ -528,6 +529,16 @@ fn climb_units<B: DomainBackend>(be: &mut B, max_steps: u32, all: u64) {
     }
 }
 
+/// Per-rung decision record of the unit ladder, consumed by the
+/// certificate prover ([`domain_worst_case_certified`]).
+#[derive(Debug, Default)]
+struct UnitTrace {
+    /// The greedy seed's outcome before any climbing.
+    greedy: Option<DomainWorstCase>,
+    /// Each climb pass's outcome, in restart order.
+    restarts: Vec<DomainWorstCase>,
+}
+
 /// Greedy seed plus steepest-ascent restarts (the unit analogue of the
 /// node local search, same RNG stream). Expects an empty backend.
 fn local_search_units<B: DomainBackend>(
@@ -535,6 +546,19 @@ fn local_search_units<B: DomainBackend>(
     k: u16,
     config: &AdversaryConfig,
     all: u64,
+) -> DomainWorstCase {
+    local_search_units_traced(be, k, config, all, &mut UnitTrace::default())
+}
+
+/// [`local_search_units`] recording the per-rung decision trace. This
+/// *is* the implementation — the untraced entry point passes a
+/// discarded trace — so certified and uncertified ladders cannot drift.
+fn local_search_units_traced<B: DomainBackend>(
+    be: &mut B,
+    k: u16,
+    config: &AdversaryConfig,
+    all: u64,
+    trace: &mut UnitTrace,
 ) -> DomainWorstCase {
     let u_count = be.index().len();
     if usize::from(k) >= u_count {
@@ -546,6 +570,7 @@ fn local_search_units<B: DomainBackend>(
     let mut rng = StdRng::seed_from_u64(config.seed);
     greedy_units(be, k);
     let mut overall = snapshot(be, false);
+    trace.greedy = Some(overall.clone());
     for restart in 0..config.restarts {
         if restart > 0 {
             be.clear();
@@ -556,9 +581,11 @@ fn local_search_units<B: DomainBackend>(
             }
         }
         climb_units(be, config.max_steps, all);
-        if be.failed() > overall.failed {
-            overall = snapshot(be, false);
+        let snap = snapshot(be, false);
+        if snap.failed > overall.failed {
+            overall = snap.clone();
         }
+        trace.restarts.push(snap);
         if overall.failed == all {
             break;
         }
@@ -877,6 +904,156 @@ pub fn domain_worst_case_failures(
     ladder(&mut be, k, config, placement.num_objects() as u64)
 }
 
+/// The exact rung's post-hoc bound ledger over failure units: one
+/// admissible bound per root child of the branch-and-bound tree, in the
+/// canonical `(gain, weight, unit)` descending root order (the order
+/// `DomainSearch::order_by_live_gain` derives at the empty set),
+/// covering the `units − k + 1` children the root frame expands. The
+/// bound generalizes the node ledger's: after failing the root unit,
+/// the remaining `k − 1` units add at most `c_max` hits each per
+/// object.
+fn unit_ledger<B: DomainBackend>(be: &mut B, k: u16) -> Vec<LedgerEntry> {
+    let u_count = be.index().len();
+    debug_assert!(k >= 1 && usize::from(k) < u_count);
+    be.clear();
+    let c_max = be.index().max_unit_hits;
+    let hits = hits_budget(k - 1, c_max);
+    let mut keys: Vec<(u64, u64, u32)> = Vec::with_capacity(u_count);
+    for u in 0..u_count {
+        let gain = be.gain_unit(u);
+        keys.push((gain, be.index().weights[u], u as u32));
+    }
+    keys.sort_unstable_by(|a, b| b.cmp(a));
+    let roots = u_count - usize::from(k) + 1;
+    let mut ledger = Vec::with_capacity(roots);
+    for &(_, _, u) in keys.iter().take(roots) {
+        be.fail_unit(u as usize);
+        let bound = be.failed() + be.failable_within_hits(hits);
+        be.unfail_unit(u as usize);
+        ledger.push(LedgerEntry { root: u, bound });
+    }
+    ledger
+}
+
+/// [`domain_worst_case_failures`] plus its availability certificate —
+/// the domain analogue of [`crate::worst_case_certified`]. The returned
+/// [`DomainWorstCase`] is identical to the uncertified entry point's for
+/// the same inputs (the ladder is shared, not mirrored). The
+/// certificate's rung witnesses carry both the chosen unit ids and
+/// their leaf union; the verifier needs the same [`Topology`] to
+/// re-check them.
+///
+/// # Panics
+///
+/// As for [`domain_greedy_worst`].
+#[must_use]
+pub fn domain_worst_case_certified(
+    placement: &Placement,
+    topology: &Topology,
+    s: u16,
+    k: u16,
+    config: &AdversaryConfig,
+) -> (DomainWorstCase, Certificate) {
+    let units = check_shape(placement, topology, s, k);
+    let all = placement.num_objects() as u64;
+    let mut be = PackedDomainBackend::new(placement, topology, s);
+    let mut cert = Certificate {
+        kind: CertificateKind::Domain,
+        n: placement.num_nodes(),
+        b: all,
+        r: placement.replicas_per_object(),
+        s,
+        k,
+        placement: wcp_core::placement_digest(placement),
+        rungs: Vec::new(),
+        ledger: Vec::new(),
+        claimed_failed: 0,
+        exact: false,
+    };
+    if k == 0 || usize::from(k) >= units {
+        // Degenerate budgets need no search: k = 0 fails nothing,
+        // k ≥ units fails every unit. One exact rung, no ledger.
+        let wc = if k == 0 {
+            DomainWorstCase {
+                failed: 0,
+                units: Vec::new(),
+                nodes: Vec::new(),
+                exact: true,
+            }
+        } else {
+            for u in 0..units {
+                be.fail_unit(u);
+            }
+            snapshot(&be, true)
+        };
+        cert.rungs.push(Rung {
+            kind: RungKind::Exact,
+            failed: wc.failed,
+            witness: wc.nodes.clone(),
+            units: wc.units.clone(),
+            trace: 0,
+        });
+        cert.claimed_failed = wc.failed;
+        cert.exact = true;
+        return (wc, cert);
+    }
+    let mut trace = UnitTrace::default();
+    let heuristic = local_search_units_traced(&mut be, k, config, all, &mut trace);
+    be.clear();
+    let exact_result = exact_units(&mut be, k, config.exact_budget, heuristic.failed, all);
+    if let Some(greedy) = trace.greedy.take() {
+        let entry = [(greedy.failed, greedy.nodes.clone())];
+        cert.rungs.push(Rung {
+            kind: RungKind::Greedy,
+            failed: greedy.failed,
+            witness: greedy.nodes,
+            units: greedy.units,
+            trace: trace_hash(&entry),
+        });
+    }
+    let restart_entries: Vec<(u64, Vec<u16>)> = trace
+        .restarts
+        .iter()
+        .map(|snap| (snap.failed, snap.nodes.clone()))
+        .collect();
+    cert.rungs.push(Rung {
+        kind: RungKind::LocalSearch,
+        failed: heuristic.failed,
+        witness: heuristic.nodes.clone(),
+        units: heuristic.units.clone(),
+        trace: trace_hash(&restart_entries),
+    });
+    let result = match exact_result {
+        Some((failed, units)) if failed > heuristic.failed => {
+            let nodes = be.index().nodes_of(&units);
+            DomainWorstCase {
+                failed,
+                units,
+                nodes,
+                exact: true,
+            }
+        }
+        Some(_) => DomainWorstCase {
+            exact: true,
+            ..heuristic
+        },
+        None => heuristic,
+    };
+    if result.exact {
+        cert.rungs.push(Rung {
+            kind: RungKind::Exact,
+            failed: result.failed,
+            witness: result.nodes.clone(),
+            units: result.units.clone(),
+            trace: 0,
+        });
+        cert.ledger = unit_ledger(&mut be, k);
+    }
+    cert.claimed_failed = result.failed;
+    cert.exact = result.exact;
+    (result, cert)
+}
+
 /// The scalar reference ladder over failure units: identical decisions
 /// to the packed entry points, running on [`FailureCounts`] — the
 /// oracle side of `tests/domain_differential.rs`.
@@ -1015,11 +1192,12 @@ impl DomainAttacker {
 
 impl wcp_core::engine::Attacker for DomainAttacker {
     fn attack(&self, placement: &Placement, s: u16, k: u16) -> wcp_core::engine::AttackOutcome {
-        let wc = domain_worst_case_failures(placement, &self.topology, s, k, &self.config);
+        let (wc, cert) = domain_worst_case_certified(placement, &self.topology, s, k, &self.config);
         wcp_core::engine::AttackOutcome {
             failed: wc.failed,
             nodes: wc.nodes,
             exact: wc.exact,
+            certificate: Some(cert),
         }
     }
 }

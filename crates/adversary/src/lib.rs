@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 mod bitmap;
+mod certify;
 mod counts;
 pub mod domain;
 mod exact;
@@ -50,10 +51,11 @@ mod pool;
 pub mod reference;
 mod search;
 
+pub use certify::{worst_case_certified, worst_case_certified_with};
 pub use counts::{FailureCounts, PackedCounts};
 pub use domain::{
-    domain_exact_worst, domain_greedy_worst, domain_local_search_worst, domain_worst_case_failures,
-    DomainAttacker, DomainWorstCase,
+    domain_exact_worst, domain_greedy_worst, domain_local_search_worst,
+    domain_worst_case_certified, domain_worst_case_failures, DomainAttacker, DomainWorstCase,
 };
 pub use exact::{exact_worst, exact_worst_with};
 pub use parallel::{exact_worst_parallel, local_search_worst_parallel};
@@ -201,11 +203,12 @@ impl Default for AdversaryConfig {
 /// ```
 impl wcp_core::engine::Attacker for AdversaryConfig {
     fn attack(&self, placement: &Placement, s: u16, k: u16) -> wcp_core::engine::AttackOutcome {
-        let wc = worst_case_failures(placement, s, k, self);
+        let (wc, cert) = worst_case_certified(placement, s, k, self);
         wcp_core::engine::AttackOutcome {
             failed: wc.failed,
             nodes: wc.nodes,
             exact: wc.exact,
+            certificate: Some(cert),
         }
     }
 }
@@ -259,7 +262,7 @@ impl ScratchAdversary {
 
 impl wcp_core::engine::Attacker for ScratchAdversary {
     fn attack(&self, placement: &Placement, s: u16, k: u16) -> wcp_core::engine::AttackOutcome {
-        let wc = worst_case_failures_with(
+        let (wc, cert) = worst_case_certified_with(
             placement,
             s,
             k,
@@ -270,6 +273,7 @@ impl wcp_core::engine::Attacker for ScratchAdversary {
             failed: wc.failed,
             nodes: wc.nodes,
             exact: wc.exact,
+            certificate: Some(cert),
         }
     }
 }
@@ -451,11 +455,12 @@ impl CellAttacker for SweepAdversary {
                 parallelism: None,
             },
         };
-        let wc = worst_case_failures_with(placement, s, k, &config, &mut self.scratch);
+        let (wc, cert) = worst_case_certified_with(placement, s, k, &config, &mut self.scratch);
         wcp_core::engine::AttackOutcome {
             failed: wc.failed,
             nodes: wc.nodes,
             exact: wc.exact,
+            certificate: Some(cert),
         }
     }
 }

@@ -36,7 +36,7 @@
 use crate::counts::PackedCounts;
 use crate::exact::{self, DfsScratch};
 use crate::pool::{fan_out, SharedBound};
-use crate::search::{self, ClimbScratch};
+use crate::search::{self, ClimbScratch, LadderTrace};
 use crate::{AdversaryConfig, AdversaryScratch, WorstCase};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -114,6 +114,29 @@ pub fn local_search_worst_parallel(
     config: &AdversaryConfig,
     parallelism: Parallelism,
 ) -> WorstCase {
+    local_search_worst_parallel_traced(
+        placement,
+        s,
+        k,
+        config,
+        parallelism,
+        &mut LadderTrace::default(),
+    )
+}
+
+/// [`local_search_worst_parallel`] recording the per-rung decision
+/// trace for the certificate prover (the untraced entry point passes a
+/// discarded trace). Trace entries are keyed by restart index, so the
+/// recorded trace — like the returned result — is thread-count
+/// invariant.
+pub(crate) fn local_search_worst_parallel_traced(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    config: &AdversaryConfig,
+    parallelism: Parallelism,
+    trace: &mut LadderTrace,
+) -> WorstCase {
     let n = placement.num_nodes();
     if k >= n {
         return WorstCase {
@@ -128,32 +151,38 @@ pub fn local_search_worst_parallel(
     let climb = config.restarts > 0;
     let results = fan_out(restarts, parallelism.threads(), Worker::fresh, |w, t| {
         let (pc, cs, _) = w.parts(placement, s);
-        if t == 0 {
-            let _greedy = search::greedy_into(pc, cs, k);
+        let greedy = if t == 0 {
+            let g = search::greedy_into(pc, cs, k);
+            Some((g.failed, g.nodes))
         } else {
             let mut rng = StdRng::seed_from_u64(restart_seed(config.seed, t as u64));
             search::seed_random_set(pc, cs, k, &mut rng);
-        }
+            None
+        };
         if climb {
             search::climb(pc, cs, config.max_steps, b);
         }
-        (pc.failed(), pc.nodes())
+        (greedy, pc.failed(), pc.nodes())
     });
-    let mut results = results.into_iter();
-    let Some((mut failed, mut nodes)) = results.next() else {
-        // Unreachable (restarts ≥ 1), but a harmless answer beats a panic.
-        return WorstCase {
-            failed: 0,
-            nodes: Vec::new(),
-            exact: false,
-        };
-    };
-    for (f, w) in results {
-        if f > failed || (f == failed && w < nodes) {
-            failed = f;
-            nodes = w;
+    let mut best: Option<(u64, Vec<u16>)> = None;
+    for (greedy, f, w) in results {
+        if greedy.is_some() {
+            trace.greedy = greedy;
         }
+        match &mut best {
+            Some((bf, bw)) => {
+                if f > *bf || (f == *bf && w < *bw) {
+                    *bf = f;
+                    bw.clone_from(&w);
+                }
+            }
+            None => best = Some((f, w.clone())),
+        }
+        trace.restarts.push((f, w));
     }
+    // The empty fallback is unreachable (restarts ≥ 1), but a harmless
+    // answer beats a panic.
+    let (failed, nodes) = best.unwrap_or((0, Vec::new()));
     WorstCase {
         failed,
         nodes,

@@ -44,6 +44,19 @@ pub(crate) struct ClimbScratch {
     perm: Vec<u16>,
 }
 
+/// Per-rung decision record the certificate prover consumes: the greedy
+/// seed's outcome plus each climb pass's outcome, in restart order.
+/// Recorded identically by the serial loop below and the parallel
+/// fan-out in [`crate::parallel`] (whose entries differ because the two
+/// schedules differ — each is replayable against its own mode).
+#[derive(Debug, Default)]
+pub(crate) struct LadderTrace {
+    /// `(failed, witness)` of the greedy seed before any climbing.
+    pub greedy: Option<(u64, Vec<u16>)>,
+    /// `(failed, witness)` after each climb pass, in restart order.
+    pub restarts: Vec<(u64, Vec<u16>)>,
+}
+
 /// Greedy adversary: repeatedly fails the node that kills the most
 /// additional objects (ties broken toward higher-load nodes, which bring
 /// more objects closer to the threshold).
@@ -210,6 +223,28 @@ pub fn local_search_worst_with(
     config: &AdversaryConfig,
     scratch: &mut AdversaryScratch,
 ) -> WorstCase {
+    local_search_worst_traced(
+        placement,
+        s,
+        k,
+        config,
+        scratch,
+        &mut LadderTrace::default(),
+    )
+}
+
+/// [`local_search_worst_with`] recording the per-rung decision trace
+/// for the certificate prover. This *is* the implementation — the
+/// untraced entry point passes a discarded trace — so the certified and
+/// uncertified ladders cannot drift apart.
+pub(crate) fn local_search_worst_traced(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    config: &AdversaryConfig,
+    scratch: &mut AdversaryScratch,
+    trace: &mut LadderTrace,
+) -> WorstCase {
     let n = placement.num_nodes();
     if k >= n {
         let nodes: Vec<u16> = (0..n).collect();
@@ -226,6 +261,7 @@ pub fn local_search_worst_with(
     // Restart 0 climbs from the greedy set `greedy_into` leaves in `pc`
     // (and the gain table it leaves in `cs`).
     let mut overall = greedy_into(pc, cs, k);
+    trace.greedy = Some((overall.failed, overall.nodes.clone()));
 
     for restart in 0..config.restarts {
         if restart > 0 {
@@ -233,6 +269,7 @@ pub fn local_search_worst_with(
             seed_random_set(pc, cs, k, &mut rng);
         }
         climb(pc, cs, config.max_steps, b);
+        trace.restarts.push((pc.failed(), pc.nodes()));
         if pc.failed() > overall.failed {
             overall = WorstCase {
                 failed: pc.failed(),

@@ -6,10 +6,14 @@
 //! parameter list — `simple(x=0, λ=60)` and `simple(x=1, λ=10)` are
 //! both family `simple`; adversary series names are their own
 //! families), the mean of the median times must not regress by more
-//! than the threshold. Two snapshot schemas are accepted:
-//! `strategies[].{strategy, median_pipeline_ns}` (the engine sweep) and
-//! `series[].{name, median_ns}` (the adversary kernel-vs-scalar bench).
-//! The `bench_regression` binary wraps this as a CI-friendly exit code.
+//! than the threshold. Three snapshot schemas are accepted:
+//! `strategies[].{strategy, median_pipeline_ns}` (the engine sweep),
+//! `series[].{name, median_ns}` (the adversary kernel-vs-scalar bench)
+//! and `certified[].{name, median_ns, certificate}` (ladder timings
+//! that carry their availability certificates along; the gate reads
+//! the timings and ignores the certificates — `wcp-verify` owns
+//! those). The `bench_regression` binary wraps this as a CI-friendly
+//! exit code.
 
 use wcp_sim::json::Value;
 
@@ -35,19 +39,25 @@ pub fn family_of(strategy: &str) -> &str {
 ///
 /// # Errors
 ///
-/// A message when the document is not JSON or matches neither the
-/// `strategies[].{strategy, median_pipeline_ns}` nor the
-/// `series[].{name, median_ns}` shape.
+/// A message when the document is not JSON or matches none of the
+/// `strategies[].{strategy, median_pipeline_ns}`,
+/// `series[].{name, median_ns}` and `certified[].{name, median_ns}`
+/// shapes.
 pub fn family_means(snapshot: &str) -> Result<Vec<FamilyTime>, String> {
     let doc = Value::parse(snapshot).map_err(|e| e.to_string())?;
-    let (entries, name_key, ns_key) =
-        if let Some(arr) = doc.get("strategies").and_then(Value::as_array) {
-            (arr, "strategy", "median_pipeline_ns")
-        } else if let Some(arr) = doc.get("series").and_then(Value::as_array) {
-            (arr, "name", "median_ns")
-        } else {
-            return Err("snapshot has neither a \"strategies\" nor a \"series\" array".to_string());
-        };
+    let (entries, name_key, ns_key) = if let Some(arr) =
+        doc.get("strategies").and_then(Value::as_array)
+    {
+        (arr, "strategy", "median_pipeline_ns")
+    } else if let Some(arr) = doc.get("series").and_then(Value::as_array) {
+        (arr, "name", "median_ns")
+    } else if let Some(arr) = doc.get("certified").and_then(Value::as_array) {
+        (arr, "name", "median_ns")
+    } else {
+        return Err(
+            "snapshot has none of the \"strategies\"/\"series\"/\"certified\" arrays".to_string(),
+        );
+    };
     let mut families: Vec<FamilyTime> = Vec::new();
     for entry in entries {
         let name = entry
@@ -358,12 +368,43 @@ mod tests {
     }
 
     #[test]
+    fn certified_schema_parses_and_gates() {
+        // Regression: snapshots whose entries carry availability
+        // certificates used to be rejected as an unknown schema,
+        // silently disabling the gate for certified ladder timings.
+        let snap = concat!(
+            "{\"certified\": [\n",
+            "  {\"name\": \"ladder_k3\", \"median_ns\": 1000, ",
+            "\"certificate\": {\"v\": 1, \"kind\": \"node\"}},\n",
+            "  {\"name\": \"ladder_k5\", \"median_ns\": 4000, \"certificate\": null}\n",
+            "]}"
+        );
+        let fams = family_means(snap).unwrap();
+        assert_eq!(fams.len(), 2);
+        assert_eq!(fams[0].family, "ladder_k3");
+        let slower = snap.replace("\"median_ns\": 1000", "\"median_ns\": 1500");
+        let deltas = compare(snap, &slower).unwrap();
+        assert!(deltas
+            .iter()
+            .find(|d| d.family == "ladder_k3")
+            .unwrap()
+            .regressed(0.25));
+        assert!(!deltas
+            .iter()
+            .find(|d| d.family == "ladder_k5")
+            .unwrap()
+            .regressed(0.25));
+    }
+
+    #[test]
     fn malformed_snapshots_error() {
         assert!(family_means("{}").is_err());
         assert!(family_means("{\"strategies\": []}").is_err());
         assert!(family_means("{\"series\": []}").is_err());
+        assert!(family_means("{\"certified\": []}").is_err());
         assert!(family_means("{\"strategies\": [{\"strategy\": \"x\"}]}").is_err());
         assert!(family_means("{\"series\": [{\"name\": \"x\"}]}").is_err());
+        assert!(family_means("{\"certified\": [{\"name\": \"x\"}]}").is_err());
         assert!(family_means("nope").is_err());
     }
 }

@@ -68,6 +68,7 @@
 //! # Ok::<(), wcp_core::dynamic::DynamicError>(())
 //! ```
 
+use crate::certificate::Certificate;
 use crate::engine::{Attacker, ExhaustiveAttacker};
 use crate::strategy::{PlacementStrategy, PlannerContext, StrategyKind};
 use crate::topology::Topology;
@@ -275,6 +276,9 @@ pub struct StepReport {
     /// The oracle strategy's claimed availability lower bound at the
     /// current membership (possibly vacuous).
     pub lower_bound: i64,
+    /// The attacker's availability certificate for the *adopted*
+    /// placement, when it emitted one (probe attackers report `None`).
+    pub certificate: Option<Certificate>,
 }
 
 impl StepReport {
@@ -287,7 +291,8 @@ impl StepReport {
                 "\"action\": \"{}\", \"active\": {}, ",
                 "\"moved\": {}, \"replan_moved\": {}, ",
                 "\"availability\": {}, \"oracle_availability\": {}, ",
-                "\"exact\": {}, \"oracle_exact\": {}, \"lower_bound\": {}}}"
+                "\"exact\": {}, \"oracle_exact\": {}, \"lower_bound\": {}, ",
+                "\"certificate\": {}}}"
             ),
             self.event.label(),
             self.event.node(),
@@ -300,6 +305,9 @@ impl StepReport {
             self.exact,
             self.oracle_exact,
             self.lower_bound,
+            self.certificate
+                .as_ref()
+                .map_or_else(|| "null".to_string(), Certificate::to_json),
         )
     }
 }
@@ -629,23 +637,27 @@ impl<A: Attacker> DynamicEngine<A> {
 
         let degraded = (oracle_availability.saturating_sub(availability)) as f64
             > self.config.threshold * self.base.b() as f64;
-        let (action, adopted, adopted_avail, adopted_exact, adopted_moved) = if degraded {
-            (
-                RepairAction::Replanned,
-                oracle,
-                oracle_availability,
-                oracle_outcome.exact,
-                replan_moved,
-            )
-        } else {
-            (
-                RepairAction::Repaired,
-                repaired,
-                availability,
-                outcome.exact,
-                moved,
-            )
-        };
+        let oracle_exact = oracle_outcome.exact;
+        let (action, adopted, adopted_avail, adopted_exact, adopted_moved, adopted_cert) =
+            if degraded {
+                (
+                    RepairAction::Replanned,
+                    oracle,
+                    oracle_availability,
+                    oracle_exact,
+                    replan_moved,
+                    oracle_outcome.certificate,
+                )
+            } else {
+                (
+                    RepairAction::Repaired,
+                    repaired,
+                    availability,
+                    outcome.exact,
+                    moved,
+                    outcome.certificate,
+                )
+            };
         self.placement = adopted;
         self.movement.events += 1;
         self.movement.moved += adopted_moved;
@@ -663,8 +675,9 @@ impl<A: Attacker> DynamicEngine<A> {
             availability: adopted_avail,
             oracle_availability,
             exact: adopted_exact,
-            oracle_exact: oracle_outcome.exact,
+            oracle_exact,
             lower_bound,
+            certificate: adopted_cert,
         })
     }
 
@@ -782,6 +795,12 @@ impl<A: Attacker> DynamicEngine<A> {
     /// Plans the configured kind at a compact membership of `m` nodes,
     /// falling back to load-balanced `Random` when the kind is not
     /// constructible there.
+    ///
+    /// The attached slot-universe topology is projected onto the active
+    /// slots so topology-aware kinds see the surviving failure domains
+    /// at the compact node count. Without the projection the capacity-
+    /// sized topology fails the planner's `num_nodes == n` filter and
+    /// every replan silently degrades to the flat topology.
     fn plan_for(&self, m: u16) -> Result<(Box<dyn PlacementStrategy>, SystemParams), DynamicError> {
         let need = self.base.r().max(self.base.k() + 1);
         if m < need {
@@ -794,14 +813,25 @@ impl<A: Attacker> DynamicEngine<A> {
             self.base.s(),
             self.base.k(),
         )?;
-        match self.kind.plan(&compact, &self.config.ctx) {
+        let ctx = match &self.topology {
+            Some(topo) => {
+                let active = self.active();
+                debug_assert_eq!(active.len(), usize::from(m));
+                PlannerContext {
+                    topology: Some(topo.project(&active)?),
+                    ..self.config.ctx.clone()
+                }
+            }
+            None => self.config.ctx.clone(),
+        };
+        match self.kind.plan(&compact, &ctx) {
             Ok(strategy) => Ok((strategy, compact)),
             Err(PlacementError::Design(_) | PlacementError::InsufficientCapacity { .. }) => {
                 let fallback = StrategyKind::Random {
                     seed: self.config.fallback_seed,
                     variant: RandomVariant::LoadBalanced,
                 };
-                Ok((fallback.plan(&compact, &self.config.ctx)?, compact))
+                Ok((fallback.plan(&compact, &ctx)?, compact))
             }
             Err(e) => Err(e.into()),
         }
@@ -1034,6 +1064,44 @@ mod tests {
             let co = collisions(oblivious.placement(), &topo);
             assert!(ca <= co, "aware {ca} collisions > oblivious {co}");
         }
+    }
+
+    #[test]
+    fn replan_oracle_plans_against_projected_topology() {
+        // Regression: the replan oracle used to plan with the engine's
+        // *config* context and never consulted the attached
+        // slot-universe topology, so a domain-spread oracle silently
+        // degraded to flat least-loaded assignment — byte-identical to
+        // a topology-oblivious engine's and full of rack collisions.
+        // A negative threshold forces the oracle to be adopted, making
+        // the oracle's planning observable through the placement.
+        let topo = Topology::split(12, &[4]).unwrap();
+        let p = params(12, 24, 3, 2, 2);
+        let config = DynamicConfig {
+            threshold: -1.0,
+            ..DynamicConfig::default()
+        };
+        let mk = || {
+            DynamicEngine::new(p, StrategyKind::DomainSpread, 12, config.clone())
+                .expect("constructs")
+        };
+        let mut aware = mk().with_topology(topo.clone()).unwrap();
+        let mut oblivious = mk();
+        let sa = aware.apply(ClusterEvent::Fail { node: 0 }).unwrap();
+        let so = oblivious.apply(ClusterEvent::Fail { node: 0 }).unwrap();
+        aware.validate().unwrap();
+        oblivious.validate().unwrap();
+        assert_eq!(sa.action, RepairAction::Replanned);
+        assert_eq!(so.action, RepairAction::Replanned);
+        // Slots 1..12 keep all four racks alive, so a projected
+        // domain-spread replan is collision-free; the flat-fallback
+        // oracle packs contiguous (rack-sharing) slots instead.
+        assert_eq!(collisions(aware.placement(), &topo), 0);
+        assert!(
+            collisions(oblivious.placement(), &topo) > 0,
+            "oblivious oracle unexpectedly rack-free; test shape too weak"
+        );
+        assert_ne!(aware.placement(), oblivious.placement());
     }
 
     #[test]

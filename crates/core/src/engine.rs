@@ -15,6 +15,7 @@
 //! to deterministic probes (heaviest-loaded nodes, consecutive arcs)
 //! otherwise.
 
+use crate::certificate::Certificate;
 use crate::strategy::{PlacementStrategy, PlannerContext, StrategyKind};
 use crate::{Placement, PlacementError, SystemParams};
 use std::time::Instant;
@@ -29,6 +30,9 @@ pub struct AttackOutcome {
     pub nodes: Vec<u16>,
     /// Whether `failed` is provably the maximum.
     pub exact: bool,
+    /// Independently checkable evidence for the claim (the adversary
+    /// ladder emits one; probe attackers report `None`).
+    pub certificate: Option<Certificate>,
 }
 
 /// A worst-case node-failure adversary (Definition 1 made pluggable).
@@ -65,6 +69,7 @@ impl Attacker for ExhaustiveAttacker {
                 failed: 0,
                 nodes: (0..k).collect(),
                 exact: true,
+                certificate: None,
             };
             for subset in KSubsets::new(n, k) {
                 let failed = placement.failed_objects(&subset, s);
@@ -87,6 +92,7 @@ impl Attacker for ExhaustiveAttacker {
             failed: placement.failed_objects(&heavy, s),
             nodes: heavy,
             exact: false,
+            certificate: None,
         };
         for start in 0..n {
             // Widened arithmetic: start + j can exceed u16::MAX when
@@ -167,6 +173,8 @@ pub struct EvaluationReport {
     pub load_stats: LoadStats,
     /// Stage costs.
     pub timings: Timings,
+    /// The attacker's availability certificate, when it emitted one.
+    pub certificate: Option<Certificate>,
 }
 
 impl EvaluationReport {
@@ -184,7 +192,8 @@ impl EvaluationReport {
                 "\"witness\": [{}], ",
                 "\"exact\": {}, ",
                 "\"load_stats\": {{\"min\": {}, \"max\": {}, \"mean\": {:.3}}}, ",
-                "\"timings_ns\": {{\"plan\": {}, \"build\": {}, \"attack\": {}}}}}"
+                "\"timings_ns\": {{\"plan\": {}, \"build\": {}, \"attack\": {}}}, ",
+                "\"certificate\": {}}}"
             ),
             self.strategy,
             self.params.n(),
@@ -203,6 +212,9 @@ impl EvaluationReport {
             self.timings.plan_ns,
             self.timings.build_ns,
             self.timings.attack_ns,
+            self.certificate
+                .as_ref()
+                .map_or_else(|| "null".to_string(), Certificate::to_json),
         )
     }
 }
@@ -355,6 +367,7 @@ impl<A: Attacker> Engine<A> {
                 build_ns,
                 attack_ns,
             },
+            certificate: outcome.certificate,
         })
     }
 }

@@ -48,6 +48,7 @@
 pub mod adaptive;
 pub mod baselines;
 mod bounds;
+pub mod certificate;
 mod combo;
 pub mod domains;
 pub mod dynamic;
@@ -67,6 +68,9 @@ pub mod topology;
 pub use adaptive::AdaptiveSnapshot;
 pub use baselines::{GroupStrategy, RingStrategy};
 pub use bounds::{lb_avail_co, lb_avail_si, simple_capacity};
+pub use certificate::{
+    placement_digest, Certificate, CertificateKind, Fnv, LedgerEntry, Rung, RungKind,
+};
 pub use combo::{combo_plan, ComboPlan, ComboStrategy};
 pub use dynamic::{
     movement_between, ClusterEvent, DynamicConfig, DynamicEngine, DynamicError, MovementReport,

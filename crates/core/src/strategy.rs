@@ -241,6 +241,45 @@ impl StrategyKind {
         }
     }
 
+    /// The kind's spec string: the exact inverse of
+    /// [`parse_spec`](Self::parse_spec), so a kind survives a
+    /// round-trip through persisted records (unlike
+    /// [`label`](Self::label), which drops the random seed). Sweep
+    /// JSONL records carry it so `wcp-verify` can rebuild the cell's
+    /// placement when re-checking its certificate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wcp_core::{RandomVariant, StrategyKind};
+    ///
+    /// let kind = StrategyKind::Random {
+    ///     seed: 7,
+    ///     variant: RandomVariant::SequentialUniform,
+    /// };
+    /// assert_eq!(kind.spec(), "random-seq:7");
+    /// assert_eq!(StrategyKind::parse_spec(&kind.spec()).unwrap(), kind);
+    /// ```
+    #[must_use]
+    pub fn spec(&self) -> String {
+        match self {
+            StrategyKind::Simple { x } => format!("simple:{x}"),
+            StrategyKind::Combo => "combo".into(),
+            StrategyKind::Random { seed, variant } => {
+                let name = match variant {
+                    RandomVariant::LoadBalanced => "random",
+                    RandomVariant::SequentialUniform => "random-seq",
+                    RandomVariant::Unconstrained => "random-unc",
+                };
+                format!("{name}:{seed}")
+            }
+            StrategyKind::Ring => "ring".into(),
+            StrategyKind::Group => "group".into(),
+            StrategyKind::Adaptive => "adaptive".into(),
+            StrategyKind::DomainSpread => "domain-spread".into(),
+        }
+    }
+
     /// Plans this kind for `params`, returning the unified strategy
     /// object.
     ///
@@ -308,6 +347,28 @@ mod tests {
         assert!(kinds
             .iter()
             .any(|k| matches!(k, StrategyKind::Random { .. })));
+    }
+
+    #[test]
+    fn spec_round_trips_every_kind() {
+        let p = params(31, 100, 3, 2, 3);
+        let mut kinds = StrategyKind::all(&p);
+        kinds.push(StrategyKind::Random {
+            seed: 0xfeed_beef,
+            variant: RandomVariant::Unconstrained,
+        });
+        kinds.push(StrategyKind::Random {
+            seed: 42,
+            variant: RandomVariant::SequentialUniform,
+        });
+        for kind in kinds {
+            assert_eq!(
+                StrategyKind::parse_spec(&kind.spec()).unwrap(),
+                kind,
+                "spec '{}' must round-trip",
+                kind.spec()
+            );
+        }
     }
 
     #[test]

@@ -243,10 +243,11 @@ impl SweepRecord {
     #[must_use]
     pub fn to_json(&self) -> String {
         let head = format!(
-            "{{\"index\": {}, \"seed\": {}, \"kind\": {:?}, \"adversary\": {:?}, ",
+            "{{\"index\": {}, \"seed\": {}, \"kind\": {:?}, \"spec\": {:?}, \"adversary\": {:?}, ",
             self.cell.index,
             self.cell.seed,
             self.cell.kind.label(),
+            self.cell.kind.spec(),
             self.cell.adversary.label(),
         );
         match &self.outcome {
@@ -380,6 +381,7 @@ fn evaluate_cell<C: CellAttacker>(
             } else {
                 Timings::default()
             },
+            certificate: outcome.certificate,
         })
     })();
     SweepRecord {

@@ -187,6 +187,58 @@ impl Topology {
         Self::new(n, maps)
     }
 
+    /// Projects the topology onto a surviving node subset: node
+    /// `active[i]` of the original universe becomes node `i` of the
+    /// projected one, keeping its domain chain. Domains emptied by the
+    /// projection disappear; surviving domains are renumbered densely
+    /// per level in order of first appearance (ascending `active`), so
+    /// the result satisfies [`Topology::new`]'s no-empty-domain
+    /// invariant. Co-location is preserved exactly: two active nodes
+    /// share a projected domain iff they shared the original one.
+    ///
+    /// This is what lets a slot-universe topology follow a dynamic
+    /// membership: replanning at `m` active slots needs a topology over
+    /// exactly those `m` compact nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::InvalidParams`] when `active` is empty, not
+    /// strictly ascending, or references a node outside `0..n`.
+    pub fn project(&self, active: &[u16]) -> Result<Self, PlacementError> {
+        if active.is_empty() {
+            return Err(PlacementError::InvalidParams(
+                "cannot project a topology onto zero nodes".into(),
+            ));
+        }
+        if active.windows(2).any(|w| w[0] >= w[1]) || *active.last().unwrap() >= self.n {
+            return Err(PlacementError::InvalidParams(format!(
+                "active nodes must be strictly ascending within 0..{}",
+                self.n
+            )));
+        }
+        let mut maps = Vec::with_capacity(self.maps.len());
+        // Surviving entries of the level below, by original id
+        // (level 0: the active nodes themselves).
+        let mut below: Vec<u16> = active.to_vec();
+        for (level, map) in self.maps.iter().enumerate() {
+            let mut dense = vec![u16::MAX; usize::from(self.counts[level])];
+            let mut survivors = Vec::new();
+            let mut projected = Vec::with_capacity(below.len());
+            for &orig in &below {
+                let parent = map[usize::from(orig)];
+                let slot = &mut dense[usize::from(parent)];
+                if *slot == u16::MAX {
+                    *slot = survivors.len() as u16;
+                    survivors.push(parent);
+                }
+                projected.push(*slot);
+            }
+            maps.push(projected);
+            below = survivors;
+        }
+        Self::new(active.len() as u16, maps)
+    }
+
     /// Number of leaf nodes.
     #[must_use]
     pub fn num_nodes(&self) -> u16 {
@@ -197,6 +249,15 @@ impl Topology {
     #[must_use]
     pub fn num_levels(&self) -> u16 {
         self.maps.len() as u16
+    }
+
+    /// The raw bottom-up parent maps ([`Topology::new`]'s input):
+    /// `parent_maps()[0][node]` is the node's level-1 domain,
+    /// `parent_maps()[i][d]` is level-`i` domain `d`'s parent. Lets
+    /// experiment records embed the exact topology for re-verification.
+    #[must_use]
+    pub fn parent_maps(&self) -> &[Vec<u16>] {
+        &self.maps
     }
 
     /// True when the topology has no internal levels.
@@ -310,10 +371,11 @@ pub struct FailureUnit {
 /// already-chosen replicas, then node load, then node id.
 ///
 /// Under the flat topology this degenerates to deterministic
-/// least-loaded assignment. The strategy claims no closed-form
-/// availability bound (its [`lower_bound`](PlacementStrategy::lower_bound)
-/// is the vacuous 0); its value shows up under the *domain* adversary,
-/// where replicas never share a rack as long as racks outnumber `r`.
+/// least-loaded assignment. Its
+/// [`lower_bound`](PlacementStrategy::lower_bound) is the projection
+/// bound of the placement it builds — sound under the *domain*
+/// adversary, where the strategy's value shows up: replicas never
+/// share a rack as long as racks outnumber `r`.
 #[derive(Debug, Clone)]
 pub struct DomainSpreadStrategy {
     topology: Topology,
@@ -333,13 +395,65 @@ impl DomainSpreadStrategy {
     }
 }
 
+/// The projection (counting) availability bound under the domain
+/// adversary, read off a concretely built placement.
+///
+/// Preconditions: the topology has at most one internal level, and
+/// every object's replicas land on pairwise-distinct bottom-level
+/// units (nodes when flat, racks otherwise). Then any failure unit
+/// holds at most one replica of each object, so any `k` failed units
+/// hold at most `L_k` replicas — the `k` heaviest unit loads — while
+/// every killed object absorbs at least `s` of them:
+/// `failed ≤ ⌊L_k / s⌋`. Mixed leaf/rack attacks are covered
+/// because a leaf's load never exceeds its rack's and units inside one
+/// rack are disjoint, so any `k` units are dominated by the `k`
+/// heaviest racks.
+///
+/// Returns the vacuous 0 when a precondition fails (deeper topologies,
+/// or a replica collision inside one unit).
+fn projection_bound(topology: &Topology, placement: &Placement, params: &SystemParams) -> i64 {
+    if topology.num_levels() > 1 {
+        return 0;
+    }
+    let flat = topology.is_flat();
+    let units = if flat {
+        usize::from(params.n())
+    } else {
+        usize::from(topology.domains_at(1))
+    };
+    let mut loads = vec![0u64; units];
+    let mut seen: Vec<u16> = Vec::with_capacity(usize::from(params.r()));
+    for set in placement.replica_sets() {
+        seen.clear();
+        for &nd in set {
+            let unit = if flat { nd } else { topology.domain_of(nd, 1) };
+            if seen.contains(&unit) {
+                return 0; // Colliding replicas: the counting argument is void.
+            }
+            seen.push(unit);
+            loads[usize::from(unit)] += 1;
+        }
+    }
+    loads.sort_unstable_by(|a, b| b.cmp(a));
+    let l_k: u64 = loads.iter().take(usize::from(params.k())).sum();
+    (params.b() as i64 - (l_k / u64::from(params.s())) as i64).max(0)
+}
+
 impl PlacementStrategy for DomainSpreadStrategy {
     fn name(&self) -> &str {
         "domain-spread"
     }
 
-    fn lower_bound(&self, _params: &SystemParams) -> i64 {
-        0
+    /// The projection bound of the placement this strategy determinis-
+    /// tically builds — not a closed form, but sound under the domain
+    /// adversary (and a fortiori under the paper's node adversary,
+    /// whose attacks are a subset of the unit attacks). 0 when the
+    /// placement cannot be built or spread collision-free.
+    fn lower_bound(&self, params: &SystemParams) -> i64 {
+        match self.build(params) {
+            Ok(placement) => projection_bound(&self.topology, &placement, params),
+            Err(_) => 0,
+        }
     }
 
     fn build(&self, params: &SystemParams) -> Result<Placement, PlacementError> {
@@ -460,8 +574,9 @@ pub fn repair_domain_collisions(
 
 /// Any strategy made topology aware: builds the inner placement, then
 /// [`repair_domain_collisions`] re-homes same-domain replicas. The
-/// inner strategy's bound is not preserved by the rewrite, so the
-/// wrapper claims the vacuous 0.
+/// inner strategy's bound is not preserved by the rewrite; the wrapper
+/// instead claims the projection bound of its own repaired placement
+/// (0 when repairs could not clear every collision).
 pub struct DomainRepaired {
     inner: Box<dyn PlacementStrategy>,
     topology: Topology,
@@ -495,8 +610,14 @@ impl PlacementStrategy for DomainRepaired {
         &self.name
     }
 
-    fn lower_bound(&self, _params: &SystemParams) -> i64 {
-        0
+    /// The projection bound of the repaired placement (see
+    /// [`DomainSpreadStrategy::lower_bound`]): sound under the domain
+    /// adversary, 0 when unbuildable or still colliding after repair.
+    fn lower_bound(&self, params: &SystemParams) -> i64 {
+        match self.build(params) {
+            Ok(placement) => projection_bound(&self.topology, &placement, params),
+            Err(_) => 0,
+        }
     }
 
     fn build(&self, params: &SystemParams) -> Result<Placement, PlacementError> {
@@ -597,6 +718,50 @@ mod tests {
     }
 
     #[test]
+    fn project_preserves_colocation_with_dense_ids() {
+        // racks {0,1,2}..{9,10,11}; zones {racks 0,1} and {racks 2,3}.
+        let topo = Topology::split(12, &[4, 2]).unwrap();
+        let active = [1u16, 2, 5, 6, 10, 11];
+        let proj = topo.project(&active).unwrap();
+        assert_eq!(proj.num_nodes(), 6);
+        assert_eq!(proj.num_levels(), 2);
+        // Co-location survives projection exactly: node i of the
+        // projection is node active[i] of the original.
+        for (i, &a) in active.iter().enumerate() {
+            for (j, &b) in active.iter().enumerate() {
+                assert_eq!(
+                    proj.shared_depth(i as u16, j as u16),
+                    topo.shared_depth(a, b),
+                    "depth mismatch projecting ({a}, {b})"
+                );
+            }
+        }
+        // All four racks and both zones keep at least one node.
+        assert_eq!(proj.domains_at(1), 4);
+        assert_eq!(proj.domains_at(2), 2);
+    }
+
+    #[test]
+    fn project_drops_emptied_domains() {
+        let topo = Topology::split(8, &[4]).unwrap();
+        // Rack 1 ({2, 3}) loses both nodes and disappears.
+        let proj = topo.project(&[0, 1, 4, 5, 6, 7]).unwrap();
+        assert_eq!(proj.domains_at(1), 3);
+        // Full membership projects to the identity.
+        let all: Vec<u16> = (0..8).collect();
+        assert_eq!(topo.project(&all).unwrap(), topo);
+    }
+
+    #[test]
+    fn project_rejects_bad_subsets() {
+        let topo = Topology::split(8, &[4]).unwrap();
+        assert!(topo.project(&[]).is_err());
+        assert!(topo.project(&[3, 1]).is_err());
+        assert!(topo.project(&[1, 1]).is_err());
+        assert!(topo.project(&[0, 8]).is_err());
+    }
+
+    #[test]
     fn spread_strategy_avoids_rack_collisions() {
         let topo = Topology::split(12, &[4]).unwrap();
         let params = SystemParams::new(12, 40, 3, 2, 3).unwrap();
@@ -612,6 +777,102 @@ mod tests {
         }
         // Load stays balanced: 120 replicas over 12 nodes.
         assert!(placement.max_load() <= 11);
+    }
+
+    /// Brute-force worst-case availability under the domain adversary:
+    /// every `k`-subset of failure units, by bitmask (test shapes keep
+    /// the unit count small).
+    fn exact_domain_availability(placement: &Placement, topo: &Topology, s: u16, k: u16) -> u64 {
+        let units = topo.failure_units();
+        assert!(units.len() < 22, "test shape too large for brute force");
+        let mut worst = 0;
+        for mask in 0u32..(1 << units.len()) {
+            if mask.count_ones() != u32::from(k) {
+                continue;
+            }
+            let mut nodes: Vec<u16> = units
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .flat_map(|(_, u)| u.nodes.iter().copied())
+                .collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            worst = worst.max(placement.failed_objects(&nodes, s));
+        }
+        placement.num_objects() as u64 - worst
+    }
+
+    #[test]
+    fn spread_bound_is_tight_on_flat_balanced_shapes() {
+        // Flat, n = 6, b = 6, r = 3: least-loaded assignment packs the
+        // sets {0,1,2} and {3,4,5} three times each. Node loads are all
+        // 3, so L_2 = 6 and the bound claims b − ⌊6/2⌋ = 3 — exactly
+        // what failing nodes {0, 1} achieves.
+        let topo = Topology::flat(6);
+        let params = SystemParams::new(6, 6, 3, 2, 2).unwrap();
+        let strategy = DomainSpreadStrategy::new(topo.clone());
+        let bound = strategy.lower_bound(&params);
+        assert_eq!(bound, 3);
+        let placement = strategy.build(&params).unwrap();
+        assert_eq!(exact_domain_availability(&placement, &topo, 2, 2), 3);
+    }
+
+    #[test]
+    fn spread_bound_is_sound_on_small_exhaustive_shapes() {
+        // Every valid (s, k) on a 12-node rack topology: the claimed
+        // bound never exceeds the brute-forced worst case.
+        let topo = Topology::split(12, &[4]).unwrap();
+        for (s, k) in [(1u16, 1u16), (1, 2), (2, 2), (2, 3), (3, 3), (3, 4)] {
+            let params = SystemParams::new(12, 12, 3, s, k).unwrap();
+            let strategy = DomainSpreadStrategy::new(topo.clone());
+            let bound = strategy.lower_bound(&params);
+            let placement = strategy.build(&params).unwrap();
+            let exact = exact_domain_availability(&placement, &topo, s, k);
+            assert!(
+                bound >= 0 && bound as u64 <= exact,
+                "bound {bound} exceeds exact {exact} at s={s} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn spread_bound_is_vacuous_only_when_preconditions_fail() {
+        let params = SystemParams::new(12, 12, 3, 2, 2).unwrap();
+        // Two-level topologies are outside the counting argument.
+        let deep = Topology::split(12, &[4, 2]).unwrap();
+        assert_eq!(DomainSpreadStrategy::new(deep).lower_bound(&params), 0);
+        // Fewer racks than r forces a collision, voiding the argument.
+        let cramped = Topology::split(12, &[2]).unwrap();
+        assert_eq!(DomainSpreadStrategy::new(cramped).lower_bound(&params), 0);
+    }
+
+    #[test]
+    fn repaired_wrapper_claims_the_projection_bound() {
+        let topo = Topology::split(12, &[4]).unwrap();
+        let params = SystemParams::new(12, 12, 3, 2, 2).unwrap();
+        let inner = StrategyKind::Random {
+            seed: 7,
+            variant: RandomVariant::LoadBalanced,
+        }
+        .plan(&params, &PlannerContext::default())
+        .unwrap();
+        let wrapper = DomainRepaired::new(inner, topo.clone());
+        let bound = wrapper.lower_bound(&params);
+        assert!(bound > 0, "repaired placement should earn a real bound");
+        let placement = wrapper.build(&params).unwrap();
+        let exact = exact_domain_availability(&placement, &topo, 2, 2);
+        assert!(bound as u64 <= exact, "bound {bound} exceeds exact {exact}");
+        // With fewer racks than r the repairs cannot clear collisions
+        // and the wrapper must fall back to the vacuous claim.
+        let cramped = Topology::split(12, &[2]).unwrap();
+        let inner = StrategyKind::Random {
+            seed: 7,
+            variant: RandomVariant::LoadBalanced,
+        }
+        .plan(&params, &PlannerContext::default())
+        .unwrap();
+        assert_eq!(DomainRepaired::new(inner, cramped).lower_bound(&params), 0);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! domain adversary that spends its budget on whole racks/zones. A
 //! third column re-attacks after `repair_domain_collisions`, measuring
 //! how much of the gap topology-aware post-processing recovers for
-//! topology-oblivious strategies.
+//! topology-oblivious strategies. Summaries go to CSV; per-evaluation
+//! records — embedding the exact topology, the strategy spec and the
+//! ladder's availability certificate — stream to JSON-lines for
+//! `wcp-verify`.
 //!
 //! ```text
 //! domains --racks 4,8,12 --rack-size 6 --strategies combo,ring,random,domain-spread
@@ -19,17 +22,17 @@ use std::process::ExitCode;
 use wcp_adversary::{AdversaryConfig, DomainAttacker, ScratchAdversary};
 use wcp_core::engine::Attacker;
 use wcp_core::{
-    repair_domain_collisions, Engine, Parallelism, PlannerContext, StrategyKind, SystemParams,
-    Topology,
+    repair_domain_collisions, Certificate, Engine, Parallelism, PlannerContext, StrategyKind,
+    SystemParams, Topology,
 };
 use wcp_sim::topo::TopoSpec;
-use wcp_sim::{csv_safe, results_dir, Csv, Table};
+use wcp_sim::{csv_safe, results_dir, Csv, JsonLines, Table};
 
 fn usage() -> String {
     concat!(
         "usage: domains [--quick] [--racks LIST] [--rack-size N] [--zones N]\n",
         "               [--jitter N] [--b N] [--r N] [--s N] [--k N]\n",
-        "               [--strategies LIST] [--seed N] [--csv PATH]\n",
+        "               [--strategies LIST] [--seed N] [--csv PATH] [--json PATH]\n",
         "\n",
         "For every rack count, generates a seeded failure-domain topology\n",
         "(n = racks x rack-size nodes, optionally grouped into --zones and\n",
@@ -54,6 +57,7 @@ struct Cli {
     strategies: Vec<StrategyKind>,
     seed: u64,
     csv_path: Option<String>,
+    json_path: Option<String>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -74,6 +78,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         ],
         seed: 0,
         csv_path: None,
+        json_path: None,
     };
     let mut quick = false;
     let mut have_grid = false;
@@ -122,6 +127,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     .collect::<Result<_, String>>()?;
             }
             "--csv" => cli.csv_path = Some(value("--csv")?.clone()),
+            "--json" => cli.json_path = Some(value("--json")?.clone()),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag '{other}'\n\n{}", usage())),
         }
@@ -169,6 +175,20 @@ fn build_topology(cli: &Cli, racks: u16) -> Result<Topology, String> {
     Topology::new(layout.n, layout.maps).map_err(|e| e.to_string())
 }
 
+/// The topology as a JSONL-embeddable object: the exact bottom-up
+/// parent maps, so `wcp-verify` can rebuild it even under jitter.
+fn topology_json(topo: &Topology) -> String {
+    let levels: Vec<String> = topo
+        .parent_maps()
+        .iter()
+        .map(|map| {
+            let ids: Vec<String> = map.iter().map(ToString::to_string).collect();
+            format!("[{}]", ids.join(", "))
+        })
+        .collect();
+    format!("{{\"maps\": [{}]}}", levels.join(", "))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_cli(&args) {
@@ -200,7 +220,12 @@ fn main() -> ExitCode {
         .csv_path
         .clone()
         .map_or_else(|| results_dir().join("domains.csv"), Into::into);
+    let json_path = cli
+        .json_path
+        .clone()
+        .map_or_else(|| results_dir().join("domains.jsonl"), Into::into);
     let mut csv = Csv::new(csv_path, &header);
+    let mut jsonl = JsonLines::new(json_path);
 
     for &racks in &cli.racks {
         let topo = match build_topology(&cli, racks) {
@@ -235,15 +260,24 @@ fn main() -> ExitCode {
             Engine::with_attacker(params, domain_attacker.clone()).with_context(ctx.clone());
 
         for kind in &cli.strategies {
+            // Timings are zeroed before serialization: the JSONL must be
+            // byte-identical across thread counts (the CI determinism
+            // matrix diffs it), and wall-clock telemetry is not.
             let node = match node_engine.evaluate(kind) {
-                Ok(report) => report,
+                Ok(mut report) => {
+                    report.timings = wcp_core::engine::Timings::default();
+                    report
+                }
                 Err(e) => {
                     eprintln!("{} at {racks} racks (node adversary): {e}", kind.label());
                     return ExitCode::FAILURE;
                 }
             };
             let domain = match domain_engine.evaluate(kind) {
-                Ok(report) => report,
+                Ok(mut report) => {
+                    report.timings = wcp_core::engine::Timings::default();
+                    report
+                }
                 Err(e) => {
                     eprintln!("{} at {racks} racks (domain adversary): {e}", kind.label());
                     return ExitCode::FAILURE;
@@ -251,20 +285,47 @@ fn main() -> ExitCode {
             };
             // The repair column: the same strategy's placement after
             // collision repair, under the domain adversary.
-            let (repaired_avail, repair_moved) = match kind
+            let (repaired_avail, repair_moved, repaired_cert) = match kind
                 .plan(&params, &ctx)
                 .and_then(|strategy| strategy.build(&params))
                 .and_then(|placement| repair_domain_collisions(&placement, &topo))
             {
                 Ok((repaired, moved)) => {
                     let outcome = domain_attacker.attack(&repaired, cli.s, cli.k);
-                    (cli.b - outcome.failed, moved)
+                    (cli.b - outcome.failed, moved, outcome.certificate)
                 }
                 Err(e) => {
                     eprintln!("{} at {racks} racks (repair): {e}", kind.label());
                     return ExitCode::FAILURE;
                 }
             };
+            // One record per adversary column; the topology rides along
+            // so `wcp-verify` can rebuild placements and check domain
+            // certificates against the exact failure-unit tree. The
+            // repaired placement is not spec-rebuildable, so its record
+            // carries the certificate alone.
+            let topo_json = topology_json(&topo);
+            for (adversary, report) in [("node", &node), ("domain", &domain)] {
+                jsonl.record(format!(
+                    "{{\"racks\": {racks}, \"zones\": {}, \"strategy\": {:?}, \
+                     \"spec\": {:?}, \"adversary\": {adversary:?}, \
+                     \"topology\": {topo_json}, \"report\": {}}}",
+                    cli.zones,
+                    kind.label(),
+                    kind.spec(),
+                    report.to_json(),
+                ));
+            }
+            jsonl.record(format!(
+                "{{\"racks\": {racks}, \"zones\": {}, \"strategy\": {:?}, \
+                 \"adversary\": \"domain-repaired\", \"topology\": {topo_json}, \
+                 \"certificate\": {}}}",
+                cli.zones,
+                kind.label(),
+                repaired_cert
+                    .as_ref()
+                    .map_or_else(|| "null".to_string(), Certificate::to_json),
+            ));
             let row = vec![
                 racks.to_string(),
                 cli.zones.to_string(),
@@ -287,6 +348,15 @@ fn main() -> ExitCode {
         eprintln!("cannot write {}: {e}", csv.path().display());
         return ExitCode::FAILURE;
     }
+    if let Err(e) = jsonl.write() {
+        eprintln!("cannot write {}: {e}", jsonl.path().display());
+        return ExitCode::FAILURE;
+    }
     println!("wrote {}", csv.path().display());
+    println!(
+        "wrote {} ({} certified records)",
+        jsonl.path().display(),
+        jsonl.len()
+    );
     ExitCode::SUCCESS
 }

@@ -1,11 +1,15 @@
 //! Bench-snapshot schema rule: every committed `BENCH_*.json` must
-//! match one of the two regression-gate schemas, so a malformed
-//! baseline can never silently disable the 25% CI gates.
+//! match one of the regression-gate schemas, so a malformed baseline
+//! can never silently disable the 25% CI gates.
 //!
 //! The gates (`wcp_bench::regression`) accept:
 //!
 //! * `{"strategies": [{"strategy": <str>, "median_pipeline_ns": <num>}, …]}`
 //! * `{"series":     [{"name": <str>, "median_ns": <num>}, …]}`
+//! * `{"certified":  [{"name": <str>, "median_ns": <num>,
+//!   "certificate": <object|null>}, …]}` — ladder timings carrying
+//!   their availability certificates (the gate ignores the
+//!   certificates; `wcp-verify` checks them)
 //!
 //! plus the ungated sweep-throughput shape CI records for trending:
 //!
@@ -41,11 +45,15 @@ pub fn validate(file: &str, text: &str) -> Vec<Diagnostic> {
     };
     let strategies = doc.get("strategies").and_then(Value::as_array);
     let series = doc.get("series").and_then(Value::as_array);
+    let certified = doc.get("certified").and_then(Value::as_array);
     let throughput = doc.get("throughput").and_then(Value::as_array);
-    let arrays = [strategies, series, throughput].iter().flatten().count();
+    let arrays = [strategies, series, certified, throughput]
+        .iter()
+        .flatten()
+        .count();
     if arrays > 1 {
         fire(
-            "snapshot mixes \"strategies\"/\"series\"/\"throughput\" arrays; \
+            "snapshot mixes \"strategies\"/\"series\"/\"certified\"/\"throughput\" arrays; \
              the gate would pick one arbitrarily"
                 .to_string(),
         );
@@ -55,13 +63,14 @@ pub fn validate(file: &str, text: &str) -> Vec<Diagnostic> {
         validate_throughput(entries, &mut fire);
         return diags;
     }
-    let (entries, label, name_key, ns_key) = match (strategies, series) {
-        (Some(arr), None) => (arr, "strategies", "strategy", "median_pipeline_ns"),
-        (None, Some(arr)) => (arr, "series", "name", "median_ns"),
+    let (entries, label, name_key, ns_key) = match (strategies, series, certified) {
+        (Some(arr), None, None) => (arr, "strategies", "strategy", "median_pipeline_ns"),
+        (None, Some(arr), None) => (arr, "series", "name", "median_ns"),
+        (None, None, Some(arr)) => (arr, "certified", "name", "median_ns"),
         _ => {
             fire(
-                "snapshot has none of the \"strategies\"/\"series\"/\"throughput\" arrays \
-                 (the regression gate would reject it)"
+                "snapshot has none of the \"strategies\"/\"series\"/\"certified\"/\
+                 \"throughput\" arrays (the regression gate would reject it)"
                     .to_string(),
             );
             return diags;
@@ -94,6 +103,18 @@ pub fn validate(file: &str, text: &str) -> Vec<Diagnostic> {
                 "{label}[{idx}] ({name:?}) has non-positive or non-finite {ns_key} = {ns}"
             )),
             Some(_) => {}
+        }
+        if label == "certified" {
+            match entry.get("certificate") {
+                None => fire(format!(
+                    "certified[{idx}] ({name:?}) lacks a \"certificate\" field \
+                     (an object, or null for uncertified entries)"
+                )),
+                Some(Value::Null | Value::Object(_)) => {}
+                Some(_) => fire(format!(
+                    "certified[{idx}] ({name:?}) \"certificate\" must be an object or null"
+                )),
+            }
         }
     }
     diags
@@ -170,12 +191,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn both_schemas_validate() {
+    fn gate_schemas_validate() {
         let strategies =
             "{\"strategies\": [{\"strategy\": \"ring\", \"median_pipeline_ns\": 120}]}";
         assert_eq!(validate("a.json", strategies), vec![]);
         let series = "{\"shape\": {\"n\": 71}, \"series\": [{\"name\": \"packed_ladder\", \"median_ns\": 99.5}]}";
         assert_eq!(validate("b.json", series), vec![]);
+        let certified = concat!(
+            "{\"certified\": [",
+            "{\"name\": \"ladder_k3\", \"median_ns\": 120, \"certificate\": {\"v\": 1}}, ",
+            "{\"name\": \"ladder_k5\", \"median_ns\": 150, \"certificate\": null}",
+            "]}"
+        );
+        assert_eq!(validate("c.json", certified), vec![]);
     }
 
     #[test]
@@ -210,6 +238,18 @@ mod tests {
             ),
             (
                 "{\"series\": [], \"strategies\": []}",
+                "mixes",
+            ),
+            (
+                "{\"certified\": [{\"name\": \"x\", \"median_ns\": 5}]}",
+                "lacks a \"certificate\"",
+            ),
+            (
+                "{\"certified\": [{\"name\": \"x\", \"median_ns\": 5, \"certificate\": 7}]}",
+                "must be an object or null",
+            ),
+            (
+                "{\"certified\": [], \"series\": []}",
                 "mixes",
             ),
         ] {

@@ -8,8 +8,9 @@
 //! rank 1  wcp-designs wcp-analysis             (constructions, closed forms)
 //! rank 2  wcp-core                             (strategies, engine, sweep)
 //! rank 3  wcp-adversary                        (attack ladder)
-//! rank 4  wcp-experiments wcp-bench wcp-lint   (binaries and tooling)
-//! rank 5  worst-case-placement                 (the facade crate)
+//! rank 4  wcp-verify                           (certificate verification)
+//! rank 5  wcp-experiments wcp-bench wcp-lint   (binaries and tooling)
+//! rank 6  worst-case-placement                 (the facade crate)
 //! ```
 //!
 //! Manifests are parsed with a minimal hand-rolled TOML-section reader
@@ -22,7 +23,7 @@ use crate::{Diagnostic, RuleId};
 use std::path::Path;
 
 /// The rank of every known workspace crate (see the module docs).
-const RANKS: [(&str, u32); 11] = [
+const RANKS: [(&str, u32); 12] = [
     ("wcp-combin", 0),
     ("wcp-gf", 0),
     ("wcp-sim", 0),
@@ -30,10 +31,11 @@ const RANKS: [(&str, u32); 11] = [
     ("wcp-designs", 1),
     ("wcp-core", 2),
     ("wcp-adversary", 3),
-    ("wcp-bench", 4),
-    ("wcp-experiments", 4),
-    ("wcp-lint", 4),
-    ("worst-case-placement", 5),
+    ("wcp-verify", 4),
+    ("wcp-bench", 5),
+    ("wcp-experiments", 5),
+    ("wcp-lint", 5),
+    ("worst-case-placement", 6),
 ];
 
 fn rank_of(name: &str) -> Option<u32> {
