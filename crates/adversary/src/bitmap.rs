@@ -30,6 +30,16 @@ pub(crate) fn tail_mask(bits: usize) -> u64 {
 /// acceptance shape (19 words) still spends most words in full blocks.
 pub(crate) const LANES: usize = 4;
 
+/// Words per cache block of the plane-update pass: the kernel finishes
+/// the ripple-carry add, mask derivation and popcount fold for one
+/// 32 KiB-per-stream block of the bit-sliced planes before moving to
+/// the next, so at the million-object scale (where one plane is
+/// ~2 MB and no longer LLC-resident as a whole) each block's `p + 2`
+/// plane/mask streams plus the row block stay cache-resident for the
+/// duration of the block. Also the granularity of the whole-block
+/// row-sparsity skip.
+pub(crate) const BLOCK_WORDS: usize = 4096;
+
 /// Population count of the intersection of two equal-length word
 /// slices, accumulated over [`LANES`] independent lanes so the popcount
 /// chains pipeline instead of serializing on one accumulator.
@@ -50,40 +60,6 @@ pub(crate) fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
         }
     }
     acc.iter().sum::<u64>() + tail
-}
-
-/// A dense `rows × bits` bit matrix (row-major, `words_per_row` `u64`s
-/// per row): the per-node object bitmaps of the kernel.
-#[derive(Debug, Default, Clone)]
-pub(crate) struct BitMatrix {
-    words_per_row: usize,
-    data: Vec<u64>,
-}
-
-impl BitMatrix {
-    /// Resizes to `rows × bits` and zeroes everything, reusing the
-    /// backing allocation when capacity suffices.
-    pub(crate) fn reset(&mut self, rows: usize, bits: usize) {
-        self.words_per_row = words_for(bits);
-        self.data.clear();
-        self.data.resize(rows * self.words_per_row, 0);
-    }
-
-    /// One row as a word slice.
-    pub(crate) fn row(&self, row: usize) -> &[u64] {
-        let start = row * self.words_per_row;
-        &self.data[start..start + self.words_per_row]
-    }
-
-    /// ORs `mask` into word `word` of row `row`.
-    pub(crate) fn or_word(&mut self, row: usize, word: usize, mask: u64) {
-        self.data[row * self.words_per_row + word] |= mask;
-    }
-
-    /// Whether bit `bit` of row `row` is set.
-    pub(crate) fn get(&self, row: usize, bit: usize) -> bool {
-        self.data[row * self.words_per_row + bit / WORD_BITS] >> (bit % WORD_BITS) & 1 == 1
-    }
 }
 
 /// A bitset over node ids with ordered iteration of both members and

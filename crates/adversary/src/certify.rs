@@ -165,8 +165,13 @@ pub fn worst_case_certified_with(
         }
         None => {
             let h = search::local_search_worst_traced(placement, s, k, config, scratch, &mut trace);
-            let e =
-                exact::exact_worst_rebound(placement, s, k, config.exact_budget, h.failed, scratch);
+            // The histogram rungs never bind the packed kernel, so the
+            // exact rung binds it itself above the threshold.
+            let e = if config.uses_histogram(placement.num_objects()) {
+                exact::exact_worst_with(placement, s, k, config.exact_budget, h.failed, scratch)
+            } else {
+                exact::exact_worst_rebound(placement, s, k, config.exact_budget, h.failed, scratch)
+            };
             (h, e)
         }
     };

@@ -3,7 +3,7 @@
 //! bit-packed kernel ([`PackedCounts`]) the production ladder runs on.
 
 use crate::bitmap::{
-    and_popcount, eq_word, ge_word, tail_mask, words_for, BitIter, BitMatrix, NodeSet, LANES,
+    and_popcount, eq_word, ge_word, tail_mask, words_for, BitIter, NodeSet, BLOCK_WORDS, LANES,
     WORD_BITS,
 };
 use wcp_core::Placement;
@@ -35,7 +35,9 @@ impl FailureCounts {
     pub fn new(placement: &Placement, s: u16) -> Self {
         let b = placement.num_objects();
         let mut hist = vec![0u64; usize::from(s)];
-        hist[0] = b as u64;
+        if let Some(first) = hist.first_mut() {
+            *first = b as u64;
+        }
         Self {
             s,
             hits: vec![0; b],
@@ -60,7 +62,9 @@ impl FailureCounts {
         self.hits.resize(b, 0);
         self.hist.clear();
         self.hist.resize(usize::from(s), 0);
-        self.hist[0] = b as u64;
+        if let Some(first) = self.hist.first_mut() {
+            *first = b as u64;
+        }
         self.in_set.clear();
         self.in_set
             .resize(usize::from(placement.num_nodes()), false);
@@ -71,7 +75,9 @@ impl FailureCounts {
         self.by_node.resize_with(n, Vec::new);
         for (obj, set) in placement.replica_sets().iter().enumerate() {
             for &nd in set {
-                self.by_node[usize::from(nd)].push(obj as u32);
+                if let Some(row) = self.by_node.get_mut(usize::from(nd)) {
+                    row.push(obj as u32);
+                }
             }
         }
     }
@@ -83,7 +89,10 @@ impl FailureCounts {
         self.failed = 0;
         self.hits.fill(0);
         self.hist.fill(0);
-        self.hist[0] = self.hits.len() as u64;
+        let b = self.hits.len() as u64;
+        if let Some(first) = self.hist.first_mut() {
+            *first = b;
+        }
         self.in_set.fill(false);
     }
 
@@ -96,7 +105,7 @@ impl FailureCounts {
     /// True if the node is currently in the failed set.
     #[must_use]
     pub fn contains(&self, node: u16) -> bool {
-        self.in_set[usize::from(node)]
+        self.in_set.get(usize::from(node)).copied().unwrap_or(false)
     }
 
     /// Admissible upper bound on the number of *additional* objects that
@@ -105,7 +114,7 @@ impl FailureCounts {
     #[must_use]
     pub fn failable_within(&self, m: u16) -> u64 {
         let lo = usize::from(self.s.saturating_sub(m));
-        self.hist[lo..].iter().sum()
+        self.hist.get(lo..).map_or(0, |t| t.iter().sum())
     }
 
     /// Marks `node` failed.
@@ -114,19 +123,36 @@ impl FailureCounts {
     ///
     /// Panics (debug) if the node is already failed.
     pub fn add_node(&mut self, node: u16) {
-        debug_assert!(!self.in_set[usize::from(node)], "node already failed");
-        self.in_set[usize::from(node)] = true;
-        let s = self.s;
-        for idx in 0..self.by_node[usize::from(node)].len() {
-            let obj = self.by_node[usize::from(node)][idx] as usize;
-            let h = self.hits[obj];
-            self.hits[obj] = h + 1;
+        debug_assert!(!self.contains(node), "node already failed");
+        let Self {
+            s,
+            hits,
+            failed,
+            hist,
+            by_node,
+            in_set,
+        } = self;
+        let s = *s;
+        if let Some(slot) = in_set.get_mut(usize::from(node)) {
+            *slot = true;
+        }
+        let row: &[u32] = by_node.get(usize::from(node)).map_or(&[], Vec::as_slice);
+        for &obj in row {
+            let Some(h_slot) = hits.get_mut(obj as usize) else {
+                continue;
+            };
+            let h = *h_slot;
+            *h_slot = h + 1;
             if h < s {
-                self.hist[usize::from(h)] -= 1;
+                if let Some(bucket) = hist.get_mut(usize::from(h)) {
+                    *bucket -= 1;
+                }
                 if h + 1 < s {
-                    self.hist[usize::from(h) + 1] += 1;
+                    if let Some(bucket) = hist.get_mut(usize::from(h) + 1) {
+                        *bucket += 1;
+                    }
                 } else {
-                    self.failed += 1;
+                    *failed += 1;
                 }
             }
         }
@@ -138,20 +164,37 @@ impl FailureCounts {
     ///
     /// Panics (debug) if the node is not currently failed.
     pub fn remove_node(&mut self, node: u16) {
-        debug_assert!(self.in_set[usize::from(node)], "node not failed");
-        self.in_set[usize::from(node)] = false;
-        let s = self.s;
-        for idx in 0..self.by_node[usize::from(node)].len() {
-            let obj = self.by_node[usize::from(node)][idx] as usize;
-            let h = self.hits[obj] - 1;
-            self.hits[obj] = h;
+        debug_assert!(self.contains(node), "node not failed");
+        let Self {
+            s,
+            hits,
+            failed,
+            hist,
+            by_node,
+            in_set,
+        } = self;
+        let s = *s;
+        if let Some(slot) = in_set.get_mut(usize::from(node)) {
+            *slot = false;
+        }
+        let row: &[u32] = by_node.get(usize::from(node)).map_or(&[], Vec::as_slice);
+        for &obj in row {
+            let Some(h_slot) = hits.get_mut(obj as usize) else {
+                continue;
+            };
+            let h = *h_slot - 1;
+            *h_slot = h;
             if h < s {
                 if h + 1 < s {
-                    self.hist[usize::from(h) + 1] -= 1;
+                    if let Some(bucket) = hist.get_mut(usize::from(h) + 1) {
+                        *bucket -= 1;
+                    }
                 } else {
-                    self.failed -= 1;
+                    *failed -= 1;
                 }
-                self.hist[usize::from(h)] += 1;
+                if let Some(bucket) = hist.get_mut(usize::from(h)) {
+                    *bucket += 1;
+                }
             }
         }
     }
@@ -160,11 +203,11 @@ impl FailureCounts {
     /// `O(ℓ)`).
     #[must_use]
     pub fn gain(&self, node: u16) -> u64 {
-        debug_assert!(!self.in_set[usize::from(node)]);
+        debug_assert!(!self.contains(node));
         let s = self.s;
-        self.by_node[usize::from(node)]
+        self.objects_on(node)
             .iter()
-            .filter(|&&obj| self.hits[obj as usize] + 1 == s)
+            .filter(|&&obj| self.hits.get(obj as usize).is_some_and(|&h| h + 1 == s))
             .count() as u64
     }
 
@@ -185,14 +228,41 @@ impl FailureCounts {
 
     /// Ids of the objects with a replica on `node` (ascending).
     pub(crate) fn objects_on(&self, node: u16) -> &[u32] {
-        &self.by_node[usize::from(node)]
+        self.by_node
+            .get(usize::from(node))
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Current hit count of one object.
     pub(crate) fn hit_count(&self, obj: usize) -> u16 {
-        self.hits[obj]
+        self.hits.get(obj).copied().unwrap_or(0)
     }
 }
+
+/// Objects streamed per chunk of the CSR/bitmap construction pass: at
+/// 32 K objects a chunk covers a 4 KiB window of every row bitmap, so
+/// the per-chunk working set (`n` row windows + the CSR cursors) stays
+/// cache-resident even at `b = 10⁶`, where the full row matrix alone
+/// is ~9 MB.
+pub(crate) const OBJ_CHUNK: usize = 1 << 15;
+
+/// Telemetry from the last [`PackedCounts::rebind`], exposed so tests
+/// can pin the streaming-build contract: the pass is chunked, and the
+/// build writes into a constant number of heap buffers — never a
+/// per-node vector-of-vectors.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Cache-sized object chunks the streaming CSR pass ran.
+    pub chunks: u32,
+    /// Distinct heap buffers the build wrote (arena, CSR offsets, CSR
+    /// object ids, forward map, membership words) — a constant
+    /// independent of `n` and `b`.
+    pub buffers: u32,
+}
+
+/// The number of heap buffers behind a [`PackedCounts`] build; see
+/// [`BuildStats::buffers`].
+pub(crate) const REBIND_BUFFERS: u32 = 5;
 
 /// The word-parallel failure-accounting kernel.
 ///
@@ -204,15 +274,22 @@ impl FailureCounts {
 ///   array plus an `n + 1` offset array, the same layout
 ///   [`Placement::objects_by_node_flat_into`] exposes publicly (rebind
 ///   fuses that construction with the bitmap and forward-map fills so
-///   the nested replica sets are walked only once) — so a node's row is
-///   one contiguous cache-friendly slice, and per-node loads fall out
-///   of the offsets for free;
+///   the nested replica sets are walked only once, in cache-sized
+///   object chunks) — so a node's row is one contiguous cache-friendly
+///   slice, and per-node loads fall out of the offsets for free;
 /// * every node additionally carries a **dense object bitmap**
 ///   (`⌈b/64⌉` words), and per-object hit counters are **bit-sliced**
 ///   across `u64` planes (plane `j` holds bit `j` of every object's
 ///   counter), so [`PackedCounts::add_node`] / `remove_node` are a
 ///   ripple-carry add / borrow-subtract of the node bitmap across the
 ///   planes — 64 objects per instruction;
+/// * the planes, both derived masks and all per-node row bitmaps live
+///   in **one arena allocation** (offset-sliced), and the update pass
+///   is **cache-blocked**: ripple-carry adds, XOR-diff folds and
+///   masked popcounts complete for one [`BLOCK_WORDS`] block of the
+///   bit-sliced planes before the pass moves to the next, so the
+///   million-object regime — where a single plane outgrows the LLC —
+///   still touches each block's streams exactly once per update;
 /// * the derived sets `hits ≥ s` (failed) and `hits = s − 1` (one hit
 ///   from failing) are maintained as bitmaps on every update, so
 ///   [`PackedCounts::failed`] is a counter read and
@@ -249,21 +326,24 @@ pub struct PackedCounts {
     b: usize,
     /// Words per object bitmap (`⌈b/64⌉`).
     words: usize,
-    /// Bit planes of the hit counters (`p × words`, plane-major).
-    planes: Vec<u64>,
     /// Plane count: bits needed to represent counts up to `r`.
     p: usize,
-    /// Maintained `hits ≥ s` bitmap.
-    ge_s: Vec<u64>,
-    /// Maintained `hits = s − 1` bitmap.
-    eq_sm1: Vec<u64>,
-    /// Popcount of `ge_s`, maintained incrementally.
+    /// The single arena allocation backing, in order: the `p` counter
+    /// planes (plane-major), the maintained `hits ≥ s` mask, the
+    /// maintained `hits = s − 1` mask, and the `n` per-node object
+    /// bitmaps (row-major).
+    arena: Vec<u64>,
+    /// Arena offset of the `hits ≥ s` mask (`p · words`).
+    ge_off: usize,
+    /// Arena offset of the `hits = s − 1` mask.
+    eq_off: usize,
+    /// Arena offset of the per-node rows.
+    rows_off: usize,
+    /// Popcount of `hits ≥ s`, maintained incrementally.
     failed: u64,
-    /// Popcount of `eq_sm1`, maintained incrementally (gives the
+    /// Popcount of `hits = s − 1`, maintained incrementally (gives the
     /// `failable_within(1)` histogram bound in O(1)).
     eq_count: u64,
-    /// Per-node object bitmaps.
-    node_bits: BitMatrix,
     /// CSR inverted index: offsets (`n + 1`) and flat object ids.
     csr_off: Vec<u32>,
     csr_obj: Vec<u32>,
@@ -274,6 +354,8 @@ pub struct PackedCounts {
     members: NodeSet,
     /// Valid-bit mask for the last word.
     tail: u64,
+    /// Telemetry from the last rebind.
+    stats: BuildStats,
 }
 
 impl PackedCounts {
@@ -286,8 +368,15 @@ impl PackedCounts {
     }
 
     /// Rebinds to another placement/threshold, reusing every allocation
-    /// (CSR arrays, bitmaps, planes). The packed analogue of
+    /// (CSR arrays, the arena). The packed analogue of
     /// [`FailureCounts::rebind`].
+    ///
+    /// The build streams: one walk of the nested replica sets fills the
+    /// flat forward map and per-node counts (pass 1), then pass 2 runs
+    /// over the forward map in [`OBJ_CHUNK`]-sized object chunks,
+    /// filling each chunk's CSR slots and row-bitmap windows before
+    /// moving on — no intermediate `Vec<Vec<u32>>` is ever
+    /// materialized, and every bitmap lands in the single arena.
     pub fn rebind(&mut self, placement: &Placement, s: u16) {
         let n = usize::from(placement.num_nodes());
         let b = placement.num_objects();
@@ -298,53 +387,83 @@ impl PackedCounts {
         self.words = words_for(b);
         self.p = usize::from(u16::BITS as u16 - r.leading_zeros() as u16);
         self.tail = tail_mask(b);
-        // The placement's nested replica sets are walked exactly once
-        // (pass 1); everything else streams over flat arrays. This is
-        // the CSR construction of `Placement::objects_by_node_flat_into`
-        // fused with the forward-map and bitmap fills — a fix to either
-        // copy of the offset/cursor dance belongs in both.
-        let sets = placement.replica_sets();
-        // Pass 1: flat forward map (object → hosts) + per-node counts.
+        self.ge_off = self.p * self.words;
+        self.eq_off = self.ge_off + self.words;
+        self.rows_off = self.eq_off + self.words;
+        // Pass 1: the placement's nested replica sets are walked exactly
+        // once — flat forward map (object → hosts) + per-node counts.
+        // This is the CSR construction of
+        // `Placement::objects_by_node_flat_into` fused with the forward-
+        // map and bitmap fills — a fix to either copy of the
+        // offset/cursor dance belongs in both.
         self.obj_nodes.clear();
         self.obj_nodes.reserve(b * usize::from(r));
         self.csr_off.clear();
         self.csr_off.resize(n + 1, 0);
-        for set in sets {
+        for set in placement.replica_sets() {
             for &nd in set {
                 self.obj_nodes.push(nd);
-                self.csr_off[usize::from(nd) + 1] += 1;
+                if let Some(count) = self.csr_off.get_mut(usize::from(nd) + 1) {
+                    *count += 1;
+                }
             }
         }
-        for i in 0..n {
-            self.csr_off[i + 1] += self.csr_off[i];
+        // Prefix sum: csr_off[i] = start offset of node i's row.
+        let mut acc = 0u32;
+        for slot in self.csr_off.iter_mut() {
+            acc += *slot;
+            *slot = acc;
         }
-        // Pass 2 (flat, fused): CSR fill — csr_off[nd] doubling as the
-        // cursor (rows come out ascending because objects are visited
-        // in order) — plus node bitmaps, with the object's word/mask
-        // amortized over its r hosts.
         self.csr_obj.clear();
-        self.csr_obj.resize(self.csr_off[n] as usize, 0);
-        self.node_bits.reset(n, b);
-        for obj in 0..b {
-            let word = obj / WORD_BITS;
-            let mask = 1u64 << (obj % WORD_BITS);
-            let base = obj * usize::from(r);
-            for i in 0..usize::from(r) {
-                let nd = usize::from(self.obj_nodes[base + i]);
-                let cursor = &mut self.csr_off[nd];
-                self.csr_obj[*cursor as usize] = obj as u32;
-                *cursor += 1;
-                self.node_bits.or_word(nd, word, mask);
+        self.csr_obj
+            .resize(self.csr_off.last().copied().unwrap_or(0) as usize, 0);
+        self.arena.clear();
+        self.arena.resize(self.rows_off + n * self.words, 0);
+        // Pass 2 (streaming): objects in cache-sized chunks straight off
+        // the flat forward map. Each chunk fills its CSR slots —
+        // csr_off[nd] doubling as the cursor (rows come out ascending
+        // because objects are visited in order) — and ORs its bits into
+        // a 4 KiB window of every row bitmap before the next chunk
+        // starts, with the object's word/mask amortized over its `r`
+        // hosts.
+        let words = self.words;
+        let rows = self.arena.get_mut(self.rows_off..).unwrap_or(&mut []);
+        let mut chunks = 0u32;
+        for chunk_start in (0..b).step_by(OBJ_CHUNK) {
+            chunks += 1;
+            let chunk_end = (chunk_start + OBJ_CHUNK).min(b);
+            for obj in chunk_start..chunk_end {
+                let word = obj / WORD_BITS;
+                let mask = 1u64 << (obj % WORD_BITS);
+                let base = obj * usize::from(r);
+                let hosts = self
+                    .obj_nodes
+                    .get(base..base + usize::from(r))
+                    .unwrap_or(&[]);
+                for &nd in hosts {
+                    let nd = usize::from(nd);
+                    if let Some(cursor) = self.csr_off.get_mut(nd) {
+                        let at = *cursor as usize;
+                        *cursor += 1;
+                        if let Some(slot) = self.csr_obj.get_mut(at) {
+                            *slot = obj as u32;
+                        }
+                    }
+                    if let Some(w) = rows.get_mut(nd * words + word) {
+                        *w |= mask;
+                    }
+                }
             }
         }
-        for i in (1..=n).rev() {
-            self.csr_off[i] = self.csr_off[i - 1];
+        // Shift the cursors (now row ends) back into start offsets.
+        let mut prev = 0u32;
+        for slot in self.csr_off.iter_mut() {
+            prev = std::mem::replace(slot, prev);
         }
-        self.csr_off[0] = 0;
-        self.planes.clear();
-        self.planes.resize(self.p * self.words, 0);
-        self.ge_s.clear();
-        self.ge_s.resize(self.words, 0);
+        self.stats = BuildStats {
+            chunks,
+            buffers: REBIND_BUFFERS,
+        };
         self.members.reset(n);
         self.failed = 0;
         self.reset_eq_sm1();
@@ -353,8 +472,10 @@ impl PackedCounts {
     /// Empties the failed set without touching the placement binding
     /// (`O(b/64)`).
     pub fn clear(&mut self) {
-        self.planes.fill(0);
-        self.ge_s.fill(0);
+        let rows_off = self.rows_off;
+        if let Some(front) = self.arena.get_mut(..rows_off) {
+            front.fill(0);
+        }
         self.members.clear();
         self.failed = 0;
         self.reset_eq_sm1();
@@ -362,18 +483,35 @@ impl PackedCounts {
 
     /// Initializes the `hits = s − 1` bitmap for all-zero counters.
     fn reset_eq_sm1(&mut self) {
-        self.eq_sm1.clear();
+        let all = self.b as u64;
+        let tail = self.tail;
+        let eq = self
+            .arena
+            .get_mut(self.eq_off..self.rows_off)
+            .unwrap_or(&mut []);
         if self.s == 1 {
             // Every object has 0 = s − 1 hits.
-            self.eq_sm1.resize(self.words, !0u64);
-            if let Some(last) = self.eq_sm1.last_mut() {
-                *last &= self.tail;
+            eq.fill(!0u64);
+            if let Some(last) = eq.last_mut() {
+                *last &= tail;
             }
-            self.eq_count = self.b as u64;
+            self.eq_count = all;
         } else {
-            self.eq_sm1.resize(self.words, 0);
+            eq.fill(0);
             self.eq_count = 0;
         }
+    }
+
+    /// The counter planes (`p × words`, plane-major) within the arena.
+    #[inline]
+    fn planes(&self) -> &[u64] {
+        self.arena.get(..self.ge_off).unwrap_or(&[])
+    }
+
+    /// The maintained `hits ≥ s` mask within the arena.
+    #[inline]
+    fn ge_words(&self) -> &[u64] {
+        self.arena.get(self.ge_off..self.eq_off).unwrap_or(&[])
     }
 
     /// Number of currently failed objects.
@@ -400,10 +538,19 @@ impl PackedCounts {
         (self.csr_off.len().saturating_sub(1)) as u16
     }
 
+    /// Telemetry from the last rebind (see [`BuildStats`]).
+    #[must_use]
+    pub fn build_stats(&self) -> BuildStats {
+        self.stats
+    }
+
     /// Load of `node` (CSR row length — no allocation, no scan).
     #[must_use]
     pub fn load(&self, node: u16) -> u32 {
-        self.csr_off[usize::from(node) + 1] - self.csr_off[usize::from(node)]
+        let i = usize::from(node);
+        let lo = self.csr_off.get(i).copied().unwrap_or(0);
+        let hi = self.csr_off.get(i + 1).copied().unwrap_or(lo);
+        hi - lo
     }
 
     /// True if the node is currently in the failed set.
@@ -416,28 +563,32 @@ impl PackedCounts {
     /// (sorted ascending), as one contiguous slice of the flat index.
     #[must_use]
     pub fn row_objects(&self, node: u16) -> &[u32] {
-        let (lo, hi) = (
-            self.csr_off[usize::from(node)] as usize,
-            self.csr_off[usize::from(node) + 1] as usize,
-        );
-        &self.csr_obj[lo..hi]
+        let i = usize::from(node);
+        let lo = self.csr_off.get(i).copied().unwrap_or(0) as usize;
+        let hi = self.csr_off.get(i + 1).copied().unwrap_or(0) as usize;
+        self.csr_obj.get(lo..hi).unwrap_or(&[])
     }
 
     /// Whether `obj` has a replica on `node` (bitmap probe, `O(1)`).
     #[must_use]
     pub fn node_hosts(&self, node: u16, obj: usize) -> bool {
-        self.node_bits.get(usize::from(node), obj)
+        self.row_words(node)
+            .get(obj / WORD_BITS)
+            .is_some_and(|&w| w >> (obj % WORD_BITS) & 1 == 1)
     }
 
     /// The nodes hosting `obj` (flat forward map, stride `r`).
     pub(crate) fn hosts_of(&self, obj: usize) -> &[u16] {
         let start = obj * usize::from(self.r);
-        &self.obj_nodes[start..start + usize::from(self.r)]
+        self.obj_nodes
+            .get(start..start + usize::from(self.r))
+            .unwrap_or(&[])
     }
 
-    /// The node's object bitmap as a word slice.
+    /// The node's object bitmap: one row slice of the arena.
     pub(crate) fn row_words(&self, node: u16) -> &[u64] {
-        self.node_bits.row(usize::from(node))
+        let start = self.rows_off + usize::from(node) * self.words;
+        self.arena.get(start..start + self.words).unwrap_or(&[])
     }
 
     /// Current hit count of one object, gathered from the bit planes.
@@ -445,15 +596,19 @@ impl PackedCounts {
     pub fn hit_count(&self, obj: usize) -> u16 {
         let (w, sh) = (obj / WORD_BITS, obj % WORD_BITS);
         let mut v = 0u16;
-        for j in 0..self.p {
-            v |= (((self.planes[j * self.words + w] >> sh) & 1) as u16) << j;
+        if self.words == 0 {
+            return 0;
+        }
+        for (j, plane) in self.planes().chunks_exact(self.words).enumerate() {
+            let bit = plane.get(w).map_or(0, |&x| x >> sh & 1);
+            v |= (bit as u16) << j;
         }
         v
     }
 
     /// The maintained `hits = s − 1` bitmap (the gain mask).
     pub(crate) fn eq_sm1_words(&self) -> &[u64] {
-        &self.eq_sm1
+        self.arena.get(self.eq_off..self.rows_off).unwrap_or(&[])
     }
 
     /// Writes the `hits = s` bitmap (objects that unfail if one of
@@ -464,8 +619,9 @@ impl PackedCounts {
         if self.s > self.r {
             return; // no object can reach s hits
         }
+        let planes = self.planes();
         for (w, slot) in out.iter_mut().enumerate() {
-            let mut eq = eq_word(&self.planes, self.words, w, u64::from(self.s));
+            let mut eq = eq_word(planes, self.words, w, u64::from(self.s));
             if w + 1 == self.words {
                 eq &= self.tail;
             }
@@ -486,8 +642,9 @@ impl PackedCounts {
         if c > self.r {
             return;
         }
+        let planes = self.planes();
         for (w, slot) in out.iter_mut().enumerate() {
-            let mut eq = eq_word(&self.planes, self.words, w, u64::from(c));
+            let mut eq = eq_word(planes, self.words, w, u64::from(c));
             if w + 1 == self.words {
                 eq &= self.tail;
             }
@@ -504,22 +661,23 @@ impl PackedCounts {
             return;
         }
         let lo = self.s.saturating_sub(m);
-        for (w, slot) in out.iter_mut().enumerate() {
+        let planes = self.planes();
+        for ((w, slot), &ge) in out.iter_mut().enumerate().zip(self.ge_words()) {
             let reachable = if lo == 0 {
                 self.tail_masked(!0, w)
             } else if lo > self.r {
                 0
             } else {
-                ge_word(&self.planes, self.words, w, u64::from(lo))
+                ge_word(planes, self.words, w, u64::from(lo))
             };
-            *slot = reachable & !self.ge_s[w];
+            *slot = reachable & !ge;
         }
     }
 
     /// Popcount of `row(node) ∩ mask` — the workhorse of gain and loss
     /// queries (`O(b/64)`).
     pub(crate) fn and_popcount_row(&self, node: u16, mask: &[u64]) -> u64 {
-        and_popcount(self.node_bits.row(usize::from(node)), mask)
+        and_popcount(self.row_words(node), mask)
     }
 
     /// Nodes outside the failed set, ascending — lets scans skip the
@@ -572,73 +730,95 @@ impl PackedCounts {
     /// into the counter planes, refreshing the derived `hits ≥ s` /
     /// `hits = s − 1` masks and their maintained popcounts.
     ///
-    /// Runs over [`LANES`]-word blocks: the plane updates lower to wide
-    /// ops and the four popcount streams per block pipeline on
-    /// independent accumulators instead of serializing on one.
+    /// Cache-blocked two-level loop: the outer level walks
+    /// [`BLOCK_WORDS`]-word blocks — completing the carry propagation,
+    /// mask derivation and popcount fold for one block of every
+    /// plane/mask stream before moving on, and skipping blocks whose
+    /// row window is all zero with a single streaming scan — while the
+    /// inner level runs [`LANES`]-word groups whose plane updates lower
+    /// to wide ops and whose popcount streams pipeline on independent
+    /// accumulators.
     fn apply_node<const SUB: bool>(&mut self, node: u16) {
         let words = self.words;
         let s = self.s;
         let r = self.r;
         let tail = self.tail;
-        let row = self.node_bits.row(usize::from(node));
-        let planes = &mut self.planes;
+        let (ge_off, eq_off, rows_off) = (self.ge_off, self.eq_off, self.rows_off);
+        let row_at = usize::from(node) * words;
         let mut failed = self.failed;
         let mut eq_count = self.eq_count;
-        let mut next = 0usize;
-        for bw in row.chunks(LANES) {
-            let len = bw.len();
-            let start = next;
-            next += len;
-            if bw.iter().all(|&x| x == 0) {
+        // One arena backs everything: split it into the mutable
+        // planes-and-masks front and the read-only row region.
+        let (front, rows) = self.arena.split_at_mut(rows_off);
+        let row = rows.get(row_at..row_at + words).unwrap_or(&[]);
+        let (planes, masks) = front.split_at_mut(ge_off);
+        let (ge_s, eq_sm1) = masks.split_at_mut(eq_off - ge_off);
+        for block_start in (0..words).step_by(BLOCK_WORDS) {
+            let block_len = BLOCK_WORDS.min(words - block_start);
+            let row_block = row.get(block_start..block_start + block_len).unwrap_or(&[]);
+            // Whole-block sparsity skip: one sequential scan of the row
+            // block is far cheaper than touching `p + 2` plane/mask
+            // streams for a block the node hosts nothing in.
+            if row_block.iter().all(|&x| x == 0) {
                 continue;
             }
-            let mut carry = [0u64; LANES];
-            for (c, &x) in carry.iter_mut().zip(bw) {
-                *c = x;
-            }
-            for plane in planes.chunks_exact_mut(words) {
-                let block = plane.get_mut(start..start + len).unwrap_or(&mut []);
-                for (t, c) in block.iter_mut().zip(carry.iter_mut()) {
-                    let old = *t;
-                    *t = old ^ *c;
-                    *c &= if SUB { !old } else { old };
+            let mut next = block_start;
+            for bw in row_block.chunks(LANES) {
+                let len = bw.len();
+                let start = next;
+                next += len;
+                if bw.iter().all(|&x| x == 0) {
+                    continue;
                 }
-            }
-            debug_assert!(
-                carry.iter().all(|&c| c == 0),
-                "hit counter escaped the 0..=r plane range"
-            );
-            let mut ge_block = [0u64; LANES];
-            let mut eq_block = [0u64; LANES];
-            derive_block(
-                planes,
-                words,
-                s,
-                r,
-                start,
-                len,
-                &mut ge_block,
-                &mut eq_block,
-            );
-            if start + len == words {
-                if let (Some(ge), Some(eq)) = (ge_block.get_mut(len - 1), eq_block.get_mut(len - 1))
+                let mut carry = [0u64; LANES];
+                for (c, &x) in carry.iter_mut().zip(bw) {
+                    *c = x;
+                }
+                for plane in planes.chunks_exact_mut(words) {
+                    let block = plane.get_mut(start..start + len).unwrap_or(&mut []);
+                    for (t, c) in block.iter_mut().zip(carry.iter_mut()) {
+                        let old = *t;
+                        *t = old ^ *c;
+                        *c &= if SUB { !old } else { old };
+                    }
+                }
+                debug_assert!(
+                    carry.iter().all(|&c| c == 0),
+                    "hit counter escaped the 0..=r plane range"
+                );
+                let mut ge_block = [0u64; LANES];
+                let mut eq_block = [0u64; LANES];
+                derive_block(
+                    planes,
+                    words,
+                    s,
+                    r,
+                    start,
+                    len,
+                    &mut ge_block,
+                    &mut eq_block,
+                );
+                if start + len == words {
+                    if let (Some(ge), Some(eq)) =
+                        (ge_block.get_mut(len - 1), eq_block.get_mut(len - 1))
+                    {
+                        *ge &= tail;
+                        *eq &= tail;
+                    }
+                }
+                let ge_old = ge_s.get_mut(start..start + len).unwrap_or(&mut []);
+                let eq_old = eq_sm1.get_mut(start..start + len).unwrap_or(&mut []);
+                for (((go, eo), &gn), &en) in ge_old
+                    .iter_mut()
+                    .zip(eq_old.iter_mut())
+                    .zip(ge_block.iter())
+                    .zip(eq_block.iter())
                 {
-                    *ge &= tail;
-                    *eq &= tail;
+                    failed = failed + u64::from(gn.count_ones()) - u64::from(go.count_ones());
+                    eq_count = eq_count + u64::from(en.count_ones()) - u64::from(eo.count_ones());
+                    *go = gn;
+                    *eo = en;
                 }
-            }
-            let ge_old = self.ge_s.get_mut(start..start + len).unwrap_or(&mut []);
-            let eq_old = self.eq_sm1.get_mut(start..start + len).unwrap_or(&mut []);
-            for (((go, eo), &gn), &en) in ge_old
-                .iter_mut()
-                .zip(eq_old.iter_mut())
-                .zip(ge_block.iter())
-                .zip(eq_block.iter())
-            {
-                failed = failed + u64::from(gn.count_ones()) - u64::from(go.count_ones());
-                eq_count = eq_count + u64::from(en.count_ones()) - u64::from(eo.count_ones());
-                *go = gn;
-                *eo = en;
             }
         }
         self.failed = failed;
@@ -650,7 +830,7 @@ impl PackedCounts {
     #[must_use]
     pub fn gain(&self, node: u16) -> u64 {
         debug_assert!(!self.members.contains(node));
-        self.and_popcount_row(node, &self.eq_sm1)
+        self.and_popcount_row(node, self.eq_sm1_words())
     }
 
     /// Writes `gain(nd)` for **every** node into `out` (indexed by node
@@ -663,7 +843,7 @@ impl PackedCounts {
     pub(crate) fn gains_into(&self, out: &mut Vec<u64>) {
         out.clear();
         out.resize(usize::from(self.num_nodes()), 0);
-        for (w, &word) in self.eq_sm1.iter().enumerate() {
+        for (w, &word) in self.eq_sm1_words().iter().enumerate() {
             let mut bits = word;
             while bits != 0 {
                 let obj = w * WORD_BITS + bits.trailing_zeros() as usize;
@@ -697,9 +877,10 @@ impl PackedCounts {
         if lo > self.r {
             return 0;
         }
+        let planes = self.planes();
         let mut reach = 0u64;
         for w in 0..self.words {
-            reach += u64::from(ge_word(&self.planes, self.words, w, u64::from(lo)).count_ones());
+            reach += u64::from(ge_word(planes, self.words, w, u64::from(lo)).count_ones());
         }
         reach - self.failed
     }
@@ -1058,6 +1239,71 @@ mod tests {
                 .filter(|&&nd| pc.contains(nd))
                 .count() as u16;
             assert_eq!(pc.hit_count(obj), expected, "hit_count({obj})");
+        }
+    }
+
+    #[test]
+    fn streaming_build_uses_chunks_and_constant_buffers() {
+        // The streaming CSR contract: pass 2 runs in ⌈b / OBJ_CHUNK⌉
+        // chunks, and the number of heap buffers behind the build is a
+        // constant — independent of both n and b, i.e. never the
+        // per-node vector-of-vectors a naive inverted-index build
+        // materializes.
+        let shapes = [(8u16, 70u64), (64, 500), (640, 40_000)];
+        let mut stats = Vec::new();
+        for &(n, b) in &shapes {
+            let sets: Vec<Vec<u16>> = (0..b)
+                .map(|o| {
+                    let mut s = vec![(o % u64::from(n)) as u16, ((o + 1) % u64::from(n)) as u16];
+                    s.sort_unstable();
+                    s
+                })
+                .collect();
+            let p = Placement::new(n, 2, sets).unwrap();
+            let pc = PackedCounts::new(&p, 2);
+            let st = pc.build_stats();
+            assert_eq!(
+                st.chunks,
+                (b as usize).div_ceil(OBJ_CHUNK) as u32,
+                "n={n} b={b}"
+            );
+            stats.push(st.buffers);
+        }
+        // Same buffer count at n = 8 and n = 640: O(1), not O(n).
+        assert!(stats.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(stats[0], REBIND_BUFFERS);
+    }
+
+    #[test]
+    fn blocked_updates_match_scalar_across_block_boundary() {
+        // A shape wider than one LANES group with loads concentrated so
+        // whole-block skips trigger: packed must still mirror scalar.
+        let b = 9 * 64 + 7; // 583 objects, 10 words
+        let sets: Vec<Vec<u16>> = (0..b as u64)
+            .map(|o| {
+                let lo = (o % 5) as u16;
+                let hi = 5 + (o / 120) as u16;
+                vec![lo, hi.clamp(5, 9)]
+            })
+            .map(|mut s| {
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        let p = Placement::new(10, 2, sets).unwrap();
+        for s in 1..=2u16 {
+            let mut fc = FailureCounts::new(&p, s);
+            let mut pc = PackedCounts::new(&p, s);
+            for nd in [5u16, 0, 9, 2] {
+                fc.add_node(nd);
+                pc.add_node(nd);
+                assert_backends_agree(&fc, &pc, &p, &format!("s={s} add {nd}"));
+            }
+            for nd in [0u16, 9] {
+                fc.remove_node(nd);
+                pc.remove_node(nd);
+                assert_backends_agree(&fc, &pc, &p, &format!("s={s} remove {nd}"));
+            }
         }
     }
 }

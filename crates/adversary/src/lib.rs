@@ -46,6 +46,7 @@ mod certify;
 mod counts;
 pub mod domain;
 mod exact;
+mod hist;
 mod parallel;
 mod pool;
 pub mod reference;
@@ -80,6 +81,8 @@ pub struct AdversaryScratch {
     packed: Option<PackedCounts>,
     climb: search::ClimbScratch,
     dfs: exact::DfsScratch,
+    hist: Option<hist::HistogramCounts>,
+    hist_climb: hist::HistClimbScratch,
 }
 
 impl AdversaryScratch {
@@ -121,6 +124,33 @@ impl AdversaryScratch {
             self.packed.as_mut().expect("bound above"),
             &mut self.climb,
             &mut self.dfs,
+        )
+    }
+
+    /// Binds the compressed histogram backend to a placement/threshold
+    /// and hands back the backend plus its side buffers (reusing
+    /// previous allocations when present).
+    pub(crate) fn bind_hist(
+        &mut self,
+        placement: &Placement,
+        s: u16,
+    ) -> (&mut hist::HistogramCounts, &mut hist::HistClimbScratch) {
+        let hc = self.hist.get_or_insert_with(Default::default);
+        hc.rebind(placement, s);
+        (hc, &mut self.hist_climb)
+    }
+
+    /// The already-bound histogram backend and side buffers, without
+    /// rebinding. Callers must guarantee a preceding
+    /// [`AdversaryScratch::bind_hist`] for the same `(placement, s)`
+    /// (the parallel ladder's per-worker binding); an unbound scratch
+    /// yields an empty default backend rather than panicking.
+    pub(crate) fn parts_hist(
+        &mut self,
+    ) -> (&mut hist::HistogramCounts, &mut hist::HistClimbScratch) {
+        (
+            self.hist.get_or_insert_with(Default::default),
+            &mut self.hist_climb,
         )
     }
 
@@ -170,6 +200,13 @@ pub struct AdversaryConfig {
     /// byte-for-byte. See the `parallel` module's docs in the source
     /// for the determinism argument.
     pub parallelism: Option<Parallelism>,
+    /// Object-count threshold above which the greedy and local-search
+    /// rungs run on the compressed histogram backend (per-class counts,
+    /// `O(classes)` state) instead of the per-object packed planes; the
+    /// exact rung always uses the packed kernel. The backends are
+    /// decision-identical (see the `hist` module docs), so this only
+    /// moves the memory/speed trade-off, never the answer.
+    pub hist_threshold: u64,
 }
 
 impl Default for AdversaryConfig {
@@ -180,7 +217,17 @@ impl Default for AdversaryConfig {
             max_steps: 200,
             seed: 0xadb7_7557,
             parallelism: None,
+            hist_threshold: 65_536,
         }
+    }
+}
+
+impl AdversaryConfig {
+    /// Whether the heuristic rungs use the histogram backend for a
+    /// placement with `b` objects.
+    #[must_use]
+    pub fn uses_histogram(&self, b: usize) -> bool {
+        b as u64 >= self.hist_threshold
     }
 }
 
@@ -343,14 +390,29 @@ pub fn worst_case_failures_with(
     // evaluation, not two); at k = n both stages take their degenerate
     // path and never bind.
     let heuristic = local_search_worst_with(placement, s, k, config, scratch);
-    if let Some(exact) = exact::exact_worst_rebound(
-        placement,
-        s,
-        k,
-        config.exact_budget,
-        heuristic.failed,
-        scratch,
-    ) {
+    // Above the histogram threshold the heuristic rungs never bind the
+    // packed kernel, so the exact rung binds it itself instead of
+    // reusing the local-search stage's binding.
+    let exact_rung = if config.uses_histogram(placement.num_objects()) {
+        exact::exact_worst_with(
+            placement,
+            s,
+            k,
+            config.exact_budget,
+            heuristic.failed,
+            scratch,
+        )
+    } else {
+        exact::exact_worst_rebound(
+            placement,
+            s,
+            k,
+            config.exact_budget,
+            heuristic.failed,
+            scratch,
+        )
+    };
+    if let Some(exact) = exact_rung {
         // The DFS only returns node sets when it beats the seed; reuse the
         // heuristic's witness when the incumbent stood.
         if exact.failed > heuristic.failed {
@@ -453,6 +515,7 @@ impl CellAttacker for SweepAdversary {
                 // Sweeps already parallelize across cells; nesting the
                 // parallel ladder inside each cell would oversubscribe.
                 parallelism: None,
+                ..AdversaryConfig::default()
             },
         };
         let (wc, cert) = worst_case_certified_with(placement, s, k, &config, &mut self.scratch);

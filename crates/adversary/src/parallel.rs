@@ -35,6 +35,7 @@
 
 use crate::counts::PackedCounts;
 use crate::exact::{self, DfsScratch};
+use crate::hist::{self, HistClimbScratch, HistogramCounts};
 use crate::pool::{fan_out, SharedBound};
 use crate::search::{self, ClimbScratch, LadderTrace};
 use crate::{AdversaryConfig, AdversaryScratch, WorstCase};
@@ -48,6 +49,7 @@ use wcp_core::{Parallelism, Placement};
 struct Worker {
     scratch: AdversaryScratch,
     bound: bool,
+    bound_hist: bool,
 }
 
 impl Worker {
@@ -55,6 +57,7 @@ impl Worker {
         Self {
             scratch: AdversaryScratch::new(),
             bound: false,
+            bound_hist: false,
         }
     }
 
@@ -70,6 +73,23 @@ impl Worker {
         } else {
             self.bound = true;
             self.scratch.bind_packed(placement, s)
+        }
+    }
+
+    /// The histogram-backend analogue of [`Worker::parts`]: one class
+    /// construction per worker, cleared between tasks.
+    fn parts_hist(
+        &mut self,
+        placement: &Placement,
+        s: u16,
+    ) -> (&mut HistogramCounts, &mut HistClimbScratch) {
+        if self.bound_hist {
+            let (hc, hs) = self.scratch.parts_hist();
+            hc.clear();
+            (hc, hs)
+        } else {
+            self.bound_hist = true;
+            self.scratch.bind_hist(placement, s)
         }
     }
 }
@@ -149,7 +169,25 @@ pub(crate) fn local_search_worst_parallel_traced(
     // first greedy-seeded; restarts = 0 keeps the bare greedy set.
     let restarts = config.restarts.max(1) as usize;
     let climb = config.restarts > 0;
+    let use_hist = config.uses_histogram(placement.num_objects());
     let results = fan_out(restarts, parallelism.threads(), Worker::fresh, |w, t| {
+        if use_hist {
+            // Million-object regime: same schedule on the compressed
+            // histogram backend (decision-identical to the packed one).
+            let (hc, hs) = w.parts_hist(placement, s);
+            let greedy = if t == 0 {
+                let g = hist::greedy_hist_into(hc, k);
+                Some((g.failed, g.nodes))
+            } else {
+                let mut rng = StdRng::seed_from_u64(restart_seed(config.seed, t as u64));
+                hist::seed_random_hist(hc, hs, k, &mut rng);
+                None
+            };
+            if climb {
+                hist::climb_hist(hc, hs, config.max_steps, b);
+            }
+            return (greedy, hc.failed(), hc.nodes());
+        }
         let (pc, cs, _) = w.parts(placement, s);
         let greedy = if t == 0 {
             let g = search::greedy_into(pc, cs, k);

@@ -255,6 +255,11 @@ pub(crate) fn local_search_worst_traced(
             exact: false,
         };
     }
+    // Million-object regime: run the (decision-identical) compressed
+    // histogram backend instead of the per-object packed planes.
+    if config.uses_histogram(placement.num_objects()) {
+        return crate::hist::local_search_hist_traced(placement, s, k, config, scratch, trace);
+    }
     let mut rng = StdRng::seed_from_u64(config.seed);
     let b = placement.num_objects() as u64;
     let (pc, cs, _) = scratch.bind_packed(placement, s);

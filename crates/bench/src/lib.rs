@@ -47,6 +47,19 @@ pub fn snapshot_out(env_key: &str, default_name: &str) -> std::path::PathBuf {
     }
 }
 
+/// Peak resident set size of the current process in bytes, parsed from
+/// the `VmHWM` line of `/proc/self/status` (kernel high-water mark, so
+/// it is monotone over the process lifetime — sample it right after the
+/// workload whose footprint you want to attribute, largest workload
+/// last). `None` on non-Linux platforms or if the file is unreadable.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Measures one evaluation series for a `BENCH_*.json` snapshot: the
 /// median over batched samples, each batch long enough (~400 µs) to
 /// amortize timer and scheduler noise — run-to-run stability is what

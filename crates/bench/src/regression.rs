@@ -6,14 +6,17 @@
 //! parameter list — `simple(x=0, λ=60)` and `simple(x=1, λ=10)` are
 //! both family `simple`; adversary series names are their own
 //! families), the mean of the median times must not regress by more
-//! than the threshold. Three snapshot schemas are accepted:
+//! than the threshold. Four snapshot schemas are accepted:
 //! `strategies[].{strategy, median_pipeline_ns}` (the engine sweep),
-//! `series[].{name, median_ns}` (the adversary kernel-vs-scalar bench)
-//! and `certified[].{name, median_ns, certificate}` (ladder timings
+//! `series[].{name, median_ns}` (the adversary kernel-vs-scalar bench),
+//! `certified[].{name, median_ns, certificate}` (ladder timings
 //! that carry their availability certificates along; the gate reads
 //! the timings and ignores the certificates — `wcp-verify` owns
-//! those). The `bench_regression` binary wraps this as a CI-friendly
-//! exit code.
+//! those) and `scale[].{name, b, median_ns, evals_per_second,
+//! peak_rss_bytes}` (the million-object regime; the gate reads the
+//! timings, the committed-snapshot pin test enforces the RSS budget).
+//! The `bench_regression` binary wraps this as a CI-friendly exit
+//! code.
 
 use wcp_sim::json::Value;
 
@@ -41,23 +44,27 @@ pub fn family_of(strategy: &str) -> &str {
 ///
 /// A message when the document is not JSON or matches none of the
 /// `strategies[].{strategy, median_pipeline_ns}`,
-/// `series[].{name, median_ns}` and `certified[].{name, median_ns}`
-/// shapes.
+/// `series[].{name, median_ns}`, `certified[].{name, median_ns}` and
+/// `scale[].{name, median_ns, peak_rss_bytes}` shapes.
 pub fn family_means(snapshot: &str) -> Result<Vec<FamilyTime>, String> {
     let doc = Value::parse(snapshot).map_err(|e| e.to_string())?;
-    let (entries, name_key, ns_key) = if let Some(arr) =
-        doc.get("strategies").and_then(Value::as_array)
-    {
-        (arr, "strategy", "median_pipeline_ns")
-    } else if let Some(arr) = doc.get("series").and_then(Value::as_array) {
-        (arr, "name", "median_ns")
-    } else if let Some(arr) = doc.get("certified").and_then(Value::as_array) {
-        (arr, "name", "median_ns")
-    } else {
-        return Err(
-            "snapshot has none of the \"strategies\"/\"series\"/\"certified\" arrays".to_string(),
-        );
-    };
+    let (entries, name_key, ns_key) =
+        if let Some(arr) = doc.get("strategies").and_then(Value::as_array) {
+            (arr, "strategy", "median_pipeline_ns")
+        } else if let Some(arr) = doc.get("series").and_then(Value::as_array) {
+            (arr, "name", "median_ns")
+        } else if let Some(arr) = doc.get("certified").and_then(Value::as_array) {
+            (arr, "name", "median_ns")
+        } else if let Some(arr) = doc.get("scale").and_then(Value::as_array) {
+            // The scale-regime snapshot: entries additionally carry `b` and
+            // `peak_rss_bytes`; the gate reads only the timings.
+            (arr, "name", "median_ns")
+        } else {
+            return Err(
+                "snapshot has none of the \"strategies\"/\"series\"/\"certified\"/\"scale\" arrays"
+                    .to_string(),
+            );
+        };
     let mut families: Vec<FamilyTime> = Vec::new();
     for entry in entries {
         let name = entry
@@ -397,11 +404,71 @@ mod tests {
     }
 
     #[test]
+    fn scale_schema_parses_and_gates() {
+        let snap = concat!(
+            "{\"shape\": {\"n\": 71, \"r\": 3, \"s\": 2, \"k\": 3}, \"scale\": [\n",
+            "  {\"name\": \"ladder_b100k\", \"b\": 100000, \"median_ns\": 81250000, ",
+            "\"evals_per_second\": 12.5, \"peak_rss_bytes\": 11534336},\n",
+            "  {\"name\": \"ladder_b1m\", \"b\": 1000000, \"median_ns\": 800000000, ",
+            "\"evals_per_second\": 1.25, \"peak_rss_bytes\": 91226112}\n",
+            "]}"
+        );
+        let fams = family_means(snap).unwrap();
+        assert_eq!(fams.len(), 2);
+        assert_eq!(fams[0].family, "ladder_b100k");
+        let slower = snap.replace("\"median_ns\": 81250000", "\"median_ns\": 120000000");
+        let deltas = compare(snap, &slower).unwrap();
+        assert!(deltas
+            .iter()
+            .find(|d| d.family == "ladder_b100k")
+            .unwrap()
+            .regressed(0.25));
+        assert!(!deltas
+            .iter()
+            .find(|d| d.family == "ladder_b1m")
+            .unwrap()
+            .regressed(0.25));
+    }
+
+    #[test]
+    fn committed_scale_snapshot_fits_the_memory_budget() {
+        // The scale acceptance pin: both shapes present with positive
+        // medians, and the committed peak RSS at b = 10⁶ within the
+        // 2 GiB acceptance budget. The RSS is read from the raw JSON
+        // because family_means only carries timings.
+        let text = include_str!("../BENCH_scale.json");
+        let fams = family_means(text).unwrap();
+        let ns_of = |name: &str| {
+            fams.iter()
+                .find(|f| f.family == name)
+                .unwrap_or_else(|| panic!("series {name} missing"))
+                .mean_ns
+        };
+        assert!(ns_of("ladder_b100k") > 0.0);
+        assert!(ns_of("ladder_b1m") > 0.0);
+        let doc = wcp_sim::json::Value::parse(text).unwrap();
+        let entries = doc.get("scale").and_then(Value::as_array).unwrap();
+        for entry in entries {
+            let name = entry.get("name").and_then(Value::as_str).unwrap();
+            let rss = entry.get("peak_rss_bytes").and_then(Value::as_f64).unwrap();
+            assert!(
+                rss > 0.0 && rss <= (2u64 << 30) as f64,
+                "{name}: committed peak RSS {rss} outside (0, 2 GiB]"
+            );
+        }
+        // And the gate itself accepts the snapshot against itself.
+        let deltas = compare(text, text).unwrap();
+        assert!(deltas.iter().all(|d| !d.regressed(0.25)));
+    }
+
+    #[test]
     fn malformed_snapshots_error() {
         assert!(family_means("{}").is_err());
         assert!(family_means("{\"strategies\": []}").is_err());
         assert!(family_means("{\"series\": []}").is_err());
         assert!(family_means("{\"certified\": []}").is_err());
+        assert!(family_means("{\"scale\": []}").is_err());
+        assert!(family_means("{\"scale\": [{\"name\": \"x\"}]}").is_err());
         assert!(family_means("{\"strategies\": [{\"strategy\": \"x\"}]}").is_err());
         assert!(family_means("{\"series\": [{\"name\": \"x\"}]}").is_err());
         assert!(family_means("{\"certified\": [{\"name\": \"x\"}]}").is_err());

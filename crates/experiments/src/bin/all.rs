@@ -1,11 +1,12 @@
 //! Runs every experiment binary in sequence (`fig02` … `fig11`, the
-//! baselines/optimality studies, the `churn` dynamic-membership sweep
-//! and the `domains` failure-domain study).
+//! baselines/optimality studies, the `churn` dynamic-membership sweep,
+//! the `domains` failure-domain study and the `scale` million-object
+//! smoke).
 //!
 //! Pass `--quick` to forward the fast mode to the simulation-heavy
-//! binaries (Fig. 2, Fig. 7, `churn` and `domains` are the ones that
-//! run adversaries; everything else is closed-form arithmetic and fast
-//! regardless).
+//! binaries (Fig. 2, Fig. 7, `churn`, `domains` and `scale` are the
+//! ones that run adversaries; everything else is closed-form arithmetic
+//! and fast regardless).
 //!
 //! A binary that fails to launch or exits non-zero stops the run and is
 //! reported with context on stderr; the process exits non-zero so CI
@@ -47,6 +48,7 @@ fn main() -> ExitCode {
         "baselines",
         "churn",
         "domains",
+        "scale",
     ];
     for fig in figures {
         println!("\n================ {fig} ================\n");

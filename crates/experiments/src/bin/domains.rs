@@ -1,9 +1,10 @@
 //! `domains` — availability under hierarchical failure domains.
 //!
-//! The domain counterpart of `sweep`: for every requested rack fan-out,
-//! generate a seeded zone → rack → node topology (`wcp_sim::topo`),
-//! plan every strategy *against that topology* and attack the resulting
-//! placement twice — with the paper's per-node adversary and with the
+//! The domain counterpart of `sweep`: the requested rack fan-outs
+//! become a [`TopologyAxis`] on a [`SweepSpec`] (seeded zone → rack →
+//! node trees via `wcp_sim::topo`), the spec enumerates the cells, and
+//! this binary plans every cell's strategy *against its topology* and
+//! attacks the resulting placement twice — with the paper's per-node adversary and with the
 //! domain adversary that spends its budget on whole racks/zones. A
 //! third column re-attacks after `repair_domain_collisions`, measuring
 //! how much of the gap topology-aware post-processing recovers for
@@ -21,11 +22,11 @@
 use std::process::ExitCode;
 use wcp_adversary::{AdversaryConfig, DomainAttacker, ScratchAdversary};
 use wcp_core::engine::Attacker;
+use wcp_core::sweep::{SweepSpec, TopologyAxis};
 use wcp_core::{
     repair_domain_collisions, Certificate, Engine, Parallelism, PlannerContext, StrategyKind,
     SystemParams, Topology,
 };
-use wcp_sim::topo::TopoSpec;
 use wcp_sim::{csv_safe, results_dir, Csv, JsonLines, Table};
 
 fn usage() -> String {
@@ -151,30 +152,6 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     Ok(cli)
 }
 
-/// The seeded topology for one rack count: `[zones, racks/zones,
-/// rack-size]` fan-outs when zones divide the racks, a single rack level
-/// otherwise.
-fn build_topology(cli: &Cli, racks: u16) -> Result<Topology, String> {
-    let fanouts = if cli.zones > 0 {
-        if !racks.is_multiple_of(cli.zones) {
-            return Err(format!(
-                "--zones {} does not divide rack count {racks}",
-                cli.zones
-            ));
-        }
-        vec![cli.zones, racks / cli.zones, cli.rack_size]
-    } else {
-        vec![racks, cli.rack_size]
-    };
-    let layout = TopoSpec {
-        seed_index: cli.seed,
-        ..TopoSpec::new(format!("domains-{racks}"), fanouts)
-    }
-    .with_jitter(cli.jitter)
-    .generate();
-    Topology::new(layout.n, layout.maps).map_err(|e| e.to_string())
-}
-
 /// The topology as a JSONL-embeddable object: the exact bottom-up
 /// parent maps, so `wcp-verify` can rebuild it even under jitter.
 fn topology_json(topo: &Topology) -> String {
@@ -227,22 +204,51 @@ fn main() -> ExitCode {
     let mut csv = Csv::new(csv_path, &header);
     let mut jsonl = JsonLines::new(json_path);
 
-    for &racks in &cli.racks {
-        let topo = match build_topology(&cli, racks) {
-            Ok(topo) => topo,
-            Err(msg) => {
-                eprintln!("cannot build topology for {racks} racks: {msg}");
-                return ExitCode::FAILURE;
-            }
-        };
+    // The rack/zone grid is a SweepSpec axis: the spec owns topology
+    // generation and canonical cell order (points outermost, strategies
+    // inner); this binary keeps only its bespoke three-adversary
+    // evaluation per cell.
+    let axis = TopologyAxis {
+        label: "domains".to_string(),
+        racks: cli.racks.clone(),
+        rack_size: cli.rack_size,
+        zones: cli.zones,
+        jitter: cli.jitter,
+        seed_index: cli.seed,
+    };
+    let mut spec = SweepSpec::new("domains");
+    spec.grid.b = vec![cli.b];
+    spec.grid.r = vec![cli.r];
+    spec.grid.s = vec![cli.s];
+    spec.grid.k = vec![cli.k];
+    spec.strategies = cli.strategies.clone();
+    spec.topology = Some(axis.clone());
+    // Validate up front: `cells()` skips what it cannot build, but this
+    // binary owes the user a reason and a non-zero exit.
+    let points = match axis.expand() {
+        Ok(points) => points,
+        Err(msg) => {
+            eprintln!("cannot build topologies: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for point in &points {
+        let n = point.topology.num_nodes();
+        if let Err(e) = SystemParams::new(n, cli.b, cli.r, cli.s, cli.k) {
+            eprintln!(
+                "invalid system parameters at {} racks (n={n}): {e}",
+                point.racks
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let cells = spec.cells();
+    assert_eq!(cells.len(), points.len() * spec.strategies.len());
+
+    for (pi, point) in points.iter().enumerate() {
+        let racks = point.racks;
+        let topo: &Topology = &point.topology;
         let n = topo.num_nodes();
-        let params = match SystemParams::new(n, cli.b, cli.r, cli.s, cli.k) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("invalid system parameters at {racks} racks (n={n}): {e}");
-                return ExitCode::FAILURE;
-            }
-        };
         let ctx = PlannerContext {
             topology: Some(topo.clone()),
             ..PlannerContext::default()
@@ -253,13 +259,15 @@ fn main() -> ExitCode {
             parallelism: Some(Parallelism::from_env()),
             ..AdversaryConfig::default()
         };
+        let params = cells[pi * spec.strategies.len()].params;
         let node_engine = Engine::with_attacker(params, ScratchAdversary::new(adv.clone()))
             .with_context(ctx.clone());
         let domain_attacker = DomainAttacker::with_config(topo.clone(), adv);
         let domain_engine =
             Engine::with_attacker(params, domain_attacker.clone()).with_context(ctx.clone());
 
-        for kind in &cli.strategies {
+        for cell in &cells[pi * spec.strategies.len()..(pi + 1) * spec.strategies.len()] {
+            let kind = &cell.kind;
             // Timings are zeroed before serialization: the JSONL must be
             // byte-identical across thread counts (the CI determinism
             // matrix diffs it), and wall-clock telemetry is not.
@@ -288,7 +296,7 @@ fn main() -> ExitCode {
             let (repaired_avail, repair_moved, repaired_cert) = match kind
                 .plan(&params, &ctx)
                 .and_then(|strategy| strategy.build(&params))
-                .and_then(|placement| repair_domain_collisions(&placement, &topo))
+                .and_then(|placement| repair_domain_collisions(&placement, topo))
             {
                 Ok((repaired, moved)) => {
                     let outcome = domain_attacker.attack(&repaired, cli.s, cli.k);
@@ -304,13 +312,13 @@ fn main() -> ExitCode {
             // certificates against the exact failure-unit tree. The
             // repaired placement is not spec-rebuildable, so its record
             // carries the certificate alone.
-            let topo_json = topology_json(&topo);
+            let topo_json = topology_json(topo);
             for (adversary, report) in [("node", &node), ("domain", &domain)] {
                 jsonl.record(format!(
                     "{{\"racks\": {racks}, \"zones\": {}, \"strategy\": {:?}, \
                      \"spec\": {:?}, \"adversary\": {adversary:?}, \
                      \"topology\": {topo_json}, \"report\": {}}}",
-                    cli.zones,
+                    point.zones,
                     kind.label(),
                     kind.spec(),
                     report.to_json(),
@@ -320,7 +328,7 @@ fn main() -> ExitCode {
                 "{{\"racks\": {racks}, \"zones\": {}, \"strategy\": {:?}, \
                  \"adversary\": \"domain-repaired\", \"topology\": {topo_json}, \
                  \"certificate\": {}}}",
-                cli.zones,
+                point.zones,
                 kind.label(),
                 repaired_cert
                     .as_ref()
@@ -328,7 +336,7 @@ fn main() -> ExitCode {
             ));
             let row = vec![
                 racks.to_string(),
-                cli.zones.to_string(),
+                point.zones.to_string(),
                 n.to_string(),
                 csv_safe(&kind.label()),
                 node.measured_availability.to_string(),

@@ -10,6 +10,10 @@
 //!   "certificate": <object|null>}, …]}` — ladder timings carrying
 //!   their availability certificates (the gate ignores the
 //!   certificates; `wcp-verify` checks them)
+//! * `{"scale":      [{"name": <str>, "b": <num>, "median_ns": <num>,
+//!   "evals_per_second": <num>, "peak_rss_bytes": <num>}, …]}` — the
+//!   million-object regime (the gate reads the timings; a
+//!   committed-snapshot test pins the RSS budget)
 //!
 //! plus the ungated sweep-throughput shape CI records for trending:
 //!
@@ -46,15 +50,16 @@ pub fn validate(file: &str, text: &str) -> Vec<Diagnostic> {
     let strategies = doc.get("strategies").and_then(Value::as_array);
     let series = doc.get("series").and_then(Value::as_array);
     let certified = doc.get("certified").and_then(Value::as_array);
+    let scale = doc.get("scale").and_then(Value::as_array);
     let throughput = doc.get("throughput").and_then(Value::as_array);
-    let arrays = [strategies, series, certified, throughput]
+    let arrays = [strategies, series, certified, scale, throughput]
         .iter()
         .flatten()
         .count();
     if arrays > 1 {
         fire(
-            "snapshot mixes \"strategies\"/\"series\"/\"certified\"/\"throughput\" arrays; \
-             the gate would pick one arbitrarily"
+            "snapshot mixes \"strategies\"/\"series\"/\"certified\"/\"scale\"/\"throughput\" \
+             arrays; the gate would pick one arbitrarily"
                 .to_string(),
         );
         return diags;
@@ -63,13 +68,14 @@ pub fn validate(file: &str, text: &str) -> Vec<Diagnostic> {
         validate_throughput(entries, &mut fire);
         return diags;
     }
-    let (entries, label, name_key, ns_key) = match (strategies, series, certified) {
-        (Some(arr), None, None) => (arr, "strategies", "strategy", "median_pipeline_ns"),
-        (None, Some(arr), None) => (arr, "series", "name", "median_ns"),
-        (None, None, Some(arr)) => (arr, "certified", "name", "median_ns"),
+    let (entries, label, name_key, ns_key) = match (strategies, series, certified, scale) {
+        (Some(arr), None, None, None) => (arr, "strategies", "strategy", "median_pipeline_ns"),
+        (None, Some(arr), None, None) => (arr, "series", "name", "median_ns"),
+        (None, None, Some(arr), None) => (arr, "certified", "name", "median_ns"),
+        (None, None, None, Some(arr)) => (arr, "scale", "name", "median_ns"),
         _ => {
             fire(
-                "snapshot has none of the \"strategies\"/\"series\"/\"certified\"/\
+                "snapshot has none of the \"strategies\"/\"series\"/\"certified\"/\"scale\"/\
                  \"throughput\" arrays (the regression gate would reject it)"
                     .to_string(),
             );
@@ -103,6 +109,19 @@ pub fn validate(file: &str, text: &str) -> Vec<Diagnostic> {
                 "{label}[{idx}] ({name:?}) has non-positive or non-finite {ns_key} = {ns}"
             )),
             Some(_) => {}
+        }
+        if label == "scale" {
+            for key in ["b", "evals_per_second", "peak_rss_bytes"] {
+                match entry.get(key).and_then(Value::as_f64) {
+                    None => fire(format!(
+                        "scale[{idx}] ({name:?}) lacks a numeric \"{key}\" field"
+                    )),
+                    Some(v) if !(v.is_finite() && v > 0.0) => fire(format!(
+                        "scale[{idx}] ({name:?}) has non-positive or non-finite {key} = {v}"
+                    )),
+                    Some(_) => {}
+                }
+            }
         }
         if label == "certified" {
             match entry.get("certificate") {
@@ -204,6 +223,13 @@ mod tests {
             "]}"
         );
         assert_eq!(validate("c.json", certified), vec![]);
+        let scale = concat!(
+            "{\"shape\": {\"n\": 71}, \"scale\": [",
+            "{\"name\": \"ladder_b1m\", \"b\": 1000000, \"median_ns\": 900000000, ",
+            "\"evals_per_second\": 1.1, \"peak_rss_bytes\": 101838848}",
+            "]}"
+        );
+        assert_eq!(validate("d.json", scale), vec![]);
     }
 
     #[test]
@@ -250,6 +276,19 @@ mod tests {
             ),
             (
                 "{\"certified\": [], \"series\": []}",
+                "mixes",
+            ),
+            (
+                "{\"scale\": [{\"name\": \"x\", \"median_ns\": 5}]}",
+                "lacks a numeric \"b\"",
+            ),
+            (
+                "{\"scale\": [{\"name\": \"x\", \"b\": 10, \"median_ns\": 5, \
+                 \"evals_per_second\": 1.0, \"peak_rss_bytes\": 0}]}",
+                "non-positive",
+            ),
+            (
+                "{\"scale\": [], \"series\": []}",
                 "mixes",
             ),
         ] {

@@ -9,8 +9,9 @@
 //! rank 2  wcp-core                             (strategies, engine, sweep)
 //! rank 3  wcp-adversary                        (attack ladder)
 //! rank 4  wcp-verify                           (certificate verification)
-//! rank 5  wcp-experiments wcp-bench wcp-lint   (binaries and tooling)
-//! rank 6  worst-case-placement                 (the facade crate)
+//! rank 5  wcp-bench                            (bench fixtures, RSS/median helpers, gates)
+//! rank 6  wcp-experiments wcp-lint             (binaries and tooling)
+//! rank 7  worst-case-placement                 (the facade crate)
 //! ```
 //!
 //! Manifests are parsed with a minimal hand-rolled TOML-section reader
@@ -33,9 +34,9 @@ const RANKS: [(&str, u32); 12] = [
     ("wcp-adversary", 3),
     ("wcp-verify", 4),
     ("wcp-bench", 5),
-    ("wcp-experiments", 5),
-    ("wcp-lint", 5),
-    ("worst-case-placement", 6),
+    ("wcp-experiments", 6),
+    ("wcp-lint", 6),
+    ("worst-case-placement", 7),
 ];
 
 fn rank_of(name: &str) -> Option<u32> {
