@@ -1,9 +1,9 @@
 //! The prover side of the availability-certificate split.
 //!
-//! [`worst_case_certified`] runs the adversary ladder exactly as
-//! [`crate::worst_case_failures`] does — the traced local-search
-//! variants *are* the untraced implementations, so the two cannot
-//! drift — while recording what the `wcp-verify` crate needs to
+//! `Ladder::certified()` runs the adversary ladder exactly as the
+//! uncertified builder does — the traced local-search variants *are*
+//! the untraced implementations, so the two cannot drift — while
+//! recording what the `wcp-verify` crate needs to
 //! re-check the verdict in `O(witness)`: each rung's witness with a
 //! replayable decision-trace hash, and, when the exact rung completed,
 //! a per-root-child **bound ledger** for the branch-and-bound tree.
@@ -91,30 +91,12 @@ fn seal_degenerate(
     cert
 }
 
-/// [`crate::worst_case_failures`] plus its availability certificate.
-///
-/// The returned [`WorstCase`] is identical to the uncertified entry
-/// point's for the same inputs (the ladder is shared, not mirrored).
-///
-/// # Panics
-///
-/// Panics if `k > n` or `s > r` (placement shape mismatch).
-///
-/// # Examples
-///
-/// ```
-/// use wcp_adversary::{worst_case_certified, AdversaryConfig};
-/// use wcp_core::{Certificate, Placement};
-///
-/// let p = Placement::new(6, 3, vec![
-///     vec![0, 1, 2], vec![0, 1, 3], vec![2, 4, 5],
-/// ])?;
-/// let (wc, cert) = worst_case_certified(&p, 2, 2, &AdversaryConfig::default());
-/// assert_eq!((wc.failed, cert.claimed_failed), (2, 2));
-/// // The encoding is self-sealed and round-trips.
-/// assert_eq!(Certificate::from_json(&cert.to_json()).unwrap(), cert);
-/// # Ok::<(), wcp_core::PlacementError>(())
-/// ```
+/// Legacy spelling of
+/// `Ladder::new(config).certified().run(placement, s, k)`.
+#[deprecated(
+    since = "0.10.0",
+    note = "use `Ladder::new(config).certified().run(placement, s, k)`"
+)]
 #[must_use]
 pub fn worst_case_certified(
     placement: &Placement,
@@ -122,12 +104,35 @@ pub fn worst_case_certified(
     k: u16,
     config: &AdversaryConfig,
 ) -> (WorstCase, Certificate) {
-    worst_case_certified_with(placement, s, k, config, &mut AdversaryScratch::new())
+    certified_ladder(placement, s, k, config, &mut AdversaryScratch::new())
 }
 
-/// [`worst_case_certified`] reusing the caller's scratch buffers.
+/// Legacy spelling of
+/// `Ladder::new(config).scratch(scratch).certified().run(placement, s, k)`.
+#[deprecated(
+    since = "0.10.0",
+    note = "use `Ladder::new(config).scratch(scratch).certified().run(placement, s, k)`"
+)]
 #[must_use]
 pub fn worst_case_certified_with(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    config: &AdversaryConfig,
+    scratch: &mut AdversaryScratch,
+) -> (WorstCase, Certificate) {
+    certified_ladder(placement, s, k, config, scratch)
+}
+
+/// The certified auto ladder behind `Ladder::certified().run(…)`.
+///
+/// The returned [`WorstCase`] is identical to the uncertified entry
+/// point's for the same inputs (the ladder is shared, not mirrored).
+///
+/// # Panics
+///
+/// Panics if `k > n` or `s > r` (placement shape mismatch).
+pub(crate) fn certified_ladder(
     placement: &Placement,
     s: u16,
     k: u16,
@@ -254,7 +259,7 @@ fn node_ledger(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::worst_case_failures_with;
+    use crate::Ladder;
     use wcp_core::{Parallelism, RandomStrategy, RandomVariant, SystemParams};
 
     fn random_placement(n: u16, b: u64, r: u16, seed: u64) -> Placement {
@@ -274,10 +279,9 @@ mod tests {
                         parallelism,
                         ..AdversaryConfig::default()
                     };
-                    let plain =
-                        worst_case_failures_with(&p, s, k, &config, &mut AdversaryScratch::new());
-                    let (wc, cert) =
-                        worst_case_certified_with(&p, s, k, &config, &mut AdversaryScratch::new());
+                    let plain = Ladder::new(&config).run(&p, s, k).worst;
+                    let out = Ladder::new(&config).certified().run(&p, s, k);
+                    let (wc, cert) = (out.worst, out.certificate.expect("certified"));
                     assert_eq!(wc, plain, "seed={seed} s={s} k={k} par={parallelism:?}");
                     assert_eq!(cert.claimed_failed, wc.failed);
                     assert_eq!(cert.exact, wc.exact);
@@ -289,7 +293,10 @@ mod tests {
     #[test]
     fn rung_claims_are_monotone_and_ledger_sized() {
         let p = random_placement(14, 60, 3, 7);
-        let (wc, cert) = worst_case_certified(&p, 2, 4, &AdversaryConfig::default());
+        let out = Ladder::new(&AdversaryConfig::default())
+            .certified()
+            .run(&p, 2, 4);
+        let (wc, cert) = (out.worst, out.certificate.expect("certified"));
         assert!(wc.exact, "small shape should complete exactly");
         for pair in cert.rungs.windows(2) {
             assert!(pair[0].failed <= pair[1].failed, "rungs must be monotone");
@@ -306,7 +313,11 @@ mod tests {
     #[test]
     fn certificate_json_round_trips_through_core() {
         let p = random_placement(12, 40, 3, 1);
-        let (_, cert) = worst_case_certified(&p, 2, 3, &AdversaryConfig::default());
+        let cert = Ladder::new(&AdversaryConfig::default())
+            .certified()
+            .run(&p, 2, 3)
+            .certificate
+            .expect("certified");
         let back = Certificate::from_json(&cert.to_json()).expect("parses");
         assert_eq!(back, cert);
     }

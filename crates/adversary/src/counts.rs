@@ -286,7 +286,7 @@ pub(crate) const REBIND_BUFFERS: u32 = 5;
 /// * the planes, both derived masks and all per-node row bitmaps live
 ///   in **one arena allocation** (offset-sliced), and the update pass
 ///   is **cache-blocked**: ripple-carry adds, XOR-diff folds and
-///   masked popcounts complete for one [`BLOCK_WORDS`] block of the
+///   masked popcounts complete for one `BLOCK_WORDS` block of the
 ///   bit-sliced planes before the pass moves to the next, so the
 ///   million-object regime — where a single plane outgrows the LLC —
 ///   still touches each block's streams exactly once per update;
@@ -373,7 +373,7 @@ impl PackedCounts {
     ///
     /// The build streams: one walk of the nested replica sets fills the
     /// flat forward map and per-node counts (pass 1), then pass 2 runs
-    /// over the forward map in [`OBJ_CHUNK`]-sized object chunks,
+    /// over the forward map in `OBJ_CHUNK`-sized object chunks,
     /// filling each chunk's CSR slots and row-bitmap windows before
     /// moving on — no intermediate `Vec<Vec<u32>>` is ever
     /// materialized, and every bitmap lands in the single arena.

@@ -530,7 +530,7 @@ fn climb_units<B: DomainBackend>(be: &mut B, max_steps: u32, all: u64) {
 }
 
 /// Per-rung decision record of the unit ladder, consumed by the
-/// certificate prover ([`domain_worst_case_certified`]).
+/// certificate prover ([`domain_certified_ladder`]).
 #[derive(Debug, Default)]
 struct UnitTrace {
     /// The greedy seed's outcome before any climbing.
@@ -864,35 +864,33 @@ pub fn domain_exact_worst(
     })
 }
 
-/// Auto domain adversary: exact branch-and-bound seeded by local search
-/// when it completes within budget, the heuristic otherwise — the
-/// domain analogue of [`crate::worst_case_failures`]. On a flat
-/// topology the result is bit-for-bit the node adversary's.
+/// Legacy spelling of
+/// `Ladder::new(config).run_domain(placement, topology, s, k)`.
+#[deprecated(
+    since = "0.10.0",
+    note = "use `Ladder::new(config).run_domain(placement, topology, s, k)`"
+)]
+#[must_use]
+pub fn domain_worst_case_failures(
+    placement: &Placement,
+    topology: &Topology,
+    s: u16,
+    k: u16,
+    config: &AdversaryConfig,
+) -> DomainWorstCase {
+    domain_auto_ladder(placement, topology, s, k, config)
+}
+
+/// Auto domain adversary behind `Ladder::run_domain`: exact
+/// branch-and-bound seeded by local search when it completes within
+/// budget, the heuristic otherwise — the domain analogue of the node
+/// auto ladder. On a flat topology the result is bit-for-bit the node
+/// adversary's.
 ///
 /// # Panics
 ///
 /// As for [`domain_greedy_worst`].
-///
-/// # Examples
-///
-/// ```
-/// use wcp_adversary::{domain_worst_case_failures, AdversaryConfig};
-/// use wcp_core::{Placement, Topology};
-///
-/// // Two racks of three nodes; both objects spread across the racks.
-/// let topo = Topology::split(6, &[2])?;
-/// let p = Placement::new(6, 2, vec![vec![0, 3], vec![1, 4]])?;
-/// // One rack failure downs 3 nodes but only one replica per object.
-/// let wc = domain_worst_case_failures(&p, &topo, 2, 1, &AdversaryConfig::default());
-/// assert_eq!(wc.failed, 0);
-/// // Two rack failures down everything.
-/// let wc = domain_worst_case_failures(&p, &topo, 2, 2, &AdversaryConfig::default());
-/// assert_eq!(wc.failed, 2);
-/// assert!(wc.exact);
-/// # Ok::<(), wcp_core::PlacementError>(())
-/// ```
-#[must_use]
-pub fn domain_worst_case_failures(
+pub(crate) fn domain_auto_ladder(
     placement: &Placement,
     topology: &Topology,
     s: u16,
@@ -935,8 +933,26 @@ fn unit_ledger<B: DomainBackend>(be: &mut B, k: u16) -> Vec<LedgerEntry> {
     ledger
 }
 
-/// [`domain_worst_case_failures`] plus its availability certificate —
-/// the domain analogue of [`crate::worst_case_certified`]. The returned
+/// Legacy spelling of
+/// `Ladder::new(config).certified().run_domain(placement, topology, s, k)`.
+#[deprecated(
+    since = "0.10.0",
+    note = "use `Ladder::new(config).certified().run_domain(placement, topology, s, k)`"
+)]
+#[must_use]
+pub fn domain_worst_case_certified(
+    placement: &Placement,
+    topology: &Topology,
+    s: u16,
+    k: u16,
+    config: &AdversaryConfig,
+) -> (DomainWorstCase, Certificate) {
+    domain_certified_ladder(placement, topology, s, k, config)
+}
+
+/// [`domain_auto_ladder`] plus its availability certificate — the
+/// domain analogue of the certified node ladder, behind
+/// `Ladder::certified().run_domain(…)`. The returned
 /// [`DomainWorstCase`] is identical to the uncertified entry point's for
 /// the same inputs (the ladder is shared, not mirrored). The
 /// certificate's rung witnesses carry both the chosen unit ids and
@@ -946,8 +962,7 @@ fn unit_ledger<B: DomainBackend>(be: &mut B, k: u16) -> Vec<LedgerEntry> {
 /// # Panics
 ///
 /// As for [`domain_greedy_worst`].
-#[must_use]
-pub fn domain_worst_case_certified(
+pub(crate) fn domain_certified_ladder(
     placement: &Placement,
     topology: &Topology,
     s: u16,
@@ -1117,7 +1132,8 @@ pub mod scalar {
         })
     }
 
-    /// Scalar mirror of [`super::domain_worst_case_failures`].
+    /// Scalar mirror of the packed domain ladder behind
+    /// [`crate::Ladder::run_domain`].
     #[must_use]
     pub fn domain_worst_case_failures(
         placement: &Placement,
@@ -1192,13 +1208,10 @@ impl DomainAttacker {
 
 impl wcp_core::engine::Attacker for DomainAttacker {
     fn attack(&self, placement: &Placement, s: u16, k: u16) -> wcp_core::engine::AttackOutcome {
-        let (wc, cert) = domain_worst_case_certified(placement, &self.topology, s, k, &self.config);
-        wcp_core::engine::AttackOutcome {
-            failed: wc.failed,
-            nodes: wc.nodes,
-            exact: wc.exact,
-            certificate: Some(cert),
-        }
+        crate::Ladder::new(&self.config)
+            .certified()
+            .run_domain(placement, &self.topology, s, k)
+            .into_attack()
     }
 }
 
@@ -1242,7 +1255,7 @@ mod tests {
             let p = random_placement(12, 30, 3, seed);
             let topo = Topology::split(12, &[4]).unwrap();
             for (s, k) in [(1u16, 2u16), (2, 2), (2, 3), (3, 3)] {
-                let wc = domain_worst_case_failures(&p, &topo, s, k, &AdversaryConfig::default());
+                let wc = domain_auto_ladder(&p, &topo, s, k, &AdversaryConfig::default());
                 assert!(wc.exact, "seed={seed} s={s} k={k}");
                 assert_eq!(
                     wc.failed,
@@ -1262,8 +1275,8 @@ mod tests {
         let topo = Topology::split(15, &[5]).unwrap();
         let cfg = AdversaryConfig::default();
         for (s, k) in [(1u16, 2u16), (2, 3)] {
-            let node = crate::worst_case_failures(&p, s, k, &cfg);
-            let domain = domain_worst_case_failures(&p, &topo, s, k, &cfg);
+            let node = crate::Ladder::new(&cfg).run(&p, s, k).worst;
+            let domain = domain_auto_ladder(&p, &topo, s, k, &cfg);
             assert!(
                 domain.failed >= node.failed,
                 "s={s} k={k}: domain {} < node {}",
@@ -1284,7 +1297,7 @@ mod tests {
         let rack_only = failed_by_units(&p, &topo, &[6], 1);
         assert_eq!(both, rack_only);
         // And the exact search at k = 2 is at least the single rack.
-        let wc = domain_worst_case_failures(&p, &topo, 1, 2, &AdversaryConfig::default());
+        let wc = domain_auto_ladder(&p, &topo, 1, 2, &AdversaryConfig::default());
         assert!(wc.failed >= rack_only);
     }
 
@@ -1293,7 +1306,7 @@ mod tests {
         let p = random_placement(6, 12, 2, 1);
         let topo = Topology::split(6, &[3]).unwrap();
         let units = topo.failure_units().len() as u16;
-        let wc = domain_worst_case_failures(&p, &topo, 1, units, &AdversaryConfig::default());
+        let wc = domain_auto_ladder(&p, &topo, 1, units, &AdversaryConfig::default());
         assert_eq!(wc.failed, 12);
         assert_eq!(wc.nodes, (0..6).collect::<Vec<u16>>());
     }
@@ -1322,7 +1335,7 @@ mod tests {
             exact_budget: 4,
             ..AdversaryConfig::default()
         };
-        let wc = domain_worst_case_failures(&p, &topo, 2, 4, &tight);
+        let wc = domain_auto_ladder(&p, &topo, 2, 4, &tight);
         assert!(!wc.exact);
         assert_eq!(p.failed_objects(&wc.nodes, 2), wc.failed);
     }
@@ -1334,7 +1347,7 @@ mod tests {
         let topo = Topology::split(12, &[4]).unwrap();
         let outcome = DomainAttacker::new(topo.clone()).attack(&p, 2, 2);
         assert_eq!(p.failed_objects(&outcome.nodes, 2), outcome.failed);
-        let wc = domain_worst_case_failures(&p, &topo, 2, 2, &AdversaryConfig::default());
+        let wc = domain_auto_ladder(&p, &topo, 2, 2, &AdversaryConfig::default());
         assert_eq!(outcome.failed, wc.failed);
         assert_eq!(outcome.nodes, wc.nodes);
     }

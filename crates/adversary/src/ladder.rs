@@ -1,0 +1,283 @@
+//! The builder-style entry point to the adversary ladder.
+//!
+//! Historically the ladder was reachable through a 2×2×2 matrix of free
+//! functions — certified or not, caller-supplied scratch or not, node
+//! or domain budget — and every new axis doubled the surface. [`Ladder`]
+//! collapses the matrix into one builder:
+//!
+//! ```text
+//! Ladder::new(&config)                 // plain, fresh scratch
+//!     .scratch(&mut scratch)           // reuse buffers across calls
+//!     .certified()                     // also emit the Certificate
+//!     .run(&placement, s, k)           // node budget  -> LadderOutcome
+//!     .run_domain(&placement, &topo, s, k) // unit budget -> DomainLadderOutcome
+//! ```
+//!
+//! The legacy free functions (`worst_case_failures`,
+//! `worst_case_certified`, their `_with` twins and the domain pair)
+//! survive one more PR as thin deprecated shims over this builder; all
+//! in-tree callers are already migrated.
+//!
+//! The builder adds no policy of its own: `run` dispatches to the same
+//! shared auto ladder (greedy → multi-restart local search → exact
+//! branch-and-bound) whether or not a certificate is requested, so the
+//! certified and uncertified answers cannot drift.
+
+use crate::{certify, domain, AdversaryConfig, AdversaryScratch, DomainWorstCase, WorstCase};
+use wcp_core::{Certificate, Placement, Topology};
+
+/// One configured adversary-ladder run. See the module docs for the
+/// builder grammar; terminal calls are [`Ladder::run`] (node budget)
+/// and [`Ladder::run_domain`] (failure-unit budget).
+///
+/// # Examples
+///
+/// ```
+/// use wcp_adversary::{AdversaryConfig, AdversaryScratch, Ladder};
+/// use wcp_core::Placement;
+///
+/// // Two objects share nodes {0,1}: failing those kills both at s = 2.
+/// let p = Placement::new(6, 3, vec![
+///     vec![0, 1, 2], vec![0, 1, 3], vec![2, 4, 5],
+/// ])?;
+/// let config = AdversaryConfig::default();
+/// let mut scratch = AdversaryScratch::new();
+/// let out = Ladder::new(&config).scratch(&mut scratch).certified().run(&p, 2, 2);
+/// assert_eq!(out.worst.failed, 2);
+/// assert_eq!(out.worst.nodes, vec![0, 1]);
+/// assert!(out.worst.exact);
+/// let cert = out.certificate.expect("certified() was requested");
+/// assert_eq!(cert.claimed_failed, 2);
+/// # Ok::<(), wcp_core::PlacementError>(())
+/// ```
+#[derive(Debug)]
+pub struct Ladder<'a> {
+    config: &'a AdversaryConfig,
+    scratch: Option<&'a mut AdversaryScratch>,
+    certified: bool,
+}
+
+/// What a node-budget [`Ladder::run`] found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LadderOutcome {
+    /// The worst failure set and its damage.
+    pub worst: WorstCase,
+    /// The availability certificate — `Some` iff
+    /// [`certified`](Ladder::certified) was requested.
+    pub certificate: Option<Certificate>,
+}
+
+/// What a unit-budget [`Ladder::run_domain`] found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainLadderOutcome {
+    /// The worst failure-unit set and its damage.
+    pub worst: DomainWorstCase,
+    /// The availability certificate — `Some` iff
+    /// [`certified`](Ladder::certified) was requested.
+    pub certificate: Option<Certificate>,
+}
+
+impl<'a> Ladder<'a> {
+    /// A ladder run with the given tuning, a fresh scratch, and no
+    /// certificate.
+    #[must_use]
+    pub fn new(config: &'a AdversaryConfig) -> Self {
+        Self {
+            config,
+            scratch: None,
+            certified: false,
+        }
+    }
+
+    /// Reuses the caller's [`AdversaryScratch`] so batch callers pay no
+    /// per-evaluation allocation. (Ignored by [`Ladder::run_domain`]:
+    /// the domain backends carry their own per-run state.)
+    #[must_use]
+    pub fn scratch(mut self, scratch: &'a mut AdversaryScratch) -> Self {
+        self.scratch = Some(scratch);
+        self
+    }
+
+    /// Also emit the self-sealed availability [`Certificate`] (rung
+    /// witnesses, trace hashes and — when the exact rung completed —
+    /// the branch-and-bound ledger) for `wcp-verify` to re-check.
+    #[must_use]
+    pub fn certified(mut self) -> Self {
+        self.certified = true;
+        self
+    }
+
+    /// Runs the ladder against node failures: the worst set of `k`
+    /// failed nodes, where an object dies once `s` of its `r` replicas
+    /// are down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n` or `s > r` (placement shape mismatch).
+    #[must_use]
+    pub fn run(self, placement: &Placement, s: u16, k: u16) -> LadderOutcome {
+        let mut local = AdversaryScratch::new();
+        let scratch = match self.scratch {
+            Some(s) => s,
+            None => &mut local,
+        };
+        if self.certified {
+            let (worst, cert) = certify::certified_ladder(placement, s, k, self.config, scratch);
+            LadderOutcome {
+                worst,
+                certificate: Some(cert),
+            }
+        } else {
+            LadderOutcome {
+                worst: crate::auto_ladder(placement, s, k, self.config, scratch),
+                certificate: None,
+            }
+        }
+    }
+
+    /// Runs the ladder against correlated failures: the budget is spent
+    /// on failure *units* of `topology` (leaves, racks, zones — failing
+    /// an internal node fails its whole leaf set).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology's node universe does not match the
+    /// placement's, when `k` exceeds the unit count, or when `s > r`.
+    #[must_use]
+    pub fn run_domain(
+        self,
+        placement: &Placement,
+        topology: &Topology,
+        s: u16,
+        k: u16,
+    ) -> DomainLadderOutcome {
+        if self.certified {
+            let (worst, cert) =
+                domain::domain_certified_ladder(placement, topology, s, k, self.config);
+            DomainLadderOutcome {
+                worst,
+                certificate: Some(cert),
+            }
+        } else {
+            DomainLadderOutcome {
+                worst: domain::domain_auto_ladder(placement, topology, s, k, self.config),
+                certificate: None,
+            }
+        }
+    }
+}
+
+impl LadderOutcome {
+    /// Repackages the outcome as the engine-facing
+    /// [`AttackOutcome`](wcp_core::engine::AttackOutcome) — what every
+    /// [`Attacker`](wcp_core::engine::Attacker) built on the ladder
+    /// returns.
+    #[must_use]
+    pub fn into_attack(self) -> wcp_core::engine::AttackOutcome {
+        wcp_core::engine::AttackOutcome {
+            failed: self.worst.failed,
+            nodes: self.worst.nodes,
+            exact: self.worst.exact,
+            certificate: self.certificate,
+        }
+    }
+}
+
+impl DomainLadderOutcome {
+    /// As [`LadderOutcome::into_attack`]; the reported node set is the
+    /// *leaf union* of the chosen units (typically longer than `k`).
+    #[must_use]
+    pub fn into_attack(self) -> wcp_core::engine::AttackOutcome {
+        wcp_core::engine::AttackOutcome {
+            failed: self.worst.failed,
+            nodes: self.worst.nodes,
+            exact: self.worst.exact,
+            certificate: self.certificate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcp_core::{RandomStrategy, RandomVariant, SystemParams};
+
+    fn random_placement(n: u16, b: u64, r: u16, seed: u64) -> Placement {
+        let params = SystemParams::new(n, b, r, 1, 1).unwrap();
+        RandomStrategy::new(seed, RandomVariant::LoadBalanced)
+            .place(&params)
+            .unwrap()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn builder_matches_every_legacy_shim() {
+        // The one-PR compatibility contract: each cell of the legacy
+        // 2×2 node matrix and the domain pair answers exactly like the
+        // builder spelling that replaces it.
+        let p = random_placement(14, 60, 3, 11);
+        let config = AdversaryConfig::default();
+        let (s, k) = (2u16, 3u16);
+
+        let plain = Ladder::new(&config).run(&p, s, k);
+        assert_eq!(plain.certificate, None);
+        assert_eq!(crate::worst_case_failures(&p, s, k, &config), plain.worst);
+        let mut scratch = AdversaryScratch::new();
+        assert_eq!(
+            crate::worst_case_failures_with(&p, s, k, &config, &mut scratch),
+            plain.worst
+        );
+
+        let certified = Ladder::new(&config).certified().run(&p, s, k);
+        let (wc, cert) = crate::worst_case_certified(&p, s, k, &config);
+        assert_eq!(
+            (wc, Some(cert)),
+            (certified.worst.clone(), certified.certificate.clone())
+        );
+        let (wc, cert) = crate::worst_case_certified_with(&p, s, k, &config, &mut scratch);
+        assert_eq!((Some(cert), wc), (certified.certificate, certified.worst));
+
+        let topo = Topology::split(14, &[7]).unwrap();
+        let dom = Ladder::new(&config).certified().run_domain(&p, &topo, s, 1);
+        let (wc, cert) = crate::domain_worst_case_certified(&p, &topo, s, 1, &config);
+        assert_eq!((wc, Some(cert)), (dom.worst.clone(), dom.certificate));
+        assert_eq!(
+            crate::domain_worst_case_failures(&p, &topo, s, 1, &config),
+            Ladder::new(&config).run_domain(&p, &topo, s, 1).worst
+        );
+        assert_eq!(
+            dom.worst,
+            Ladder::new(&config).run_domain(&p, &topo, s, 1).worst
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_changes_nothing() {
+        let p = random_placement(16, 80, 3, 3);
+        let config = AdversaryConfig::default();
+        let mut scratch = AdversaryScratch::new();
+        let mut last = None;
+        for _ in 0..3 {
+            let out = Ladder::new(&config)
+                .scratch(&mut scratch)
+                .certified()
+                .run(&p, 2, 4);
+            if let Some(prev) = last.replace(out.clone()) {
+                assert_eq!(prev, out);
+            }
+        }
+    }
+
+    #[test]
+    fn into_attack_carries_the_certificate() {
+        let p = random_placement(12, 40, 3, 5);
+        let config = AdversaryConfig::default();
+        let attack = Ladder::new(&config).certified().run(&p, 2, 3).into_attack();
+        let cert = attack.certificate.expect("certified run");
+        assert_eq!(cert.claimed_failed, attack.failed);
+        assert_eq!(p.failed_objects(&attack.nodes, 2), attack.failed);
+        let uncert = Ladder::new(&config).run(&p, 2, 3).into_attack();
+        assert_eq!(uncert.certificate, None);
+        assert_eq!(uncert.failed, attack.failed);
+    }
+}

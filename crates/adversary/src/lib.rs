@@ -11,9 +11,10 @@
 //! * [`greedy_worst`] — marginal-gain greedy, `O(k·n·ℓ)`;
 //! * [`local_search_worst`] — steepest-ascent swap search with seeded
 //!   restarts, the workhorse for large instances;
-//! * [`worst_case_failures`] — the auto policy used by experiments: exact
-//!   when affordable, otherwise greedy + local search (still labelled
-//!   `exact: false`).
+//! * [`Ladder`] — the builder-style entry point to the auto policy used
+//!   by experiments: exact when affordable, otherwise greedy + local
+//!   search (still labelled `exact: false`), optionally certified,
+//!   optionally reusing caller scratch.
 //!
 //! All adversaries *maximize failed objects*; availability is
 //! `b − failed`. A heuristic adversary can only under-estimate the damage,
@@ -33,11 +34,11 @@
 //! and as the benchmark baseline.
 //!
 //! The [`mod@domain`] module lifts the whole ladder to *hierarchical
-//! failure domains*: [`domain_worst_case_failures`] spends the budget
-//! on tree nodes of a `wcp_core::Topology` (leaves, racks, zones —
-//! failing an internal node fails its whole leaf set), degenerating to
-//! the per-node ladder bit for bit on the flat topology;
-//! [`DomainAttacker`] plugs it into the `Engine` pipeline.
+//! failure domains*: [`Ladder::run_domain`] spends the budget on tree
+//! nodes of a `wcp_core::Topology` (leaves, racks, zones — failing an
+//! internal node fails its whole leaf set), degenerating to the
+//! per-node ladder bit for bit on the flat topology; [`DomainAttacker`]
+//! plugs it into the `Engine` pipeline.
 
 #![forbid(unsafe_code)]
 
@@ -47,18 +48,22 @@ mod counts;
 pub mod domain;
 mod exact;
 mod hist;
+mod ladder;
 mod parallel;
 mod pool;
 pub mod reference;
 mod search;
 
+#[allow(deprecated)]
 pub use certify::{worst_case_certified, worst_case_certified_with};
-pub use counts::{FailureCounts, PackedCounts};
+pub use counts::{BuildStats, FailureCounts, PackedCounts};
+#[allow(deprecated)]
 pub use domain::{
     domain_exact_worst, domain_greedy_worst, domain_local_search_worst,
     domain_worst_case_certified, domain_worst_case_failures, DomainAttacker, DomainWorstCase,
 };
 pub use exact::{exact_worst, exact_worst_with};
+pub use ladder::{DomainLadderOutcome, Ladder, LadderOutcome};
 pub use parallel::{exact_worst_parallel, local_search_worst_parallel};
 pub use search::{greedy_worst, greedy_worst_with, local_search_worst, local_search_worst_with};
 
@@ -233,7 +238,7 @@ impl AdversaryConfig {
 
 /// [`AdversaryConfig`] *is* an [`wcp_core::engine::Attacker`]: plugging
 /// it into [`wcp_core::Engine`] makes the facade's attack stage the full
-/// exact-with-heuristic-fallback ladder of [`worst_case_failures`].
+/// exact-with-heuristic-fallback [`Ladder`].
 ///
 /// # Examples
 ///
@@ -250,19 +255,15 @@ impl AdversaryConfig {
 /// ```
 impl wcp_core::engine::Attacker for AdversaryConfig {
     fn attack(&self, placement: &Placement, s: u16, k: u16) -> wcp_core::engine::AttackOutcome {
-        let (wc, cert) = worst_case_certified(placement, s, k, self);
-        wcp_core::engine::AttackOutcome {
-            failed: wc.failed,
-            nodes: wc.nodes,
-            exact: wc.exact,
-            certificate: Some(cert),
-        }
+        Ladder::new(self)
+            .certified()
+            .run(placement, s, k)
+            .into_attack()
     }
 }
 
 /// An [`wcp_core::engine::Attacker`] that owns its scratch: the full
-/// [`worst_case_failures`] ladder with one [`AdversaryScratch`] reused
-/// across every attack.
+/// [`Ladder`] with one [`AdversaryScratch`] reused across every attack.
 ///
 /// This is the attacker to hand `wcp_core::dynamic::DynamicEngine`,
 /// which re-attacks after every membership event — across a long churn
@@ -309,19 +310,11 @@ impl ScratchAdversary {
 
 impl wcp_core::engine::Attacker for ScratchAdversary {
     fn attack(&self, placement: &Placement, s: u16, k: u16) -> wcp_core::engine::AttackOutcome {
-        let (wc, cert) = worst_case_certified_with(
-            placement,
-            s,
-            k,
-            &self.config,
-            &mut self.scratch.borrow_mut(),
-        );
-        wcp_core::engine::AttackOutcome {
-            failed: wc.failed,
-            nodes: wc.nodes,
-            exact: wc.exact,
-            certificate: Some(cert),
-        }
+        Ladder::new(&self.config)
+            .scratch(&mut self.scratch.borrow_mut())
+            .certified()
+            .run(placement, s, k)
+            .into_attack()
     }
 }
 
@@ -336,29 +329,11 @@ pub struct WorstCase {
     pub exact: bool,
 }
 
-/// Auto adversary: exact branch-and-bound when it completes within budget,
-/// otherwise the better of greedy and multi-restart local search.
-///
-/// # Panics
-///
-/// Panics if `k > n` or `s > r` (placement shape mismatch).
-///
-/// # Examples
-///
-/// ```
-/// use wcp_adversary::{worst_case_failures, AdversaryConfig};
-/// use wcp_core::Placement;
-///
-/// // Two objects share nodes {0,1}: failing those kills both at s = 2.
-/// let p = Placement::new(6, 3, vec![
-///     vec![0, 1, 2], vec![0, 1, 3], vec![2, 4, 5],
-/// ])?;
-/// let wc = worst_case_failures(&p, 2, 2, &AdversaryConfig::default());
-/// assert_eq!(wc.failed, 2);
-/// assert_eq!(wc.nodes, vec![0, 1]);
-/// assert!(wc.exact);
-/// # Ok::<(), wcp_core::PlacementError>(())
-/// ```
+/// Legacy spelling of `Ladder::new(config).run(placement, s, k)`.
+#[deprecated(
+    since = "0.10.0",
+    note = "use `Ladder::new(config).run(placement, s, k)`"
+)]
 #[must_use]
 pub fn worst_case_failures(
     placement: &Placement,
@@ -366,13 +341,34 @@ pub fn worst_case_failures(
     k: u16,
     config: &AdversaryConfig,
 ) -> WorstCase {
-    worst_case_failures_with(placement, s, k, config, &mut AdversaryScratch::new())
+    auto_ladder(placement, s, k, config, &mut AdversaryScratch::new())
 }
 
-/// [`worst_case_failures`] reusing the caller's scratch buffers across
-/// both the local-search stage and the exact DFS.
+/// Legacy spelling of
+/// `Ladder::new(config).scratch(scratch).run(placement, s, k)`.
+#[deprecated(
+    since = "0.10.0",
+    note = "use `Ladder::new(config).scratch(scratch).run(placement, s, k)`"
+)]
 #[must_use]
 pub fn worst_case_failures_with(
+    placement: &Placement,
+    s: u16,
+    k: u16,
+    config: &AdversaryConfig,
+    scratch: &mut AdversaryScratch,
+) -> WorstCase {
+    auto_ladder(placement, s, k, config, scratch)
+}
+
+/// The auto policy behind [`Ladder::run`]: exact branch-and-bound when
+/// it completes within budget, otherwise the better of greedy and
+/// multi-restart local search.
+///
+/// # Panics
+///
+/// Panics if `k > n` or `s > r` (placement shape mismatch).
+pub(crate) fn auto_ladder(
     placement: &Placement,
     s: u16,
     k: u16,
@@ -448,7 +444,7 @@ pub fn availability(
     k: u16,
     config: &AdversaryConfig,
 ) -> (u64, WorstCase) {
-    let wc = worst_case_failures(placement, s, k, config);
+    let wc = Ladder::new(config).run(placement, s, k).worst;
     (placement.num_objects() as u64 - wc.failed, wc)
 }
 
@@ -518,13 +514,11 @@ impl CellAttacker for SweepAdversary {
                 ..AdversaryConfig::default()
             },
         };
-        let (wc, cert) = worst_case_certified_with(placement, s, k, &config, &mut self.scratch);
-        wcp_core::engine::AttackOutcome {
-            failed: wc.failed,
-            nodes: wc.nodes,
-            exact: wc.exact,
-            certificate: Some(cert),
-        }
+        Ladder::new(&config)
+            .scratch(&mut self.scratch)
+            .certified()
+            .run(placement, s, k)
+            .into_attack()
     }
 }
 
@@ -557,7 +551,7 @@ mod tests {
             for s in 1..=3u16 {
                 for k in s..=5u16 {
                     let expect = brute_force(&p, s, k);
-                    let wc = worst_case_failures(&p, s, k, &AdversaryConfig::default());
+                    let wc = Ladder::new(&AdversaryConfig::default()).run(&p, s, k).worst;
                     assert!(wc.exact, "seed={seed} s={s} k={k} should be exact");
                     assert_eq!(wc.failed, expect, "seed={seed} s={s} k={k}");
                     assert_eq!(
@@ -592,7 +586,7 @@ mod tests {
             exact_budget: 10,
             ..AdversaryConfig::default()
         };
-        let wc = worst_case_failures(&p, 2, 5, &tight);
+        let wc = Ladder::new(&tight).run(&p, 2, 5).worst;
         assert!(!wc.exact);
         assert_eq!(p.failed_objects(&wc.nodes, 2), wc.failed);
     }
@@ -600,7 +594,7 @@ mod tests {
     #[test]
     fn degenerate_k_equals_n() {
         let p = random_placement(8, 20, 3, 1);
-        let wc = worst_case_failures(&p, 1, 8, &AdversaryConfig::default());
+        let wc = Ladder::new(&AdversaryConfig::default()).run(&p, 1, 8).worst;
         assert_eq!(wc.failed, 20); // everything dies
     }
 
@@ -609,9 +603,9 @@ mod tests {
         // Objects on disjoint node pairs: failing k = 2 nodes kills at most
         // one object at s = 2.
         let p = Placement::new(8, 2, vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]).unwrap();
-        let wc = worst_case_failures(&p, 2, 2, &AdversaryConfig::default());
+        let wc = Ladder::new(&AdversaryConfig::default()).run(&p, 2, 2).worst;
         assert_eq!(wc.failed, 1);
-        let wc = worst_case_failures(&p, 2, 4, &AdversaryConfig::default());
+        let wc = Ladder::new(&AdversaryConfig::default()).run(&p, 2, 4).worst;
         assert_eq!(wc.failed, 2);
     }
 }

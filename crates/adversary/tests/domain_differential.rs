@@ -13,8 +13,8 @@
 use proptest::prelude::*;
 use wcp_adversary::domain::scalar;
 use wcp_adversary::{
-    domain_exact_worst, domain_greedy_worst, domain_local_search_worst, domain_worst_case_failures,
-    exact_worst, greedy_worst, local_search_worst, worst_case_failures, AdversaryConfig,
+    domain_exact_worst, domain_greedy_worst, domain_local_search_worst, exact_worst, greedy_worst,
+    local_search_worst, AdversaryConfig, Ladder,
 };
 use wcp_combin::KSubsets;
 use wcp_core::{Placement, RandomStrategy, RandomVariant, SystemParams, Topology};
@@ -83,8 +83,8 @@ proptest! {
             prop_assert_eq!(&dom.nodes, &node.nodes, "exact witness s={} k={}", s, k);
             prop_assert_eq!((dom.failed, dom.exact), (node.failed, node.exact));
 
-            let node = worst_case_failures(&p, s, k, &cfg);
-            let dom = domain_worst_case_failures(&p, &flat, s, k, &cfg);
+            let node = Ladder::new(&cfg).run(&p, s, k).worst;
+            let dom = Ladder::new(&cfg).run_domain(&p, &flat, s, k).worst;
             prop_assert_eq!(&dom.nodes, &node.nodes, "ladder witness s={} k={}", s, k);
             prop_assert_eq!((dom.failed, dom.exact), (node.failed, node.exact));
         }
@@ -123,7 +123,7 @@ proptest! {
                 "exact s={} k={}", s, k
             );
             prop_assert_eq!(
-                domain_worst_case_failures(&p, &topo, s, k, &cfg),
+                Ladder::new(&cfg).run_domain(&p, &topo, s, k).worst,
                 scalar::domain_worst_case_failures(&p, &topo, s, k, &cfg),
                 "ladder s={} k={}", s, k
             );
@@ -150,7 +150,9 @@ proptest! {
                 .map(|subset| failed_by_units(&p, &topo, &subset, s))
                 .max()
                 .unwrap_or(0);
-            let wc = domain_worst_case_failures(&p, &topo, s, k, &AdversaryConfig::default());
+            let wc = Ladder::new(&AdversaryConfig::default())
+                .run_domain(&p, &topo, s, k)
+                .worst;
             prop_assert!(wc.exact, "s={} k={}", s, k);
             prop_assert_eq!(wc.failed, expect, "s={} k={}", s, k);
             prop_assert_eq!(
@@ -174,7 +176,7 @@ proptest! {
         let p = placement(n, b, 3, seed);
         let topo = topology(n, racks, 0);
         let tight = AdversaryConfig { exact_budget: 3, ..AdversaryConfig::default() };
-        let packed = domain_worst_case_failures(&p, &topo, 2, 3, &tight);
+        let packed = Ladder::new(&tight).run_domain(&p, &topo, 2, 3).worst;
         let oracle = scalar::domain_worst_case_failures(&p, &topo, 2, 3, &tight);
         prop_assert_eq!(&packed, &oracle);
         prop_assert_eq!(p.failed_objects(&packed.nodes, 2), packed.failed);
@@ -187,14 +189,16 @@ proptest! {
 fn acceptance_shape_flat_parity_and_rack_domination() {
     let p = placement(71, 1200, 3, 0xd0d0);
     let cfg = AdversaryConfig::default();
-    let node = worst_case_failures(&p, 2, 3, &cfg);
-    let flat = domain_worst_case_failures(&p, &Topology::flat(71), 2, 3, &cfg);
+    let node = Ladder::new(&cfg).run(&p, 2, 3).worst;
+    let flat = Ladder::new(&cfg)
+        .run_domain(&p, &Topology::flat(71), 2, 3)
+        .worst;
     assert_eq!(flat.nodes, node.nodes);
     assert_eq!(flat.failed, node.failed);
     assert_eq!(flat.exact, node.exact);
 
     let racks = Topology::split(71, &[12]).unwrap();
-    let dom = domain_worst_case_failures(&p, &racks, 2, 3, &cfg);
+    let dom = Ladder::new(&cfg).run_domain(&p, &racks, 2, 3).worst;
     assert!(
         dom.failed > node.failed,
         "three rack failures ({} objects) should beat three node failures ({})",

@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 use wcp_adversary::{
-    local_search_worst_with, reference, worst_case_failures_with, AdversaryConfig, AdversaryScratch,
+    local_search_worst_with, reference, AdversaryConfig, AdversaryScratch, Ladder,
 };
 use wcp_core::{Parallelism, Placement, RandomStrategy, RandomVariant, SystemParams};
 
@@ -88,8 +88,8 @@ proptest! {
         let mut hist_scratch = AdversaryScratch::new();
         let mut packed_scratch = AdversaryScratch::new();
         for s in 1..=r.min(3) {
-            let hist = worst_case_failures_with(&p, s, k, &hist_cfg(), &mut hist_scratch);
-            let packed = worst_case_failures_with(&p, s, k, &packed_cfg(), &mut packed_scratch);
+            let hist = Ladder::new(&hist_cfg()).scratch(&mut hist_scratch).run(&p, s, k).worst;
+            let packed = Ladder::new(&packed_cfg()).scratch(&mut packed_scratch).run(&p, s, k).worst;
             prop_assert_eq!(&hist, &packed, "auto ladder, s={} k={}", s, k);
             prop_assert_eq!(
                 p.failed_objects(&hist.nodes, s), hist.failed,
@@ -128,8 +128,8 @@ proptest! {
             };
             let mut hist_scratch = AdversaryScratch::new();
             let mut packed_scratch = AdversaryScratch::new();
-            let hist = worst_case_failures_with(&p, s, k, &par_hist, &mut hist_scratch);
-            let packed = worst_case_failures_with(&p, s, k, &par_packed, &mut packed_scratch);
+            let hist = Ladder::new(&par_hist).scratch(&mut hist_scratch).run(&p, s, k).worst;
+            let packed = Ladder::new(&par_packed).scratch(&mut packed_scratch).run(&p, s, k).worst;
             prop_assert_eq!(&hist, &packed, "parallel hist vs parallel packed, threads={}", threads);
             prop_assert_eq!(
                 p.failed_objects(&hist.nodes, s), hist.failed,
@@ -158,8 +158,8 @@ fn threshold_boundary_is_decision_invisible() {
     let mut s1 = AdversaryScratch::new();
     let mut s2 = AdversaryScratch::new();
     assert_eq!(
-        worst_case_failures_with(&p, 2, 3, &below, &mut s1),
-        worst_case_failures_with(&p, 2, 3, &at, &mut s2),
+        Ladder::new(&below).scratch(&mut s1).run(&p, 2, 3).worst,
+        Ladder::new(&at).scratch(&mut s2).run(&p, 2, 3).worst,
     );
 }
 

@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 use wcp_adversary::{
     exact_worst, exact_worst_parallel, greedy_worst, local_search_worst,
-    local_search_worst_parallel, worst_case_failures, worst_case_failures_with, AdversaryConfig,
-    AdversaryScratch, SweepAdversary,
+    local_search_worst_parallel, AdversaryConfig, AdversaryScratch, Ladder, SweepAdversary,
 };
 use wcp_combin::KSubsets;
 use wcp_core::sweep::{sweep_with, AdversarySpec, SweepOptions, SweepSpec};
@@ -60,7 +59,7 @@ proptest! {
         let truth = brute_force(&p, s, k);
         let g = greedy_worst(&p, s, k);
         let ls = local_search_worst(&p, s, k, &AdversaryConfig::default());
-        let auto = worst_case_failures(&p, s, k, &AdversaryConfig::default());
+        let auto = Ladder::new(&AdversaryConfig::default()).run(&p, s, k).worst;
         prop_assert!(g.failed <= truth);
         prop_assert!(ls.failed <= truth);
         prop_assert!(g.failed <= ls.failed);
@@ -82,8 +81,8 @@ proptest! {
             prop_assume!(k < n && r <= n);
             let s = r.min(2);
             let p = placement(n, b, r, seed);
-            let fresh = worst_case_failures(&p, s, k, &cfg);
-            let reused = worst_case_failures_with(&p, s, k, &cfg, &mut scratch);
+            let fresh = Ladder::new(&cfg).run(&p, s, k).worst;
+            let reused = Ladder::new(&cfg).scratch(&mut scratch).run(&p, s, k).worst;
             prop_assert_eq!(fresh, reused, "n={} b={} r={} k={}", n, b, r, k);
         }
     }
@@ -200,12 +199,12 @@ proptest! {
         let one = local_search_worst_parallel(&p, s, k, &cfg, Parallelism::single());
         let many = local_search_worst_parallel(&p, s, k, &cfg, Parallelism::new(threads));
         prop_assert_eq!(&one, &many, "local search must be thread-count-invariant");
-        let serial = worst_case_failures(&p, s, k, &cfg);
+        let serial = Ladder::new(&cfg).run(&p, s, k).worst;
         let par_cfg = AdversaryConfig {
             parallelism: Some(Parallelism::new(threads)),
             ..AdversaryConfig::default()
         };
-        let par = worst_case_failures(&p, s, k, &par_cfg);
+        let par = Ladder::new(&par_cfg).run(&p, s, k).worst;
         prop_assert!(par.exact && serial.exact);
         prop_assert_eq!(par.failed, serial.failed);
         prop_assert_eq!(p.failed_objects(&par.nodes, s), par.failed, "witness mismatch");
@@ -219,13 +218,13 @@ proptest! {
         let cfg = AdversaryConfig::default();
         let mut prev = 0u64;
         for k in 1..=5u16 {
-            let wc = worst_case_failures(&p, 2, k, &cfg);
+            let wc = Ladder::new(&cfg).run(&p, 2, k).worst;
             prop_assert!(wc.failed >= prev, "k={}", k);
             prev = wc.failed;
         }
         let mut prev = u64::MAX;
         for s in 1..=3u16 {
-            let wc = worst_case_failures(&p, s, 4, &cfg);
+            let wc = Ladder::new(&cfg).run(&p, s, 4).worst;
             prop_assert!(wc.failed <= prev, "s={}", s);
             prev = wc.failed;
         }

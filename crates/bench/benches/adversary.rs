@@ -13,8 +13,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use wcp_adversary::{
-    exact_worst_with, greedy_worst_with, local_search_worst_with, reference,
-    worst_case_failures_with, AdversaryConfig, AdversaryScratch,
+    exact_worst_with, greedy_worst_with, local_search_worst_with, reference, AdversaryConfig,
+    AdversaryScratch, Ladder,
 };
 use wcp_bench::{fixture_placement, median_ns};
 use wcp_core::Placement;
@@ -25,7 +25,7 @@ fn acceptance_placement() -> Placement {
 }
 
 /// The scalar baseline for the full auto evaluation: reference local
-/// search seeding the reference exact DFS (what `worst_case_failures`
+/// search seeding the reference exact DFS (what `Ladder::run`
 /// did before the kernel).
 fn scalar_ladder(
     placement: &Placement,
@@ -68,7 +68,13 @@ fn bench_kernel_vs_scalar(c: &mut Criterion) {
         b.iter(|| scalar_ladder(black_box(&placement), s, k, &cfg, &mut scratch));
     });
     group.bench_function("packed_ladder", |b| {
-        b.iter(|| worst_case_failures_with(black_box(&placement), s, k, &cfg, &mut scratch).failed);
+        b.iter(|| {
+            Ladder::new(&cfg)
+                .scratch(&mut scratch)
+                .run(black_box(&placement), s, k)
+                .worst
+                .failed
+        });
     });
     group.finish();
 
@@ -151,7 +157,13 @@ fn write_snapshot(placement: &Placement, s: u16, k: u16, cfg: &AdversaryConfig) 
         ),
         (
             "packed_ladder",
-            median_ns(|| worst_case_failures_with(placement, s, k, cfg, &mut scratch).failed),
+            median_ns(|| {
+                Ladder::new(cfg)
+                    .scratch(&mut scratch)
+                    .run(placement, s, k)
+                    .worst
+                    .failed
+            }),
         ),
     ];
     let lookup = |name: &str| {

@@ -16,8 +16,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 use wcp_adversary::{
-    exact_worst_parallel, local_search_worst_with, worst_case_failures_with, AdversaryConfig,
-    AdversaryScratch,
+    exact_worst_parallel, local_search_worst_with, AdversaryConfig, AdversaryScratch, Ladder,
 };
 use wcp_bench::{fixture_placement, median_ns, snapshot_out};
 use wcp_core::{Parallelism, Placement};
@@ -47,7 +46,11 @@ fn bench_parallel_ladder(c: &mut Criterion) {
         let cfg = ladder_cfg(threads);
         group.bench_function(format!("ladder_{threads}_threads"), |b| {
             b.iter(|| {
-                worst_case_failures_with(black_box(&placement), s, k, &cfg, &mut scratch).failed
+                Ladder::new(&cfg)
+                    .scratch(&mut scratch)
+                    .run(black_box(&placement), s, k)
+                    .worst
+                    .failed
             });
         });
     }
@@ -85,7 +88,13 @@ fn write_snapshot(placement: &Placement, s: u16, k: u16) {
         ("ladder_t4", 4),
     ] {
         let cfg = ladder_cfg(threads);
-        let ns = median_ns(|| worst_case_failures_with(placement, s, k, &cfg, &mut scratch).failed);
+        let ns = median_ns(|| {
+            Ladder::new(&cfg)
+                .scratch(&mut scratch)
+                .run(placement, s, k)
+                .worst
+                .failed
+        });
         series.push((format!("{label} (threads={threads})"), ns));
     }
 

@@ -14,7 +14,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use wcp_adversary::{domain_worst_case_failures, worst_case_failures, AdversaryConfig};
+use wcp_adversary::{AdversaryConfig, Ladder};
 use wcp_bench::{fixture_placement, median_ns};
 use wcp_core::{Placement, Topology};
 
@@ -33,13 +33,28 @@ fn bench_domain_vs_flat(c: &mut Criterion) {
     let mut group = c.benchmark_group("domains_n71_b1200_s2_k3");
     group.sample_size(10);
     group.bench_function("node_ladder", |b| {
-        b.iter(|| worst_case_failures(black_box(&placement), s, k, &cfg).failed);
+        b.iter(|| {
+            Ladder::new(&cfg)
+                .run(black_box(&placement), s, k)
+                .worst
+                .failed
+        });
     });
     group.bench_function("flat_domain_ladder", |b| {
-        b.iter(|| domain_worst_case_failures(black_box(&placement), &flat, s, k, &cfg).failed);
+        b.iter(|| {
+            Ladder::new(&cfg)
+                .run_domain(black_box(&placement), &flat, s, k)
+                .worst
+                .failed
+        });
     });
     group.bench_function("rack_domain_ladder", |b| {
-        b.iter(|| domain_worst_case_failures(black_box(&placement), &racks, s, k, &cfg).failed);
+        b.iter(|| {
+            Ladder::new(&cfg)
+                .run_domain(black_box(&placement), &racks, s, k)
+                .worst
+                .failed
+        });
     });
     group.finish();
 
@@ -59,15 +74,25 @@ fn write_snapshot(
     let series: Vec<(&str, u128)> = vec![
         (
             "node_ladder",
-            median_ns(|| worst_case_failures(placement, s, k, cfg).failed),
+            median_ns(|| Ladder::new(cfg).run(placement, s, k).worst.failed),
         ),
         (
             "flat_domain_ladder",
-            median_ns(|| domain_worst_case_failures(placement, flat, s, k, cfg).failed),
+            median_ns(|| {
+                Ladder::new(cfg)
+                    .run_domain(placement, flat, s, k)
+                    .worst
+                    .failed
+            }),
         ),
         (
             "rack_domain_ladder",
-            median_ns(|| domain_worst_case_failures(placement, racks, s, k, cfg).failed),
+            median_ns(|| {
+                Ladder::new(cfg)
+                    .run_domain(placement, racks, s, k)
+                    .worst
+                    .failed
+            }),
         ),
     ];
     let lookup = |name: &str| {

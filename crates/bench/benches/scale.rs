@@ -15,7 +15,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
-use wcp_adversary::{worst_case_failures_with, AdversaryConfig, AdversaryScratch};
+use wcp_adversary::{AdversaryConfig, AdversaryScratch, Ladder};
 use wcp_bench::{fixture_placement, median_ns, peak_rss_bytes, snapshot_out};
 
 fn bench_scale_ladder(c: &mut Criterion) {
@@ -28,7 +28,11 @@ fn bench_scale_ladder(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("ladder_b100k", |b| {
         b.iter(|| {
-            worst_case_failures_with(black_box(&placement), s, k, &config, &mut scratch).failed
+            Ladder::new(&config)
+                .scratch(&mut scratch)
+                .run(black_box(&placement), s, k)
+                .worst
+                .failed
         });
     });
     group.finish();
@@ -63,7 +67,13 @@ fn write_snapshot(s: u16, k: u16, config: &AdversaryConfig) {
         ("ladder_b1m", 1_000_000, true),
     ] {
         let placement = fixture_placement(71, b, 3);
-        let one = || worst_case_failures_with(&placement, s, k, config, &mut scratch).failed;
+        let one = || {
+            Ladder::new(config)
+                .scratch(&mut scratch)
+                .run(&placement, s, k)
+                .worst
+                .failed
+        };
         let ns = if seconds_scale {
             median3_ns(one)
         } else {

@@ -12,11 +12,14 @@
 //! `certified[].{name, median_ns, certificate}` (ladder timings
 //! that carry their availability certificates along; the gate reads
 //! the timings and ignores the certificates — `wcp-verify` owns
-//! those) and `scale[].{name, b, median_ns, evals_per_second,
+//! those), `scale[].{name, b, median_ns, evals_per_second,
 //! peak_rss_bytes}` (the million-object regime; the gate reads the
-//! timings, the committed-snapshot pin test enforces the RSS budget).
-//! The `bench_regression` binary wraps this as a CI-friendly exit
-//! code.
+//! timings, the committed-snapshot pin test enforces the RSS budget)
+//! and `service[].{name, threads, median_ns, lookups_per_second,
+//! p99_staleness_epochs, peak_rss_bytes}` (the serving-layer closed
+//! loop; the gate reads the per-lookup timings, the committed-snapshot
+//! pin test enforces the single-threaded lookup-rate floor). The
+//! `bench_regression` binary wraps this as a CI-friendly exit code.
 
 use wcp_sim::json::Value;
 
@@ -59,9 +62,16 @@ pub fn family_means(snapshot: &str) -> Result<Vec<FamilyTime>, String> {
             // The scale-regime snapshot: entries additionally carry `b` and
             // `peak_rss_bytes`; the gate reads only the timings.
             (arr, "name", "median_ns")
+        } else if let Some(arr) = doc.get("service").and_then(Value::as_array) {
+            // The serving-layer snapshot: entries additionally carry
+            // `threads`, `lookups_per_second`, `p99_staleness_epochs`
+            // and `peak_rss_bytes`; the gate reads only the per-lookup
+            // timings.
+            (arr, "name", "median_ns")
         } else {
             return Err(
-                "snapshot has none of the \"strategies\"/\"series\"/\"certified\"/\"scale\" arrays"
+                "snapshot has none of the \"strategies\"/\"series\"/\"certified\"/\"scale\"/\
+                 \"service\" arrays"
                     .to_string(),
             );
         };
@@ -462,16 +472,79 @@ mod tests {
     }
 
     #[test]
+    fn service_schema_parses_and_gates() {
+        let snap = concat!(
+            "{\"shape\": {\"n\": 71, \"b\": 1000000, \"r\": 3}, \"service\": [\n",
+            "  {\"name\": \"closed_loop_t1\", \"threads\": 1, \"median_ns\": 4, ",
+            "\"lookups_per_second\": 250000000, \"p99_staleness_epochs\": 0, ",
+            "\"peak_rss_bytes\": 134217728},\n",
+            "  {\"name\": \"closed_loop_t_all\", \"threads\": 8, \"median_ns\": 5, ",
+            "\"lookups_per_second\": 1600000000, \"p99_staleness_epochs\": 1, ",
+            "\"peak_rss_bytes\": 134217728}\n",
+            "]}"
+        );
+        let fams = family_means(snap).unwrap();
+        assert_eq!(fams.len(), 2);
+        assert_eq!(fams[0].family, "closed_loop_t1");
+        let slower = snap.replace("\"median_ns\": 4", "\"median_ns\": 6");
+        let deltas = compare(snap, &slower).unwrap();
+        assert!(deltas
+            .iter()
+            .find(|d| d.family == "closed_loop_t1")
+            .unwrap()
+            .regressed(0.25));
+        assert!(!deltas
+            .iter()
+            .find(|d| d.family == "closed_loop_t_all")
+            .unwrap()
+            .regressed(0.25));
+    }
+
+    #[test]
+    fn committed_service_snapshot_sustains_the_lookup_rate() {
+        // The serving acceptance pin, on the *committed* snapshot: the
+        // closed-loop zipf load test at one reader thread sustains at
+        // least 1M lookups/s against the b = 10⁶ snapshot shape, and
+        // every entry carries a positive timing and a sane RSS.
+        let text = include_str!("../BENCH_service.json");
+        let fams = family_means(text).unwrap();
+        assert!(fams.iter().any(|f| f.family == "closed_loop_t1"));
+        assert!(fams.iter().all(|f| f.mean_ns > 0.0));
+        let doc = wcp_sim::json::Value::parse(text).unwrap();
+        let entries = doc.get("service").and_then(Value::as_array).unwrap();
+        for entry in entries {
+            let name = entry.get("name").and_then(Value::as_str).unwrap();
+            let rss = entry.get("peak_rss_bytes").and_then(Value::as_f64).unwrap();
+            assert!(rss > 0.0, "{name}: committed peak RSS must be positive");
+            let rate = entry
+                .get("lookups_per_second")
+                .and_then(Value::as_f64)
+                .unwrap();
+            if name == "closed_loop_t1" {
+                assert!(
+                    rate >= 1e6,
+                    "committed single-threaded rate {rate:.0}/s below the 1M lookups/s bar"
+                );
+            }
+        }
+        // And the gate itself accepts the snapshot against itself.
+        let deltas = compare(text, text).unwrap();
+        assert!(deltas.iter().all(|d| !d.regressed(0.25)));
+    }
+
+    #[test]
     fn malformed_snapshots_error() {
         assert!(family_means("{}").is_err());
         assert!(family_means("{\"strategies\": []}").is_err());
         assert!(family_means("{\"series\": []}").is_err());
         assert!(family_means("{\"certified\": []}").is_err());
         assert!(family_means("{\"scale\": []}").is_err());
+        assert!(family_means("{\"service\": []}").is_err());
         assert!(family_means("{\"scale\": [{\"name\": \"x\"}]}").is_err());
         assert!(family_means("{\"strategies\": [{\"strategy\": \"x\"}]}").is_err());
         assert!(family_means("{\"series\": [{\"name\": \"x\"}]}").is_err());
         assert!(family_means("{\"certified\": [{\"name\": \"x\"}]}").is_err());
+        assert!(family_means("{\"service\": [{\"name\": \"x\"}]}").is_err());
         assert!(family_means("nope").is_err());
     }
 }

@@ -374,35 +374,48 @@ pub struct SweepRecord {
 }
 
 impl SweepRecord {
-    /// Renders the record as one JSON object (jsonl-friendly).
+    /// Renders the record as one JSON object (jsonl-friendly), in the
+    /// workspace-wide [`wcp_sim::record::Record`] envelope that
+    /// `wcp-verify` parses.
     #[must_use]
     pub fn to_json(&self) -> String {
+        use wcp_sim::json::Value;
+        use wcp_sim::record::Record;
+        let mut record = Record::new("sweep")
+            .strategy(self.cell.kind.label())
+            .spec(self.cell.kind.spec())
+            .adversary(self.cell.adversary.label())
+            .extra_u64("index", self.cell.index as u64)
+            .extra_u64("seed", self.cell.seed);
         // The topology key appears only for axis cells, so sweeps
-        // without an axis serialize byte-identically to before.
-        let topo = self.cell.topology.as_ref().map_or_else(String::new, |t| {
-            format!(
-                "\"topology\": {{\"racks\": {}, \"zones\": {}}}, ",
-                t.racks, t.zones
-            )
-        });
-        let head = format!(
-            "{{\"index\": {}, \"seed\": {}, \"kind\": {:?}, \"spec\": {:?}, \"adversary\": {:?}, {topo}",
-            self.cell.index,
-            self.cell.seed,
-            self.cell.kind.label(),
-            self.cell.kind.spec(),
-            self.cell.adversary.label(),
-        );
+        // without an axis stay as terse as plain-grid ones.
+        if let Some(t) = &self.cell.topology {
+            record = record.topology(Value::Object(vec![
+                ("racks".into(), Value::Num(f64::from(t.racks))),
+                ("zones".into(), Value::Num(f64::from(t.zones))),
+            ]));
+        }
         match &self.outcome {
-            Ok(report) => format!("{head}\"report\": {}}}", report.to_json()),
-            Err(e) => format!(
-                "{head}\"params\": {{\"n\": {}, \"b\": {}, \"r\": {}, \"s\": {}, \"k\": {}}}, \"error\": {e:?}}}",
-                self.cell.params.n(),
-                self.cell.params.b(),
-                self.cell.params.r(),
-                self.cell.params.s(),
-                self.cell.params.k(),
-            ),
+            // A report that fails to re-parse as JSON would be a core
+            // bug; surface it as an error record rather than panicking
+            // (this module is in the panic-discipline lint scope).
+            Ok(report) => match record.clone().report_json(&report.to_json()) {
+                Ok(with_report) => with_report.to_json(),
+                Err(e) => record.error(format!("unrenderable report: {e}")).to_json(),
+            },
+            Err(e) => record
+                .extra(
+                    "params",
+                    Value::Object(vec![
+                        ("n".into(), Value::Num(f64::from(self.cell.params.n()))),
+                        ("b".into(), Value::Num(self.cell.params.b() as f64)),
+                        ("r".into(), Value::Num(f64::from(self.cell.params.r()))),
+                        ("s".into(), Value::Num(f64::from(self.cell.params.s()))),
+                        ("k".into(), Value::Num(f64::from(self.cell.params.k()))),
+                    ]),
+                )
+                .error(e.clone())
+                .to_json(),
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Runs every experiment binary in sequence (`fig02` … `fig11`, the
 //! baselines/optimality studies, the `churn` dynamic-membership sweep,
-//! the `domains` failure-domain study and the `scale` million-object
-//! smoke).
+//! the `domains` failure-domain study, the `scale` million-object
+//! smoke and the `service` serving-layer closed loop).
 //!
 //! Pass `--quick` to forward the fast mode to the simulation-heavy
 //! binaries (Fig. 2, Fig. 7, `churn`, `domains` and `scale` are the
@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         "churn",
         "domains",
         "scale",
+        "service",
     ];
     for fig in figures {
         println!("\n================ {fig} ================\n");

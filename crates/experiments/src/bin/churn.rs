@@ -21,6 +21,7 @@ use wcp_core::dynamic::{DynamicConfig, DynamicEngine, MovementReport, StepReport
 use wcp_core::engine::{Attacker, ExhaustiveAttacker};
 use wcp_core::{Parallelism, StrategyKind, SystemParams};
 use wcp_sim::churn::{ChurnSpec, ChurnTrace};
+use wcp_sim::record::Record;
 use wcp_sim::{csv_safe, results_dir, Csv, JsonLines, Table};
 
 fn usage() -> String {
@@ -352,14 +353,20 @@ fn main() -> ExitCode {
                 }
             };
             for (i, step) in steps.iter().enumerate() {
-                jsonl.record(format!(
-                    "{{\"events\": {}, \"strategy\": {:?}, \"adversary\": {:?}, \"step\": {}, \"report\": {}}}",
-                    trace.len(),
-                    kind.label(),
-                    adversary_label,
-                    i,
-                    step.to_json(),
-                ));
+                let record = Record::new("churn")
+                    .strategy(kind.label())
+                    .adversary(&adversary_label)
+                    .extra_u64("events", trace.len() as u64)
+                    .extra_u64("step", i as u64);
+                match record.report_json(&step.to_json()) {
+                    Ok(r) => {
+                        jsonl.record(r.to_json());
+                    }
+                    Err(e) => {
+                        eprintln!("churn step {i} produced an unrenderable report: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             let min_avail = steps.iter().map(|s| s.availability).min().unwrap_or(cli.b);
             let final_avail = steps.last().map_or(cli.b, |s| s.availability);

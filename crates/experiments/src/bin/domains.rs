@@ -24,9 +24,11 @@ use wcp_adversary::{AdversaryConfig, DomainAttacker, ScratchAdversary};
 use wcp_core::engine::Attacker;
 use wcp_core::sweep::{SweepSpec, TopologyAxis};
 use wcp_core::{
-    repair_domain_collisions, Certificate, Engine, Parallelism, PlannerContext, StrategyKind,
-    SystemParams, Topology,
+    repair_domain_collisions, Engine, Parallelism, PlannerContext, StrategyKind, SystemParams,
+    Topology,
 };
+use wcp_sim::json::Value;
+use wcp_sim::record::Record;
 use wcp_sim::{csv_safe, results_dir, Csv, JsonLines, Table};
 
 fn usage() -> String {
@@ -154,16 +156,13 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
 
 /// The topology as a JSONL-embeddable object: the exact bottom-up
 /// parent maps, so `wcp-verify` can rebuild it even under jitter.
-fn topology_json(topo: &Topology) -> String {
-    let levels: Vec<String> = topo
+fn topology_value(topo: &Topology) -> Value {
+    let levels = topo
         .parent_maps()
         .iter()
-        .map(|map| {
-            let ids: Vec<String> = map.iter().map(ToString::to_string).collect();
-            format!("[{}]", ids.join(", "))
-        })
+        .map(|map| Value::Array(map.iter().map(|&p| Value::Num(f64::from(p))).collect()))
         .collect();
-    format!("{{\"maps\": [{}]}}", levels.join(", "))
+    Value::Object(vec![("maps".to_string(), Value::Array(levels))])
 }
 
 fn main() -> ExitCode {
@@ -312,28 +311,41 @@ fn main() -> ExitCode {
             // certificates against the exact failure-unit tree. The
             // repaired placement is not spec-rebuildable, so its record
             // carries the certificate alone.
-            let topo_json = topology_json(topo);
+            let topo_value = topology_value(topo);
             for (adversary, report) in [("node", &node), ("domain", &domain)] {
-                jsonl.record(format!(
-                    "{{\"racks\": {racks}, \"zones\": {}, \"strategy\": {:?}, \
-                     \"spec\": {:?}, \"adversary\": {adversary:?}, \
-                     \"topology\": {topo_json}, \"report\": {}}}",
-                    point.zones,
-                    kind.label(),
-                    kind.spec(),
-                    report.to_json(),
-                ));
+                let record = Record::new("domains")
+                    .strategy(kind.label())
+                    .spec(kind.spec())
+                    .adversary(adversary)
+                    .extra_u64("racks", u64::from(racks))
+                    .extra_u64("zones", u64::from(point.zones))
+                    .topology(topo_value.clone());
+                match record.report_json(&report.to_json()) {
+                    Ok(r) => {
+                        jsonl.record(r.to_json());
+                    }
+                    Err(e) => {
+                        eprintln!("domains report at {racks} racks is unrenderable: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
-            jsonl.record(format!(
-                "{{\"racks\": {racks}, \"zones\": {}, \"strategy\": {:?}, \
-                 \"adversary\": \"domain-repaired\", \"topology\": {topo_json}, \
-                 \"certificate\": {}}}",
-                point.zones,
-                kind.label(),
-                repaired_cert
-                    .as_ref()
-                    .map_or_else(|| "null".to_string(), Certificate::to_json),
-            ));
+            let mut repaired_record = Record::new("domains")
+                .strategy(kind.label())
+                .adversary("domain-repaired")
+                .extra_u64("racks", u64::from(racks))
+                .extra_u64("zones", u64::from(point.zones))
+                .topology(topo_value);
+            if let Some(cert) = &repaired_cert {
+                repaired_record = match repaired_record.certificate_json(&cert.to_json()) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("repaired certificate at {racks} racks is unrenderable: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            jsonl.record(repaired_record.to_json());
             let row = vec![
                 racks.to_string(),
                 point.zones.to_string(),

@@ -15,7 +15,7 @@
 
 use std::process::ExitCode;
 use std::time::Instant;
-use wcp_adversary::{worst_case_failures_with, AdversaryConfig, AdversaryScratch};
+use wcp_adversary::{AdversaryConfig, AdversaryScratch, Ladder};
 use wcp_bench::{fixture_placement, peak_rss_bytes};
 use wcp_sim::{results_dir, Csv, Table};
 
@@ -59,7 +59,10 @@ fn main() -> ExitCode {
             "packed"
         };
         let t = Instant::now();
-        let wc = worst_case_failures_with(&placement, s, k, &config, &mut scratch);
+        let wc = Ladder::new(&config)
+            .scratch(&mut scratch)
+            .run(&placement, s, k)
+            .worst;
         let secs = t.elapsed().as_secs_f64();
         // VmHWM is a process-lifetime high-water mark; shapes run in
         // ascending b, so the reading after each run is dominated by

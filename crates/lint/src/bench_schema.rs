@@ -14,6 +14,11 @@
 //!   "evals_per_second": <num>, "peak_rss_bytes": <num>}, …]}` — the
 //!   million-object regime (the gate reads the timings; a
 //!   committed-snapshot test pins the RSS budget)
+//! * `{"service":    [{"name": <str>, "threads": <num>,
+//!   "median_ns": <num>, "lookups_per_second": <num>,
+//!   "p99_staleness_epochs": <num>, "peak_rss_bytes": <num>}, …]}` —
+//!   the serving-layer closed loop (the gate reads the timings; a
+//!   committed-snapshot test pins the lookups/s acceptance floor)
 //!
 //! plus the ungated sweep-throughput shape CI records for trending:
 //!
@@ -51,15 +56,16 @@ pub fn validate(file: &str, text: &str) -> Vec<Diagnostic> {
     let series = doc.get("series").and_then(Value::as_array);
     let certified = doc.get("certified").and_then(Value::as_array);
     let scale = doc.get("scale").and_then(Value::as_array);
+    let service = doc.get("service").and_then(Value::as_array);
     let throughput = doc.get("throughput").and_then(Value::as_array);
-    let arrays = [strategies, series, certified, scale, throughput]
+    let arrays = [strategies, series, certified, scale, service, throughput]
         .iter()
         .flatten()
         .count();
     if arrays > 1 {
         fire(
-            "snapshot mixes \"strategies\"/\"series\"/\"certified\"/\"scale\"/\"throughput\" \
-             arrays; the gate would pick one arbitrarily"
+            "snapshot mixes \"strategies\"/\"series\"/\"certified\"/\"scale\"/\"service\"/\
+             \"throughput\" arrays; the gate would pick one arbitrarily"
                 .to_string(),
         );
         return diags;
@@ -68,15 +74,18 @@ pub fn validate(file: &str, text: &str) -> Vec<Diagnostic> {
         validate_throughput(entries, &mut fire);
         return diags;
     }
-    let (entries, label, name_key, ns_key) = match (strategies, series, certified, scale) {
-        (Some(arr), None, None, None) => (arr, "strategies", "strategy", "median_pipeline_ns"),
-        (None, Some(arr), None, None) => (arr, "series", "name", "median_ns"),
-        (None, None, Some(arr), None) => (arr, "certified", "name", "median_ns"),
-        (None, None, None, Some(arr)) => (arr, "scale", "name", "median_ns"),
+    let (entries, label, name_key, ns_key) = match (strategies, series, certified, scale, service) {
+        (Some(arr), None, None, None, None) => {
+            (arr, "strategies", "strategy", "median_pipeline_ns")
+        }
+        (None, Some(arr), None, None, None) => (arr, "series", "name", "median_ns"),
+        (None, None, Some(arr), None, None) => (arr, "certified", "name", "median_ns"),
+        (None, None, None, Some(arr), None) => (arr, "scale", "name", "median_ns"),
+        (None, None, None, None, Some(arr)) => (arr, "service", "name", "median_ns"),
         _ => {
             fire(
                 "snapshot has none of the \"strategies\"/\"series\"/\"certified\"/\"scale\"/\
-                 \"throughput\" arrays (the regression gate would reject it)"
+                 \"service\"/\"throughput\" arrays (the regression gate would reject it)"
                     .to_string(),
             );
             return diags;
@@ -121,6 +130,31 @@ pub fn validate(file: &str, text: &str) -> Vec<Diagnostic> {
                     )),
                     Some(_) => {}
                 }
+            }
+        }
+        if label == "service" {
+            for key in ["threads", "lookups_per_second", "peak_rss_bytes"] {
+                match entry.get(key).and_then(Value::as_f64) {
+                    None => fire(format!(
+                        "service[{idx}] ({name:?}) lacks a numeric \"{key}\" field"
+                    )),
+                    Some(v) if !(v.is_finite() && v > 0.0) => fire(format!(
+                        "service[{idx}] ({name:?}) has non-positive or non-finite {key} = {v}"
+                    )),
+                    Some(_) => {}
+                }
+            }
+            // Staleness is legitimately zero on a quiet cluster, so it
+            // only has to be present, finite and non-negative.
+            match entry.get("p99_staleness_epochs").and_then(Value::as_f64) {
+                None => fire(format!(
+                    "service[{idx}] ({name:?}) lacks a numeric \"p99_staleness_epochs\" field"
+                )),
+                Some(v) if !(v.is_finite() && v >= 0.0) => fire(format!(
+                    "service[{idx}] ({name:?}) has negative or non-finite \
+                     p99_staleness_epochs = {v}"
+                )),
+                Some(_) => {}
             }
         }
         if label == "certified" {
@@ -230,6 +264,14 @@ mod tests {
             "]}"
         );
         assert_eq!(validate("d.json", scale), vec![]);
+        let service = concat!(
+            "{\"shape\": {\"n\": 71}, \"service\": [",
+            "{\"name\": \"closed_loop_t1\", \"threads\": 1, \"median_ns\": 2.2, ",
+            "\"lookups_per_second\": 459830398, \"p99_staleness_epochs\": 0, ",
+            "\"peak_rss_bytes\": 442970112}",
+            "]}"
+        );
+        assert_eq!(validate("e.json", service), vec![]);
     }
 
     #[test]
@@ -289,6 +331,26 @@ mod tests {
             ),
             (
                 "{\"scale\": [], \"series\": []}",
+                "mixes",
+            ),
+            (
+                "{\"service\": [{\"name\": \"x\", \"median_ns\": 5}]}",
+                "lacks a numeric \"threads\"",
+            ),
+            (
+                "{\"service\": [{\"name\": \"x\", \"threads\": 1, \"median_ns\": 5, \
+                 \"lookups_per_second\": 0, \"peak_rss_bytes\": 9, \
+                 \"p99_staleness_epochs\": 0}]}",
+                "non-positive",
+            ),
+            (
+                "{\"service\": [{\"name\": \"x\", \"threads\": 1, \"median_ns\": 5, \
+                 \"lookups_per_second\": 10, \"peak_rss_bytes\": 9, \
+                 \"p99_staleness_epochs\": -1}]}",
+                "negative or non-finite",
+            ),
+            (
+                "{\"service\": [], \"scale\": []}",
                 "mixes",
             ),
         ] {

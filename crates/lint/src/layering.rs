@@ -8,7 +8,7 @@
 //! rank 1  wcp-designs wcp-analysis             (constructions, closed forms)
 //! rank 2  wcp-core                             (strategies, engine, sweep)
 //! rank 3  wcp-adversary                        (attack ladder)
-//! rank 4  wcp-verify                           (certificate verification)
+//! rank 4  wcp-service wcp-verify               (serving layer, certificate verification)
 //! rank 5  wcp-bench                            (bench fixtures, RSS/median helpers, gates)
 //! rank 6  wcp-experiments wcp-lint             (binaries and tooling)
 //! rank 7  worst-case-placement                 (the facade crate)
@@ -24,7 +24,7 @@ use crate::{Diagnostic, RuleId};
 use std::path::Path;
 
 /// The rank of every known workspace crate (see the module docs).
-const RANKS: [(&str, u32); 12] = [
+const RANKS: [(&str, u32); 13] = [
     ("wcp-combin", 0),
     ("wcp-gf", 0),
     ("wcp-sim", 0),
@@ -32,6 +32,7 @@ const RANKS: [(&str, u32); 12] = [
     ("wcp-designs", 1),
     ("wcp-core", 2),
     ("wcp-adversary", 3),
+    ("wcp-service", 4),
     ("wcp-verify", 4),
     ("wcp-bench", 5),
     ("wcp-experiments", 6),

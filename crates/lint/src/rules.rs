@@ -50,11 +50,14 @@ fn panic_scope(path: &str) -> bool {
 
 /// The only modules allowed to touch threading/atomics primitives: the
 /// sweep fan-out (the one sanctioned `std::thread::scope` home in
-/// `wcp-core`) and the adversary's shared-incumbent pool. Everything
-/// else must go through their APIs, so the "bit-identical at every
-/// thread count" contract has exactly two rooms to audit.
+/// `wcp-core`), the adversary's shared-incumbent pool, and the serving
+/// layer's repair-thread runtime. Everything else must go through
+/// their APIs, so the "bit-identical at every thread count" contract
+/// has exactly three rooms to audit.
 fn thread_sanctioned(path: &str) -> bool {
-    path == "crates/core/src/sweep.rs" || path == "crates/adversary/src/pool.rs"
+    path == "crates/core/src/sweep.rs"
+        || path == "crates/adversary/src/pool.rs"
+        || path == "crates/service/src/runtime.rs"
 }
 
 /// Keywords that may legitimately precede a `[` without forming an
@@ -251,8 +254,9 @@ fn thread_discipline_at(sf: &SourceFile, pos: usize, tok: &Token, out: &mut Vec<
                 RuleId::ThreadDiscipline,
                 format!(
                     "`thread::{prim}` outside the sanctioned pools \
-                     (wcp_core::sweep, wcp_adversary::pool); fan work out \
-                     through their deterministic APIs instead"
+                     (wcp_core::sweep, wcp_adversary::pool, \
+                     wcp_service::runtime); fan work out through their \
+                     deterministic APIs instead"
                 ),
                 out,
             );
@@ -265,8 +269,8 @@ fn thread_discipline_at(sf: &SourceFile, pos: usize, tok: &Token, out: &mut Vec<
             tok,
             RuleId::ThreadDiscipline,
             "`Ordering::Relaxed` outside the sanctioned pools \
-             (wcp_core::sweep, wcp_adversary::pool); route shared state \
-             through SharedBound or the sweep cursor"
+             (wcp_core::sweep, wcp_adversary::pool, wcp_service::runtime); \
+             route shared state through SharedBound or the sweep cursor"
                 .to_string(),
             out,
         );
@@ -416,6 +420,7 @@ mod tests {
         let both = "std::thread::scope(|s| cursor.fetch_add(1, Ordering::Relaxed));\n";
         assert_eq!(diags("crates/core/src/sweep.rs", both), vec![]);
         assert_eq!(diags("crates/adversary/src/pool.rs", both), vec![]);
+        assert_eq!(diags("crates/service/src/runtime.rs", both), vec![]);
         // SeqCst/Acquire are not the footgun this rule hunts, and mere
         // mentions in comments/strings never fire.
         let benign = "let v = cell.load(Ordering::SeqCst);\n// thread::spawn Ordering::Relaxed\n";

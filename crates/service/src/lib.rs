@@ -1,0 +1,535 @@
+//! Placement-as-a-service: concurrent lookup over a churning cluster.
+//!
+//! Everything below `wcp-service` *computes* placements — plans them,
+//! attacks them, certifies them, repairs them across churn. This crate
+//! **serves** them: the [`PlacementProvider`] trait is the lookup
+//! surface a storage frontend would call per request, modeled on
+//! rio-rs's `ObjectPlacementProvider` (`lookup` / `upsert` /
+//! `clean_server`), and the in-memory backend keeps the hot path
+//! worst-case-aware by publishing only placements the adversary ladder
+//! has attacked (and, when the exact rung completed, certified).
+//!
+//! # Epoch-snapshot concurrency model
+//!
+//! The backend is a classic read-copy-publish design, std-only and
+//! `#![forbid(unsafe_code)]`:
+//!
+//! * Reads go through an immutable [`Snapshot`] — a CSR forward map
+//!   (object → replica list, primary first) plus the epoch that built
+//!   it and a digest of its availability [`Certificate`] when one was
+//!   emitted. Snapshots are shared as `Arc<Snapshot>` and never mutate.
+//! * The only shared mutable cell is an `RwLock<Arc<Snapshot>>`. A
+//!   lookup holds the read lock just long enough to index the CSR; the
+//!   repair thread holds the write lock just long enough to swap one
+//!   `Arc` pointer. Millions of concurrent lookups therefore never
+//!   block on a repair in progress — they block (briefly) only on the
+//!   pointer swap itself, and batch readers can [`ServiceHandle::snapshot`]
+//!   once and not even do that.
+//! * Writes are asynchronous: [`PlacementProvider::upsert`] and
+//!   [`PlacementProvider::remove_node`] enqueue [`ServiceEvent`]s into
+//!   a bounded queue. The repair thread (the crate's one sanctioned
+//!   threading room, [`runtime`]) drains the queue per epoch, replays
+//!   churn through [`DynamicEngine`](wcp_core::DynamicEngine) —
+//!   incremental repair with the
+//!   replan-oracle fallback, re-attacked by the scratch adversary every
+//!   event — and publishes the next snapshot.
+//!
+//! Readers observe **monotone epochs** (the writer only ever installs
+//! `epoch + 1`) and **per-epoch-consistent answers** (a snapshot never
+//! changes after publication); `tests/stress.rs` hammers both claims
+//! under load. Staleness is bounded by queue depth: a reader holding a
+//! snapshot at epoch `e` while [`ServiceHandle::published_epoch`]
+//! reports `p` is exactly `p − e` repair rounds behind.
+//!
+//! # Upsert pins and certificates
+//!
+//! [`PlacementProvider::upsert`] pins an object to an explicit replica
+//! list (the rio-rs client-directed placement case). Pins override the
+//! engine's placement in every later snapshot until released
+//! ([`ServiceEvent::Release`]) — but the adversary attacks the
+//! *engine's* placement, so a snapshot with live pins keeps its
+//! certificate digest while [`Snapshot::pinned`] reports how many
+//! objects the certificate does not cover. Zero pins means the digest
+//! covers every answer the snapshot can give.
+
+#![forbid(unsafe_code)]
+
+pub mod runtime;
+
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+use wcp_core::{Certificate, ClusterEvent, Fnv, Placement};
+
+/// A node identifier, as everywhere else in the workspace.
+pub type NodeId = u16;
+
+/// The serving surface: what a storage frontend calls per request.
+///
+/// `lookup` is the hot path and must never block on repair;
+/// `upsert` / `remove_node` are asynchronous — they enqueue work for
+/// the repair thread and return, and their effect lands in a later
+/// epoch (watch [`PlacementProvider::snapshot_epoch`] advance).
+pub trait PlacementProvider {
+    /// The node currently serving `object` (its primary replica), or
+    /// `None` when the object is outside the placement.
+    fn lookup(&self, object: u64) -> Option<NodeId>;
+
+    /// Pins `object` to an explicit replica list (primary first),
+    /// overriding the planner from the next epoch on. Returns `false`
+    /// when the event queue rejected the request (service shutting
+    /// down, or an empty replica list).
+    fn upsert(&self, object: u64, nodes: &[NodeId]) -> bool;
+
+    /// Takes `node` out of service: enqueues the corresponding failure
+    /// event so the repair thread re-homes every replica it held.
+    /// Returns `false` when the queue rejected the request.
+    fn remove_node(&self, node: NodeId) -> bool;
+
+    /// rio-rs spelling of [`remove_node`](Self::remove_node).
+    fn clean_server(&self, node: NodeId) -> bool {
+        self.remove_node(node)
+    }
+
+    /// The epoch of the latest *published* snapshot (what a fresh
+    /// lookup would read). A snapshot held by a batch reader may be
+    /// older; the difference is its staleness in epochs.
+    fn snapshot_epoch(&self) -> u64;
+}
+
+/// A compact fingerprint of the availability [`Certificate`] attached
+/// to a published placement — enough for an auditor to match the
+/// snapshot against the full certificate logged elsewhere without the
+/// snapshot carrying the rung witnesses around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CertificateDigest {
+    /// Objects the certificate claims the worst-case adversary fails.
+    pub claimed_failed: u64,
+    /// Whether the claim was proven exact (the ladder's exact rung
+    /// completed).
+    pub exact: bool,
+    /// FNV-1a over the certificate's canonical JSON rendering.
+    pub digest: u64,
+}
+
+impl CertificateDigest {
+    /// Digests a full certificate.
+    #[must_use]
+    pub fn of(cert: &Certificate) -> Self {
+        let json = cert.to_json();
+        let mut h = Fnv::new();
+        for b in json.bytes() {
+            h.write_u64(u64::from(b));
+        }
+        Self {
+            claimed_failed: cert.claimed_failed,
+            exact: cert.exact,
+            digest: h.finish(),
+        }
+    }
+}
+
+/// One immutable published placement: the CSR forward map a lookup
+/// indexes, the epoch that built it, and the certificate digest of the
+/// engine placement it was derived from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    epoch: u64,
+    /// CSR row starts: object `o`'s replicas are
+    /// `nodes[offsets[o]..offsets[o + 1]]`, primary first.
+    offsets: Vec<u32>,
+    nodes: Vec<NodeId>,
+    pinned: usize,
+    certificate: Option<CertificateDigest>,
+}
+
+impl Snapshot {
+    /// Builds the snapshot for `placement` at `epoch`, overriding the
+    /// objects pinned by `pins` (an ordered `(object, replicas)` list)
+    /// and stamping the certificate digest when the attacker emitted
+    /// one.
+    #[must_use]
+    pub fn from_placement(
+        epoch: u64,
+        placement: &Placement,
+        pins: &[(u64, Vec<NodeId>)],
+        certificate: Option<&Certificate>,
+    ) -> Self {
+        let sets = placement.replica_sets();
+        let mut offsets = Vec::with_capacity(sets.len() + 1);
+        let mut nodes =
+            Vec::with_capacity(sets.len() * usize::from(placement.replicas_per_object()));
+        let mut pinned = 0;
+        let mut pin_at = 0;
+        offsets.push(0u32);
+        for (o, set) in sets.iter().enumerate() {
+            while pin_at < pins.len() && (pins[pin_at].0 as usize) < o {
+                pin_at += 1;
+            }
+            let row: &[NodeId] = match pins.get(pin_at) {
+                Some((po, replicas)) if *po as usize == o => {
+                    pinned += 1;
+                    replicas
+                }
+                _ => set,
+            };
+            nodes.extend_from_slice(row);
+            offsets.push(nodes.len() as u32);
+        }
+        Self {
+            epoch,
+            offsets,
+            nodes,
+            pinned,
+            certificate: certificate.map(CertificateDigest::of),
+        }
+    }
+
+    /// The epoch this snapshot was published at.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The number of objects the snapshot can answer for.
+    #[must_use]
+    pub fn num_objects(&self) -> u64 {
+        (self.offsets.len() - 1) as u64
+    }
+
+    /// The object's primary replica, or `None` outside the placement.
+    #[inline]
+    #[must_use]
+    pub fn lookup(&self, object: u64) -> Option<NodeId> {
+        let o = usize::try_from(object).ok()?;
+        let start = *self.offsets.get(o)? as usize;
+        let end = *self.offsets.get(o + 1)? as usize;
+        if start == end {
+            None
+        } else {
+            Some(self.nodes[start])
+        }
+    }
+
+    /// The object's full replica list (primary first).
+    #[must_use]
+    pub fn replicas(&self, object: u64) -> Option<&[NodeId]> {
+        let o = usize::try_from(object).ok()?;
+        let start = *self.offsets.get(o)? as usize;
+        let end = *self.offsets.get(o + 1)? as usize;
+        Some(&self.nodes[start..end])
+    }
+
+    /// Objects whose answers come from an [`PlacementProvider::upsert`]
+    /// pin rather than the certified engine placement.
+    #[must_use]
+    pub fn pinned(&self) -> usize {
+        self.pinned
+    }
+
+    /// The digest of the engine placement's availability certificate,
+    /// when the attacker emitted one for this epoch.
+    #[must_use]
+    pub fn certificate(&self) -> Option<&CertificateDigest> {
+        self.certificate.as_ref()
+    }
+
+    /// FNV-1a over the forward map — the value the determinism suite
+    /// byte-compares across thread counts (epoch numbers and
+    /// interleavings are *not* part of it; see `tests/differential.rs`).
+    #[must_use]
+    pub fn forward_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(self.num_objects());
+        for w in &self.offsets {
+            h.write_u64(u64::from(*w));
+        }
+        for nd in &self.nodes {
+            h.write_u64(u64::from(*nd));
+        }
+        h.finish()
+    }
+}
+
+/// What the repair thread should do next — either replay a churn event
+/// through the dynamic engine, or pin/release an object override.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceEvent {
+    /// Membership churn, replayed through [`DynamicEngine::apply`];
+    /// events the engine rejects (illegal in the current membership
+    /// state) are counted, not fatal.
+    ///
+    /// [`DynamicEngine::apply`]: wcp_core::DynamicEngine::apply
+    Churn(ClusterEvent),
+    /// Pin `object` to `nodes` from the next epoch on.
+    Upsert {
+        /// The object to pin.
+        object: u64,
+        /// Its replica list, primary first (non-empty).
+        nodes: Vec<NodeId>,
+    },
+    /// Drop the pin on `object`, returning it to the engine placement.
+    Release {
+        /// The object to unpin.
+        object: u64,
+    },
+}
+
+/// Tuning for [`runtime::serve`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Most events the queue holds before [`ServiceHandle::enqueue`]
+    /// blocks (back-pressure on writers; lookups are unaffected).
+    pub queue_capacity: usize,
+    /// Most events one repair round drains before it must publish an
+    /// epoch — the lever bounding reader staleness per round.
+    pub max_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            max_batch: 16,
+        }
+    }
+}
+
+/// Queue state under the mutex: pending events, drained-but-unpublished
+/// count, and the shutdown latch.
+#[derive(Debug, Default)]
+struct QueueState {
+    pending: std::collections::VecDeque<ServiceEvent>,
+    in_flight: usize,
+    closed: bool,
+}
+
+/// The state a [`ServiceHandle`] and the repair thread share.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    snapshot: RwLock<Arc<Snapshot>>,
+    queue: Mutex<QueueState>,
+    /// Signaled when the queue gains work or closes (repair thread
+    /// waits here).
+    work: Condvar,
+    /// Signaled when the queue drains or a batch publishes (writers
+    /// and `quiesce` wait here).
+    room: Condvar,
+    capacity: usize,
+}
+
+impl Shared {
+    pub(crate) fn new(first: Snapshot, capacity: usize) -> Self {
+        Self {
+            snapshot: RwLock::new(Arc::new(first)),
+            queue: Mutex::new(QueueState::default()),
+            work: Condvar::new(),
+            room: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Blocks until the repair thread may drain a batch; returns it,
+    /// or `None` once the queue is closed *and* empty.
+    pub(crate) fn take_batch(&self, max_batch: usize) -> Option<Vec<ServiceEvent>> {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        loop {
+            if !q.pending.is_empty() {
+                let take = q.pending.len().min(max_batch.max(1));
+                let batch: Vec<ServiceEvent> = q.pending.drain(..take).collect();
+                q.in_flight = batch.len();
+                self.room.notify_all();
+                return Some(batch);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.work.wait(q).expect("queue poisoned");
+        }
+    }
+
+    /// Publishes `next` as the new current snapshot and retires the
+    /// in-flight batch (the swap is the writer's whole critical
+    /// section).
+    pub(crate) fn publish(&self, next: Snapshot) {
+        *self.snapshot.write().expect("snapshot poisoned") = Arc::new(next);
+        let mut q = self.queue.lock().expect("queue poisoned");
+        q.in_flight = 0;
+        drop(q);
+        self.room.notify_all();
+    }
+
+    pub(crate) fn close(&self) {
+        self.queue.lock().expect("queue poisoned").closed = true;
+        self.work.notify_all();
+    }
+}
+
+/// The cheap, clonable handle to a running service: implements
+/// [`PlacementProvider`], plus batch-reader and back-pressure
+/// extensions. Obtained from [`runtime::serve`].
+#[derive(Debug, Clone)]
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServiceHandle {
+    pub(crate) fn new(shared: Arc<Shared>) -> Self {
+        Self { shared }
+    }
+
+    /// The current snapshot, for batch readers: one `RwLock` read per
+    /// *batch* instead of per lookup, at the price of staleness the
+    /// caller measures via [`Snapshot::epoch`] against
+    /// [`ServiceHandle::published_epoch`].
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.shared.snapshot.read().expect("snapshot poisoned"))
+    }
+
+    /// The latest published epoch.
+    #[must_use]
+    pub fn published_epoch(&self) -> u64 {
+        self.shared
+            .snapshot
+            .read()
+            .expect("snapshot poisoned")
+            .epoch
+    }
+
+    /// Enqueues `event`, blocking while the queue is at capacity.
+    /// Returns `false` once the service is shutting down (the event is
+    /// dropped).
+    pub fn enqueue(&self, event: ServiceEvent) -> bool {
+        let shared = &*self.shared;
+        let mut q = shared.queue.lock().expect("queue poisoned");
+        loop {
+            if q.closed {
+                return false;
+            }
+            if q.pending.len() < shared.capacity {
+                q.pending.push_back(event);
+                shared.work.notify_all();
+                return true;
+            }
+            q = shared.room.wait(q).expect("queue poisoned");
+        }
+    }
+
+    /// Blocks until every event enqueued so far has been applied *and*
+    /// published. After `quiesce` returns, [`Self::snapshot`] reflects
+    /// all prior writes (the differential suite's synchronization
+    /// point).
+    pub fn quiesce(&self) {
+        let shared = &*self.shared;
+        let mut q = shared.queue.lock().expect("queue poisoned");
+        while !q.pending.is_empty() || q.in_flight > 0 {
+            let (guard, timeout) = shared
+                .room
+                .wait_timeout(q, Duration::from_millis(50))
+                .expect("queue poisoned");
+            q = guard;
+            // The repair thread can only have died between batches with
+            // the queue closed; re-checking after a timeout keeps a
+            // mis-shut service from hanging the caller forever.
+            if timeout.timed_out() && q.closed && q.in_flight == 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl PlacementProvider for ServiceHandle {
+    fn lookup(&self, object: u64) -> Option<NodeId> {
+        self.shared
+            .snapshot
+            .read()
+            .expect("snapshot poisoned")
+            .lookup(object)
+    }
+
+    fn upsert(&self, object: u64, nodes: &[NodeId]) -> bool {
+        if nodes.is_empty() {
+            return false;
+        }
+        self.enqueue(ServiceEvent::Upsert {
+            object,
+            nodes: nodes.to_vec(),
+        })
+    }
+
+    fn remove_node(&self, node: NodeId) -> bool {
+        self.enqueue(ServiceEvent::Churn(ClusterEvent::Fail { node }))
+    }
+
+    fn snapshot_epoch(&self) -> u64 {
+        self.published_epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcp_core::{RandomStrategy, RandomVariant, SystemParams};
+
+    fn placement(n: u16, b: u64, r: u16, seed: u64) -> Placement {
+        let params = SystemParams::new(n, b, r, 1, 1).unwrap();
+        RandomStrategy::new(seed, RandomVariant::LoadBalanced)
+            .place(&params)
+            .unwrap()
+    }
+
+    #[test]
+    fn snapshot_lookup_matches_the_placement() {
+        let p = placement(12, 40, 3, 7);
+        let snap = Snapshot::from_placement(3, &p, &[], None);
+        assert_eq!(snap.epoch(), 3);
+        assert_eq!(snap.num_objects(), 40);
+        assert_eq!(snap.pinned(), 0);
+        for (o, set) in p.replica_sets().iter().enumerate() {
+            assert_eq!(snap.lookup(o as u64), Some(set[0]));
+            assert_eq!(snap.replicas(o as u64).unwrap(), &set[..]);
+        }
+        assert_eq!(snap.lookup(40), None);
+        assert_eq!(snap.lookup(u64::MAX), None);
+    }
+
+    #[test]
+    fn pins_override_without_touching_neighbours() {
+        let p = placement(10, 20, 3, 1);
+        let pins = vec![(4u64, vec![9u16, 8, 7]), (11, vec![0, 1, 2])];
+        let snap = Snapshot::from_placement(1, &p, &pins, None);
+        assert_eq!(snap.pinned(), 2);
+        assert_eq!(snap.lookup(4), Some(9));
+        assert_eq!(snap.replicas(11).unwrap(), &[0, 1, 2]);
+        for o in (0..20u64).filter(|o| *o != 4 && *o != 11) {
+            assert_eq!(snap.lookup(o), Some(p.replica_sets()[o as usize][0]));
+        }
+    }
+
+    #[test]
+    fn forward_digest_ignores_epoch_and_certificate() {
+        let p = placement(10, 30, 3, 2);
+        let a = Snapshot::from_placement(1, &p, &[], None);
+        let b = Snapshot::from_placement(9, &p, &[], None);
+        assert_eq!(a.forward_digest(), b.forward_digest());
+        let other = Snapshot::from_placement(1, &placement(10, 30, 3, 3), &[], None);
+        assert_ne!(a.forward_digest(), other.forward_digest());
+    }
+
+    #[test]
+    fn certificate_digest_tracks_the_certificate() {
+        use wcp_adversary::{AdversaryConfig, Ladder};
+        let p = placement(12, 40, 3, 5);
+        let cert = Ladder::new(&AdversaryConfig::default())
+            .certified()
+            .run(&p, 2, 3)
+            .certificate
+            .unwrap();
+        let snap = Snapshot::from_placement(1, &p, &[], Some(&cert));
+        let d = snap.certificate().expect("digest stamped");
+        assert_eq!(d.claimed_failed, cert.claimed_failed);
+        assert_eq!(d.exact, cert.exact);
+        assert_eq!(*d, CertificateDigest::of(&cert));
+    }
+}

@@ -1,0 +1,317 @@
+//! The service's one threading room: the repair thread and the scoped
+//! lifetime that contains it.
+//!
+//! Everything concurrent in `wcp-service` lives here (the
+//! `thread-discipline` lint sanctions exactly this file, alongside
+//! `wcp_core::sweep` and `wcp_adversary::pool`): [`serve`] opens a
+//! `std::thread::scope`, spawns the single repair thread, hands the
+//! caller a [`ServiceHandle`], and on return closes the queue and joins
+//! the thread — no detached threads, no leaked state, deterministic
+//! shutdown.
+//!
+//! # The repair loop
+//!
+//! Each round the thread blocks for work, drains at most
+//! [`ServiceConfig::max_batch`] events, replays them **in enqueue
+//! order** — churn through [`DynamicEngine::apply`] (incremental repair
+//! with the replan-oracle fallback, re-attacked every event), pins into
+//! the overlay — and publishes epoch `e + 1` with the last event's
+//! certificate. Because the queue is FIFO and the drainer is single,
+//! the engine placement after *all* events is independent of how the
+//! rounds were batched; only the epoch numbering varies. That is the
+//! determinism contract the differential suite checks: across
+//! `WCP_THREADS=1/2/8` (and any batching) the final
+//! [`Snapshot::forward_digest`] is byte-identical, while epoch counts
+//! and interleavings are explicitly *not* compared.
+
+use std::sync::Arc;
+use std::thread;
+
+use wcp_core::engine::Attacker;
+use wcp_core::{ClusterEvent, DynamicEngine, Placement};
+
+use crate::{NodeId, ServiceConfig, ServiceEvent, ServiceHandle, Shared, Snapshot};
+
+/// What the repair thread did over the service's lifetime, returned by
+/// [`serve`] next to the caller's own result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Epochs published (one per drained batch).
+    pub epochs: u64,
+    /// Churn events the engine applied.
+    pub applied: u64,
+    /// Churn events the engine rejected as illegal in the current
+    /// membership state (e.g. failing an already-down node).
+    pub rejected: u64,
+    /// Upsert pins installed or overwritten.
+    pub pinned: u64,
+    /// Pins released.
+    pub released: u64,
+}
+
+/// Runs a placement service for the duration of `body`.
+///
+/// The engine seeds epoch 0's snapshot; `body` runs on the calling
+/// thread with a [`ServiceHandle`] it may clone into its own readers.
+/// When `body` returns the queue closes, the repair thread drains what
+/// remains (publishing those epochs), and `serve` returns the body's
+/// value next to the repair thread's [`ServeReport`] and the final
+/// engine, so callers can audit the end state.
+///
+/// # Panics
+///
+/// Propagates panics from `body` and from the repair thread (engine
+/// invariant violations), per `std::thread::scope` semantics.
+pub fn serve<A, R>(
+    mut engine: DynamicEngine<A>,
+    config: &ServiceConfig,
+    body: impl FnOnce(&ServiceHandle) -> R,
+) -> (R, ServeReport, DynamicEngine<A>)
+where
+    A: Attacker + Send,
+    R: Send,
+{
+    let first = Snapshot::from_placement(0, engine.placement(), &[], None);
+    let shared = Arc::new(Shared::new(first, config.queue_capacity));
+    let handle = ServiceHandle::new(Arc::clone(&shared));
+    let max_batch = config.max_batch;
+
+    let (result, report) = thread::scope(|scope| {
+        let repair = scope.spawn(|| repair_loop(&mut engine, &shared, max_batch));
+        let result = body(&handle);
+        shared.close();
+        let report = repair.join().expect("repair thread panicked");
+        (result, report)
+    });
+    (result, report, engine)
+}
+
+/// The single-drainer repair loop; returns its lifetime tally when the
+/// queue closes and drains dry.
+fn repair_loop<A: Attacker>(
+    engine: &mut DynamicEngine<A>,
+    shared: &Shared,
+    max_batch: usize,
+) -> ServeReport {
+    let mut report = ServeReport::default();
+    let mut epoch = 0u64;
+    // Live upsert pins, ordered by object id (what
+    // `Snapshot::from_placement` expects).
+    let mut pins: Vec<(u64, Vec<NodeId>)> = Vec::new();
+    while let Some(batch) = shared.take_batch(max_batch) {
+        let mut certificate = None;
+        for event in batch {
+            match event {
+                ServiceEvent::Churn(ev) => match engine.apply(ev) {
+                    Ok(step) => {
+                        report.applied += 1;
+                        if step.certificate.is_some() {
+                            certificate = step.certificate;
+                        }
+                    }
+                    Err(_) => report.rejected += 1,
+                },
+                ServiceEvent::Upsert { object, nodes } => {
+                    report.pinned += 1;
+                    match pins.binary_search_by_key(&object, |(o, _)| *o) {
+                        Ok(at) => pins[at].1 = nodes,
+                        Err(at) => pins.insert(at, (object, nodes)),
+                    }
+                }
+                ServiceEvent::Release { object } => {
+                    if let Ok(at) = pins.binary_search_by_key(&object, |(o, _)| *o) {
+                        pins.remove(at);
+                        report.released += 1;
+                    }
+                }
+            }
+        }
+        epoch += 1;
+        report.epochs += 1;
+        shared.publish(Snapshot::from_placement(
+            epoch,
+            engine.placement(),
+            &pins,
+            certificate.as_ref(),
+        ));
+    }
+    report
+}
+
+/// Convenience for tests and experiments: applies `events` through a
+/// served engine (enqueue → drain → publish), quiescing before
+/// `inspect` runs against the settled handle.
+pub fn serve_trace<A, I, R>(
+    engine: DynamicEngine<A>,
+    config: &ServiceConfig,
+    events: I,
+    inspect: impl FnOnce(&ServiceHandle) -> R,
+) -> (R, ServeReport, DynamicEngine<A>)
+where
+    A: Attacker + Send,
+    I: IntoIterator<Item = ClusterEvent>,
+    R: Send,
+{
+    serve(engine, config, move |handle| {
+        for ev in events {
+            handle.enqueue(ServiceEvent::Churn(ev));
+        }
+        handle.quiesce();
+        inspect(handle)
+    })
+}
+
+/// The static half of the serving story, for benches: a snapshot built
+/// straight from a placement, bypassing the engine (epoch 0, no pins).
+#[must_use]
+pub fn snapshot_of(placement: &Placement) -> Snapshot {
+    Snapshot::from_placement(0, placement, &[], None)
+}
+
+/// Runs `worker(0..threads)` on that many scoped threads and returns
+/// the results in index order.
+///
+/// This is the reader-side fan-out the service bench and experiment
+/// use to drive concurrent lookup load; it lives here because this
+/// module is the crate's one sanctioned threading room — callers
+/// outside it (bench harnesses, experiment binaries) stay free of
+/// `thread::scope` entirely.
+///
+/// # Panics
+///
+/// Propagates worker panics, per `std::thread::scope` semantics.
+pub fn fan_out<R: Send>(threads: usize, worker: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                scope.spawn({
+                    let worker = &worker;
+                    move || worker(i)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fan_out worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlacementProvider;
+    use wcp_core::{DynamicConfig, RandomVariant, StrategyKind, SystemParams};
+
+    fn engine(n: u16, b: u64, capacity: u16) -> DynamicEngine {
+        let params = SystemParams::new(n, b, 3, 2, 2).unwrap();
+        let kind = StrategyKind::Random {
+            seed: 7,
+            variant: RandomVariant::LoadBalanced,
+        };
+        DynamicEngine::new(params, kind, capacity, DynamicConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn serving_a_trace_matches_direct_engine_replay() {
+        let events = vec![
+            ClusterEvent::Fail { node: 3 },
+            ClusterEvent::Join { node: 12 },
+            ClusterEvent::Recover { node: 3 },
+            ClusterEvent::Fail { node: 0 },
+        ];
+        let (digest, report, served) = serve_trace(
+            engine(12, 60, 14),
+            &ServiceConfig::default(),
+            events.clone(),
+            |handle| handle.snapshot().forward_digest(),
+        );
+        assert_eq!(report.applied, 4);
+        assert_eq!(report.rejected, 0);
+
+        let mut direct = engine(12, 60, 14);
+        direct.run_trace(events).unwrap();
+        assert_eq!(
+            snapshot_of(direct.placement()).forward_digest(),
+            digest,
+            "served and direct replays must agree on the forward map"
+        );
+        assert_eq!(served.placement(), direct.placement());
+    }
+
+    #[test]
+    fn illegal_events_are_counted_not_fatal() {
+        let (_, report, _) = serve_trace(
+            engine(12, 40, 12),
+            &ServiceConfig::default(),
+            vec![
+                ClusterEvent::Recover { node: 2 }, // up already: rejected
+                ClusterEvent::Fail { node: 2 },
+            ],
+            |_| (),
+        );
+        assert_eq!(report.applied, 1);
+        assert_eq!(report.rejected, 1);
+    }
+
+    #[test]
+    fn upserts_pin_and_release_restores() {
+        let (answers, report, served) =
+            serve(engine(12, 40, 12), &ServiceConfig::default(), |handle| {
+                assert!(handle.upsert(7, &[11, 10, 9]));
+                handle.quiesce();
+                let pinned = handle.lookup(7);
+                let pins = handle.snapshot().pinned();
+                assert!(handle.enqueue(ServiceEvent::Release { object: 7 }));
+                handle.quiesce();
+                (pinned, pins, handle.lookup(7), handle.snapshot().pinned())
+            });
+        assert_eq!(answers.0, Some(11));
+        assert_eq!(answers.1, 1);
+        assert_eq!(answers.3, 0);
+        assert_eq!(
+            answers.2,
+            Some(served.placement().replica_sets()[7][0]),
+            "release must fall back to the engine placement"
+        );
+        assert_eq!(report.pinned, 1);
+        assert_eq!(report.released, 1);
+    }
+
+    #[test]
+    fn fan_out_returns_results_in_index_order() {
+        assert_eq!(fan_out(4, |i| i * i), vec![0, 1, 4, 9]);
+        assert_eq!(fan_out(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn epochs_advance_and_the_queue_rejects_after_close() {
+        let (handle_out, report, _) = serve(
+            engine(12, 40, 14),
+            &ServiceConfig {
+                queue_capacity: 4,
+                max_batch: 1,
+            },
+            |handle| {
+                assert_eq!(handle.snapshot_epoch(), 0);
+                assert!(handle.remove_node(5));
+                assert!(handle.enqueue(ServiceEvent::Churn(ClusterEvent::Join { node: 12 })));
+                handle.quiesce();
+                assert!(
+                    handle.snapshot_epoch() >= 2,
+                    "one epoch per max_batch=1 event"
+                );
+                handle.clone()
+            },
+        );
+        assert_eq!(report.epochs, 2);
+        assert!(
+            !handle_out.upsert(1, &[0]),
+            "writes after shutdown must be refused"
+        );
+        assert!(
+            !handle_out.upsert(1, &[]),
+            "empty replica lists are refused"
+        );
+    }
+}

@@ -14,7 +14,9 @@
 
 pub mod churn;
 pub mod json;
+pub mod record;
 pub mod topo;
+pub mod workload;
 
 use std::fmt::Write as _;
 use std::fs;

@@ -1,0 +1,145 @@
+//! Zipf-skewed lookup workloads for the serving layer.
+//!
+//! Real object traffic is heavy-tailed: a few hot objects absorb most
+//! lookups. [`ZipfSpec`] describes such a workload — `objects` ranked
+//! by popularity with `P(o) ∝ 1 / (o + 1)^exponent` (object 0 hottest;
+//! `exponent = 0` degenerates to uniform) — and samples it
+//! deterministically from a seed, so every bench and experiment run
+//! draws the byte-identical request stream.
+//!
+//! Two consumption styles:
+//!
+//! * [`ZipfSampler::draw`] draws one object id per call (inverse-CDF
+//!   binary search, `O(log objects)`);
+//! * [`ZipfSampler::table`] pre-draws a batch into a `Vec` so a tight
+//!   lookup loop measures the *lookup*, not the sampler.
+
+use crate::seed_for;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// A reproducible zipf workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfSpec {
+    /// Objects in the universe (ids `0..objects`).
+    pub objects: u64,
+    /// Skew: 0 = uniform; ~0.99 = classic YCSB-style zipfian.
+    pub exponent: f64,
+    /// Base seed; streams derive from it via [`seed_for`].
+    pub seed: u64,
+}
+
+impl ZipfSpec {
+    /// The conventional serving workload: YCSB-style skew at the given
+    /// universe size.
+    #[must_use]
+    pub fn ycsb(objects: u64, seed: u64) -> Self {
+        Self {
+            objects,
+            exponent: 0.99,
+            seed,
+        }
+    }
+
+    /// Builds the sampler for stream `stream` (distinct streams are
+    /// statistically independent but individually reproducible — one
+    /// per reader thread).
+    #[must_use]
+    pub fn sampler(&self, stream: u64) -> ZipfSampler {
+        let mut cdf = Vec::new();
+        // Capped so a mis-specified universe cannot OOM the host: the
+        // CDF is 8 bytes per object, and serving shapes top out at
+        // ~10⁷ objects.
+        let len = usize::try_from(self.objects.min(1 << 27)).unwrap_or(usize::MAX);
+        cdf.reserve(len);
+        let mut total = 0.0f64;
+        for o in 0..len {
+            let rank = o as f64 + 1.0;
+            total += rank.powf(-self.exponent);
+            cdf.push(total);
+        }
+        if total > 0.0 {
+            for w in &mut cdf {
+                *w /= total;
+            }
+        }
+        let seed = seed_for("workload-zipf", self.seed ^ stream.rotate_left(17));
+        ZipfSampler {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// A seeded sampler over one [`ZipfSpec`] stream.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Normalized cumulative popularity, ascending; the sample for a
+    /// uniform `u` is the first index with `cdf[i] > u`.
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ZipfSampler {
+    /// Draws the next object id (0 when the universe is empty).
+    #[must_use]
+    pub fn draw(&mut self) -> u64 {
+        // 53 uniform mantissa bits in [0, 1).
+        let u = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&c| c <= u) as u64
+    }
+
+    /// Pre-draws `len` samples for tight measurement loops.
+    #[must_use]
+    pub fn table(&mut self, len: usize) -> Vec<u64> {
+        (0..len).map(|_| self.draw()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_per_stream() {
+        let spec = ZipfSpec::ycsb(1000, 42);
+        let a = spec.sampler(0).table(256);
+        let b = spec.sampler(0).table(256);
+        assert_eq!(a, b);
+        let c = spec.sampler(1).table(256);
+        assert_ne!(a, c, "streams must differ");
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_skew_toward_hot_ids() {
+        let spec = ZipfSpec::ycsb(100, 7);
+        let draws = spec.sampler(0).table(20_000);
+        assert!(draws.iter().all(|&o| o < 100));
+        let hot = draws.iter().filter(|&&o| o < 10).count();
+        // The top 10% of a 0.99-zipf universe draws well over a third
+        // of the traffic; uniform would give 10%.
+        assert!(hot * 3 > draws.len(), "hot fraction {hot}/{}", draws.len());
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let spec = ZipfSpec {
+            objects: 50,
+            exponent: 0.0,
+            seed: 3,
+        };
+        let draws = spec.sampler(0).table(50_000);
+        let hot = draws.iter().filter(|&&o| o < 5).count();
+        let expected = draws.len() / 10;
+        assert!(
+            hot.abs_diff(expected) < expected / 3,
+            "uniform head draw {hot} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn empty_universe_answers_zero() {
+        let spec = ZipfSpec::ycsb(0, 1);
+        assert_eq!(spec.sampler(0).draw(), 0);
+    }
+}

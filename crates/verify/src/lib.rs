@@ -477,7 +477,7 @@ pub fn verify_domain(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wcp_adversary::{domain_worst_case_certified, worst_case_certified, AdversaryConfig};
+    use wcp_adversary::{AdversaryConfig, Ladder};
     use wcp_core::{RandomStrategy, RandomVariant, SystemParams};
 
     fn random_placement(n: u16, b: u64, r: u16, seed: u64) -> Placement {
@@ -492,7 +492,10 @@ mod tests {
         for seed in 0..3u64 {
             let p = random_placement(16, 70, 3, seed);
             for (s, k) in [(1u16, 0u16), (1, 3), (2, 4), (3, 5), (2, 16)] {
-                let (wc, cert) = worst_case_certified(&p, s, k, &AdversaryConfig::default());
+                let out = Ladder::new(&AdversaryConfig::default())
+                    .certified()
+                    .run(&p, s, k);
+                let (wc, cert) = (out.worst, out.certificate.unwrap());
                 let report = verify_node(&cert, &p).expect("fresh certificate verifies");
                 assert_eq!(report.claimed_failed, wc.failed);
                 assert_eq!(report.exact, wc.exact);
@@ -511,8 +514,10 @@ mod tests {
         let p = random_placement(12, 40, 3, 5);
         let topo = Topology::split(12, &[4, 2]).unwrap();
         for k in [0u16, 1, 2, 3] {
-            let (wc, cert) =
-                domain_worst_case_certified(&p, &topo, 2, k, &AdversaryConfig::default());
+            let out = Ladder::new(&AdversaryConfig::default())
+                .certified()
+                .run_domain(&p, &topo, 2, k);
+            let (wc, cert) = (out.worst, out.certificate.unwrap());
             let report = verify_domain(&cert, &p, &topo).expect("fresh certificate verifies");
             assert_eq!(report.claimed_failed, wc.failed);
         }
@@ -522,7 +527,11 @@ mod tests {
     fn rejects_wrong_placement() {
         let p = random_placement(14, 50, 3, 1);
         let other = random_placement(14, 50, 3, 2);
-        let (_, cert) = worst_case_certified(&p, 2, 3, &AdversaryConfig::default());
+        let cert = Ladder::new(&AdversaryConfig::default())
+            .certified()
+            .run(&p, 2, 3)
+            .certificate
+            .unwrap();
         let err = verify_node(&cert, &other).unwrap_err();
         assert!(err.contains("digest"), "{err}");
     }
@@ -532,7 +541,11 @@ mod tests {
         // Tampering that re-seals the digest must still die on the
         // semantic checks: the witness no longer re-scores to the claim.
         let p = random_placement(14, 50, 3, 3);
-        let (_, mut cert) = worst_case_certified(&p, 2, 3, &AdversaryConfig::default());
+        let mut cert = Ladder::new(&AdversaryConfig::default())
+            .certified()
+            .run(&p, 2, 3)
+            .certificate
+            .unwrap();
         cert.claimed_failed += 1;
         cert.rungs.last_mut().unwrap().failed += 1;
         let err = verify_node(&cert, &p).unwrap_err();
@@ -542,7 +555,10 @@ mod tests {
     #[test]
     fn rejects_truncated_ledger() {
         let p = random_placement(14, 50, 3, 4);
-        let (wc, mut cert) = worst_case_certified(&p, 2, 3, &AdversaryConfig::default());
+        let out = Ladder::new(&AdversaryConfig::default())
+            .certified()
+            .run(&p, 2, 3);
+        let (wc, mut cert) = (out.worst, out.certificate.unwrap());
         assert!(wc.exact);
         cert.ledger.pop();
         let err = verify_node(&cert, &p).unwrap_err();
@@ -552,7 +568,10 @@ mod tests {
     #[test]
     fn rejects_edited_ledger_bound() {
         let p = random_placement(14, 50, 3, 6);
-        let (wc, mut cert) = worst_case_certified(&p, 2, 3, &AdversaryConfig::default());
+        let out = Ladder::new(&AdversaryConfig::default())
+            .certified()
+            .run(&p, 2, 3);
+        let (wc, mut cert) = (out.worst, out.certificate.unwrap());
         assert!(wc.exact);
         cert.ledger[0].bound = cert.claimed_failed.saturating_sub(1);
         let err = verify_node(&cert, &p).unwrap_err();
@@ -562,7 +581,11 @@ mod tests {
     #[test]
     fn structure_rejects_non_monotone_rungs() {
         let p = random_placement(14, 50, 3, 8);
-        let (_, mut cert) = worst_case_certified(&p, 2, 3, &AdversaryConfig::default());
+        let mut cert = Ladder::new(&AdversaryConfig::default())
+            .certified()
+            .run(&p, 2, 3)
+            .certificate
+            .unwrap();
         assert!(cert.rungs.len() >= 2);
         cert.rungs[0].failed = cert.claimed_failed + 1;
         let err = verify_structure(&cert).unwrap_err();

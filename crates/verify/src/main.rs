@@ -3,15 +3,18 @@
 //!
 //! Usage: `wcp-verify <records.jsonl>...`
 //!
-//! Each line is one record as written by the `sweep`, `churn` or
-//! `domains` binaries. For every record carrying a certificate the tool
+//! Each line is one [`wcp_sim::record::Record`] — the single envelope
+//! every experiment binary (`sweep`, `churn`, `domains`, `service`)
+//! emits, so this tool needs exactly one parser. For every record
+//! carrying a certificate (wherever the envelope put it — embedded in
+//! the report or top-level, [`Record::certificate`] finds it) the tool
 //! re-parses it (the self-sealing digest catches bit-level tampering),
 //! then — when the record names a rebuildable strategy via its `spec`
 //! field — replans the placement and runs the full scalar verification
 //! ([`wcp_verify::verify_node`] / [`wcp_verify::verify_domain`], the
-//! latter when the record embeds its topology). Records whose placement
-//! cannot be reconstructed (e.g. mid-churn snapshots) fall back to the
-//! placement-free structural checks.
+//! latter when the record embeds an exact topology). Records whose
+//! placement cannot be reconstructed (e.g. mid-churn snapshots) fall
+//! back to the placement-free structural checks.
 //!
 //! Exits non-zero on any rejected certificate, and also when no
 //! certificate was found at all — a run that verifies nothing must not
@@ -22,6 +25,7 @@ use wcp_core::{
     Certificate, CertificateKind, PlannerContext, StrategyKind, SystemParams, Topology,
 };
 use wcp_sim::json::Value;
+use wcp_sim::record::Record;
 use wcp_verify::{verify_domain, verify_node, verify_structure};
 
 #[derive(Debug, Default)]
@@ -96,23 +100,19 @@ fn main() -> ExitCode {
 /// Verifies one JSONL record; bumps the matching tally bucket on
 /// success, returns the rejection reason otherwise.
 fn check_record(line: &str, tally: &mut Tally) -> Result<(), String> {
-    let record = Value::parse(line).map_err(|e| e.to_string())?;
-    // The certificate sits inside the evaluation report (sweep/domains
-    // records) or at the top level (churn events).
-    let report = record.get("report").unwrap_or(&record);
-    let cert_value = match report.get("certificate") {
-        Some(Value::Null) | None => {
-            tally.certless += 1;
-            return Ok(());
-        }
-        Some(v) => v,
+    let record = Record::parse(line)?;
+    let Some(cert_value) = record.certificate() else {
+        tally.certless += 1;
+        return Ok(());
     };
     let cert = Certificate::from_value(cert_value).map_err(|e| format!("certificate: {e}"))?;
-    let topology = match record.get("topology") {
-        Some(t) => Some(parse_topology(t, cert.n)?),
+    // A `{"racks": …, "zones": …}` display label parses to `None` —
+    // only exact `maps`/`split` encodings support domain verification.
+    let topology = match &record.topology {
+        Some(t) => parse_topology(t, cert.n)?,
         None => None,
     };
-    let Some(placement) = rebuild_placement(&record, report, &cert, topology.as_ref())? else {
+    let Some(placement) = rebuild_placement(&record, &cert, topology.as_ref())? else {
         verify_structure(&cert).map_err(|e| format!("structural check: {e}"))?;
         tally.structural += 1;
         return Ok(());
@@ -138,20 +138,22 @@ fn check_record(line: &str, tally: &mut Tally) -> Result<(), String> {
     Ok(())
 }
 
-/// Rebuilds the record's placement from its `spec` and `params` fields,
-/// `Ok(None)` when the record does not name a rebuildable strategy.
+/// Rebuilds the record's placement from its `spec` field and the
+/// report's `params`, `Ok(None)` when the record does not name a
+/// rebuildable strategy.
 fn rebuild_placement(
-    record: &Value,
-    report: &Value,
+    record: &Record,
     cert: &Certificate,
     topology: Option<&Topology>,
 ) -> Result<Option<wcp_core::Placement>, String> {
-    let Some(spec) = record.get("spec").and_then(Value::as_str) else {
+    let Some(spec) = record.spec.as_deref() else {
         return Ok(None);
     };
-    let params = report
-        .get("params")
-        .ok_or("record names a spec but carries no params")?;
+    let params = record
+        .report
+        .as_ref()
+        .and_then(|r| r.get("params"))
+        .ok_or("record names a spec but carries no report params")?;
     let field = |key: &str| -> Result<u64, String> {
         params
             .get(key)
@@ -190,8 +192,10 @@ fn rebuild_placement(
 /// Reads a record's embedded topology: `{"maps": [[...], ...]}` (the
 /// exact bottom-up parent maps, as the `domains` binary emits) or
 /// `{"split": [d1, d2, ...]}` (the balanced contiguous splits of
-/// [`Topology::split`]).
-fn parse_topology(value: &Value, n: u16) -> Result<Topology, String> {
+/// [`Topology::split`]). A `{"racks": …, "zones": …}` display label —
+/// what axis sweeps attach — carries no exact tree and parses to
+/// `None`.
+fn parse_topology(value: &Value, n: u16) -> Result<Option<Topology>, String> {
     if let Some(levels) = value.get("maps").and_then(Value::as_array) {
         let maps: Vec<Vec<u16>> = levels
             .iter()
@@ -208,19 +212,23 @@ fn parse_topology(value: &Value, n: u16) -> Result<Topology, String> {
                     .collect()
             })
             .collect::<Result<_, _>>()?;
-        return Topology::new(n, maps).map_err(|e| e.to_string());
+        return Topology::new(n, maps).map(Some).map_err(|e| e.to_string());
     }
-    let counts = value
-        .get("split")
-        .and_then(Value::as_array)
-        .ok_or("topology must carry a \"maps\" or \"split\" array")?;
-    let counts: Vec<u16> = counts
-        .iter()
-        .map(|v| {
-            v.as_u64()
-                .and_then(|d| u16::try_from(d).ok())
-                .ok_or("topology split entries must be u16 integers")
-        })
-        .collect::<Result<_, _>>()?;
-    Topology::split(n, &counts).map_err(|e| e.to_string())
+    if let Some(counts) = value.get("split").and_then(Value::as_array) {
+        let counts: Vec<u16> = counts
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|d| u16::try_from(d).ok())
+                    .ok_or("topology split entries must be u16 integers")
+            })
+            .collect::<Result<_, _>>()?;
+        return Topology::split(n, &counts)
+            .map(Some)
+            .map_err(|e| e.to_string());
+    }
+    if value.get("racks").is_some() {
+        return Ok(None);
+    }
+    Err("topology must carry a \"maps\", \"split\", or \"racks\" field".into())
 }

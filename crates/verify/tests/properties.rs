@@ -7,7 +7,7 @@
 //! brute-force enumeration on shapes small enough to enumerate.
 
 use proptest::prelude::*;
-use wcp_adversary::{domain_worst_case_certified, worst_case_certified, AdversaryConfig};
+use wcp_adversary::{AdversaryConfig, Ladder};
 use wcp_combin::KSubsets;
 use wcp_core::{
     Certificate, Parallelism, Placement, RandomStrategy, RandomVariant, SystemParams, Topology,
@@ -86,7 +86,8 @@ proptest! {
         let p = placement(n, b_per_n * u64::from(n), r, seed);
         let brute = brute_force_node(&p, s, k);
         for config in thread_matrix(seed) {
-            let (wc, cert) = worst_case_certified(&p, s, k, &config);
+            let out = Ladder::new(&config).certified().run(&p, s, k);
+            let (wc, cert) = (out.worst, out.certificate.unwrap());
             let cert = roundtrip(&cert);
             let report = verify_node(&cert, &p).map_err(TestCaseError::fail)?;
             prop_assert_eq!(report.claimed_failed, wc.failed);
@@ -124,7 +125,8 @@ proptest! {
         let p = placement(n, b_per_n * u64::from(n), r, seed);
         let brute = brute_force_domain(&p, &topo, s, k);
         for config in thread_matrix(seed) {
-            let (wc, cert) = domain_worst_case_certified(&p, &topo, s, k, &config);
+            let out = Ladder::new(&config).certified().run_domain(&p, &topo, s, k);
+            let (wc, cert) = (out.worst, out.certificate.unwrap());
             let cert = roundtrip(&cert);
             let report = verify_domain(&cert, &p, &topo).map_err(TestCaseError::fail)?;
             prop_assert_eq!(report.claimed_failed, wc.failed);
@@ -140,7 +142,10 @@ proptest! {
 #[test]
 fn serialized_tampering_breaks_the_seal() {
     let p = placement(14, 50, 3, 0x7a3);
-    let (wc, cert) = worst_case_certified(&p, 2, 3, &AdversaryConfig::default());
+    let out = Ladder::new(&AdversaryConfig::default())
+        .certified()
+        .run(&p, 2, 3);
+    let (wc, cert) = (out.worst, out.certificate.unwrap());
     assert!(wc.failed > 0, "shape must have a non-trivial worst case");
     let json = cert.to_json();
     let tampered = json.replacen(
@@ -160,7 +165,10 @@ fn serialized_tampering_breaks_the_seal() {
 #[test]
 fn resealed_witness_swap_is_rejected_semantically() {
     let p = placement(14, 50, 3, 0x7a4);
-    let (wc, mut cert) = worst_case_certified(&p, 2, 3, &AdversaryConfig::default());
+    let out = Ladder::new(&AdversaryConfig::default())
+        .certified()
+        .run(&p, 2, 3);
+    let (wc, mut cert) = (out.worst, out.certificate.unwrap());
     assert!(wc.failed > 0);
     // Claim the worst case is achieved by attacking nothing at all.
     cert.rungs.last_mut().unwrap().witness.clear();
@@ -175,7 +183,10 @@ fn resealed_witness_swap_is_rejected_semantically() {
 #[test]
 fn resealed_ledger_truncation_is_rejected() {
     let p = placement(14, 50, 3, 0x7a5);
-    let (wc, mut cert) = worst_case_certified(&p, 2, 3, &AdversaryConfig::default());
+    let out = Ladder::new(&AdversaryConfig::default())
+        .certified()
+        .run(&p, 2, 3);
+    let (wc, mut cert) = (out.worst, out.certificate.unwrap());
     assert!(wc.exact && !cert.ledger.is_empty());
     cert.ledger.pop();
     let resealed = roundtrip(&cert);
@@ -189,7 +200,10 @@ fn resealed_ledger_truncation_is_rejected() {
 fn resealed_domain_unit_swap_is_rejected() {
     let p = placement(12, 40, 3, 0x7a6);
     let topo = Topology::split(12, &[4]).unwrap();
-    let (wc, mut cert) = domain_worst_case_certified(&p, &topo, 2, 2, &AdversaryConfig::default());
+    let out = Ladder::new(&AdversaryConfig::default())
+        .certified()
+        .run_domain(&p, &topo, 2, 2);
+    let (wc, mut cert) = (out.worst, out.certificate.unwrap());
     assert!(wc.failed > 0 && !wc.units.is_empty());
     // Point the last rung at different units (rotating within the
     // 16-unit universe: 12 leaves + 4 racks) while keeping the now
@@ -222,7 +236,8 @@ fn acceptance_shape_certificates_verify_and_tampering_fails() {
         ..AdversaryConfig::default()
     };
     for k in 1u16..=5 {
-        let (wc, cert) = worst_case_certified(&p, 2, k, &config);
+        let out = Ladder::new(&config).certified().run(&p, 2, k);
+        let (wc, cert) = (out.worst, out.certificate.unwrap());
         let cert = roundtrip(&cert);
         let report = verify_node(&cert, &p)
             .unwrap_or_else(|e| panic!("k={k}: fresh certificate rejected: {e}"));
@@ -294,7 +309,8 @@ fn acceptance_shape_certificates_verify_and_tampering_fails() {
     // The domain ladder on the same shape (12 racks, as the adversary
     // acceptance suite splits it).
     let topo = Topology::split(71, &[12]).unwrap();
-    let (wc, cert) = domain_worst_case_certified(&p, &topo, 2, 3, &config);
+    let out = Ladder::new(&config).certified().run_domain(&p, &topo, 2, 3);
+    let (wc, cert) = (out.worst, out.certificate.unwrap());
     let cert = roundtrip(&cert);
     let report = verify_domain(&cert, &p, &topo).expect("domain certificate verifies");
     assert_eq!(report.claimed_failed, wc.failed);

@@ -33,7 +33,10 @@
 //! * [`analysis`] — the closed forms: c-competitiveness (Theorem 1),
 //!   the worst-case vulnerability of random placement (Theorem 2,
 //!   Definitions 5–6) and the `s = 1` bound (Lemma 4);
-//! * [`combin`] / [`sim`] — combinatorics and experiment substrates.
+//! * [`combin`] / [`sim`] — combinatorics and experiment substrates;
+//! * [`service`] — the serving layer: epoch-snapshotted placements
+//!   behind the `PlacementProvider` trait, published by a repair thread
+//!   that batches churn into `DynamicEngine` repairs.
 //!
 //! The `wcp-experiments` crate regenerates every table and figure of the
 //! paper's evaluation; see EXPERIMENTS.md for the paper-vs-measured
@@ -79,13 +82,14 @@ pub use wcp_combin as combin;
 pub use wcp_core as core;
 pub use wcp_designs as designs;
 pub use wcp_gf as gf;
+pub use wcp_service as service;
 pub use wcp_sim as sim;
 
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use wcp_adversary::{
-        availability, domain_worst_case_failures, worst_case_failures, AdversaryConfig,
-        DomainAttacker, DomainWorstCase, ScratchAdversary, WorstCase,
+        availability, AdversaryConfig, DomainAttacker, DomainLadderOutcome, DomainWorstCase,
+        Ladder, LadderOutcome, ScratchAdversary, WorstCase,
     };
     pub use wcp_analysis::{competitive_constants, pr_avail, pr_avail_fraction};
     pub use wcp_core::{
@@ -98,5 +102,8 @@ pub mod prelude {
         SystemParams, Timings, Topology,
     };
     pub use wcp_designs::registry::RegistryConfig;
+    pub use wcp_service::{
+        PlacementProvider, ServiceConfig, ServiceEvent, ServiceHandle, Snapshot,
+    };
     pub use wcp_sim::churn::{ChurnEvent, ChurnEventKind, ChurnSpec, ChurnTrace};
 }
